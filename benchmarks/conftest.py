@@ -1,0 +1,56 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+One :class:`~repro.core.experiments.StudyRunner` is shared across the
+whole session so experiments that use the same workload (encode/decode
+table pairs, the figures, Table 8) run the expensive instrumented codec
+once.  Every regenerated artifact is written to ``benchmarks/results/``
+and echoed into the terminal summary, so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures the full set of
+paper-vs-measured tables.
+
+Scale: set ``REPRO_SCALE`` to ``quick`` (fast sanity), ``default``
+(one-GOP prefix of the paper's 30-frame runs; the shipped numbers), or
+``paper`` (all 30 frames).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiments import StudyRunner, current_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_artifacts: list[tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def runner() -> StudyRunner:
+    return StudyRunner(current_scale())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record_artifact(results_dir: Path, experiment_id: str, text: str) -> None:
+    """Persist one regenerated table/figure and queue it for the summary."""
+    path = results_dir / f"{experiment_id}.txt"
+    path.write_text(text + "\n")
+    _artifacts.append((experiment_id, text))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _artifacts:
+        return
+    terminalreporter.section(
+        f"reproduced paper artifacts (scale={os.environ.get('REPRO_SCALE', 'default')})"
+    )
+    for experiment_id, text in _artifacts:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

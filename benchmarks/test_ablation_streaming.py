@@ -1,0 +1,77 @@
+"""Ablation: the streaming counterfactual.
+
+The paper's central explanation is that MPEG-4's *protocol-dictated
+blocking* (restricted search windows advancing one pixel at a time)
+creates the locality that keeps it compute bound.  This ablation removes
+the blocking: a hypothetical unblocked motion search that sweeps the whole
+reference plane per macroblock (what the "conventional wisdom" implicitly
+assumed).  The memory system response flips exactly as the critics
+expected -- L1 misses explode and the workload becomes DRAM-dominated --
+demonstrating that the blocking, not the cache, is what saves MPEG-4.
+"""
+
+import numpy as np
+from conftest import record_artifact
+
+from repro.codec.motion import SearchResult, ZERO_MV
+from repro.core.machines import SGI_O2
+from repro.memsim.events import GRANULE_SHIFT, KIND_READ, AccessBatch
+from repro.trace import TraceRecorder
+from repro.trace import kernels as tk
+
+WIDTH, HEIGHT = 720, 576
+N_MBS = 24  # sampled macroblocks; enough for stable rates
+
+
+def _windowed_hierarchy():
+    hierarchy = SGI_O2.build_hierarchy()
+    recorder = TraceRecorder([hierarchy])
+    ref = recorder.map_frame_store("ref", (HEIGHT + 32, WIDTH + 32), (HEIGHT // 2 + 32, WIDTH // 2 + 32))
+    cur = recorder.map_frame_store("cur", (HEIGHT + 32, WIDTH + 32), (HEIGHT // 2 + 32, WIDTH // 2 + 32))
+    n_candidates = 33 * 33
+    for mb in range(N_MBS):
+        search = SearchResult(mv=ZERO_MV, sad=0, candidates_evaluated=n_candidates)
+        tk.me_search(recorder, ref, cur, 64, 16 * (mb + 2), 16, search, 8)
+    return hierarchy
+
+
+def _streaming_hierarchy():
+    """Unblocked counterfactual: every macroblock sweeps the whole plane."""
+    hierarchy = SGI_O2.build_hierarchy()
+    plane_granules = (WIDTH * HEIGHT) >> GRANULE_SHIFT
+    lines = np.arange(plane_granules, dtype=np.int64)
+    counts = np.full(plane_granules, 32, dtype=np.int64)
+    for _ in range(N_MBS):
+        hierarchy.process(AccessBatch(KIND_READ, lines, counts, alu_ops=0))
+    return hierarchy
+
+
+def test_ablation_streaming_counterfactual(benchmark, results_dir):
+    def run():
+        return _windowed_hierarchy(), _streaming_hierarchy()
+
+    windowed, streaming = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def miss_rate(h):
+        return h.total.l1_misses / max(h.total.memory_accesses, 1)
+
+    windowed_rate = miss_rate(windowed)
+    streaming_rate = miss_rate(streaming)
+    text = "\n".join(
+        [
+            "Ablation -- blocked window vs unblocked streaming motion search",
+            "=" * 62,
+            f"windowed  (+/-16 search): L1 miss rate {windowed_rate:.4%}, "
+            f"L2 misses {windowed.total.l2_misses}",
+            f"streaming (whole-plane):  L1 miss rate {streaming_rate:.4%}, "
+            f"L2 misses {streaming.total.l2_misses}",
+            f"L1 miss-rate blow-up: {streaming_rate / max(windowed_rate, 1e-12):.0f}x",
+        ]
+    )
+    record_artifact(results_dir, "ablation_streaming", text)
+
+    # The windowed search keeps L1 misses rare; the unblocked sweep misses
+    # on (essentially) every line it touches.
+    assert windowed_rate < 0.005
+    assert streaming_rate > 0.02
+    assert streaming_rate > windowed_rate * 20

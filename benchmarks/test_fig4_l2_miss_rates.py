@@ -1,0 +1,30 @@
+"""Figure 4: L2 cache miss rates vs numbers of objects and layers.
+
+Paper claim (R10K, 2MB L2): L2 miss rates do not grow with the number of
+VOs/VOLs; decoding actually improves slightly as objects and layers are
+added ("improving under pressure", Section 3.2).
+"""
+
+from conftest import record_artifact
+
+from repro.core.experiments import run_experiment
+
+
+def test_fig4_l2_miss_rates(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", runner), rounds=1, iterations=1
+    )
+    record_artifact(results_dir, "fig4", result.text)
+
+    series = result.measured["series"]
+    labels = result.measured["labels"]
+    base = series["1 VO, 1 layer"]
+    multi = series["3 VOs, 1 layer each"]
+    layered = series["3 VOs, 2 layers each"]
+    for column, label in enumerate(labels):
+        assert multi[column] <= base[column] * 1.25 + 1e-3, label
+        assert layered[column] <= base[column] * 1.25 + 1e-3, label
+    # Decode columns tend to improve under pressure.
+    decode_columns = [i for i, label in enumerate(labels) if label.startswith("dec")]
+    improved = sum(1 for i in decode_columns if layered[i] <= base[i] * 1.02)
+    assert improved >= len(decode_columns) // 2

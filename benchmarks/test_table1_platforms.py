@@ -1,0 +1,17 @@
+"""Table 1: platform highlights (configuration check, no simulation)."""
+
+from conftest import record_artifact
+
+from repro.core.experiments import run_experiment
+from repro.core.machines import STUDY_MACHINES
+
+
+def test_table1_platforms(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1", runner), rounds=1, iterations=1
+    )
+    record_artifact(results_dir, "table1", result.text)
+    # The three machines of the study with their Table 1 parameters.
+    assert [m.l2.size_bytes >> 20 for m in STUDY_MACHINES] == [1, 2, 8]
+    assert "32 KB, 2-way, 32 B lines" in result.text
+    assert "split transaction" in result.text

@@ -1,0 +1,37 @@
+"""Table 2: video encoding, one visual object, one layer.
+
+Checks the paper's headline encoding claims: primary-cache behaviour is
+nearly optimal (hit rates >=99.5 %, line reuse in the hundreds-to-
+thousands), DRAM stall time is small, and bus-bandwidth use is a tiny
+fraction of the sustained 680 MB/s.
+"""
+
+from conftest import record_artifact
+
+from repro.core.experiments import run_experiment
+
+
+def test_table2_encode_1vo1l(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table2", runner), rounds=1, iterations=1
+    )
+    record_artifact(results_dir, "table2", result.text)
+
+    for resolution, reports in result.measured.items():
+        for label, report in reports.items():
+            # "MPEG-4 exhibits streaming references" is a fallacy:
+            assert report.l1_miss_rate < 0.005, (resolution, label)
+            assert report.l1_line_reuse > 300, (resolution, label)
+            # "bound by DRAM latency" is a fallacy:
+            assert report.dram_time < 0.06, (resolution, label)
+            # "hungry for bus bandwidth" is a fallacy:
+            assert report.bus_utilization < 0.05, (resolution, label)
+        # Larger L2 -> no worse L2 miss rate.
+        assert reports["R12K 8MB"].l2_miss_rate <= reports["R12K 1MB"].l2_miss_rate
+
+    # Prefetch coverage is conservative and ~half wasted (paper Section 3.2);
+    # the R10K column must be n/a.
+    r12k = result.measured["720x576"]["R12K 1MB"]
+    assert r12k.prefetch_l1_miss is not None
+    assert 0.30 < r12k.prefetch_l1_miss < 0.65
+    assert result.measured["720x576"]["R10K 2MB"].prefetch_l1_miss is None

@@ -1,0 +1,33 @@
+"""Table 3: video decoding, one visual object, one layer.
+
+Decoding misses L1 more often than encoding and stalls slightly longer on
+DRAM, but stays far from memory bound: worst-case processor stall on DRAM
+is bounded by the paper's ~12 %.
+"""
+
+from conftest import record_artifact
+
+from repro.core.experiments import run_experiment
+
+
+def test_table3_decode_1vo1l(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3", runner), rounds=1, iterations=1
+    )
+    record_artifact(results_dir, "table3", result.text)
+
+    encode = run_experiment("table2", runner)
+    for resolution, reports in result.measured.items():
+        for label, report in reports.items():
+            assert report.l1_miss_rate < 0.01, (resolution, label)
+            assert report.l1_line_reuse > 80, (resolution, label)
+            # Paper: "in the worst case ... no more than 12%".
+            assert report.dram_time <= 0.12, (resolution, label)
+            assert report.bus_utilization < 0.10, (resolution, label)
+            # Decoding misses L1 more than encoding (lower reuse).
+            enc_report = encode.measured[resolution][label]
+            assert report.l1_miss_rate > enc_report.l1_miss_rate
+            assert report.l1_line_reuse < enc_report.l1_line_reuse
+        # DRAM stall decreases as the L2 grows.
+        assert reports["R12K 8MB"].dram_time <= reports["R12K 1MB"].dram_time
+        assert reports["R12K 8MB"].l2_miss_rate <= reports["R12K 1MB"].l2_miss_rate

@@ -1,0 +1,26 @@
+"""Table 4: video encoding, three visual objects, one layer each.
+
+The paper's point: "cache performance does not change noticeably as the
+number of VOs ... increases" even though memory requirements grow.
+"""
+
+from conftest import record_artifact
+
+from repro.core.experiments import run_experiment
+
+
+def test_table4_encode_3vo1l(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table4", runner), rounds=1, iterations=1
+    )
+    record_artifact(results_dir, "table4", result.text)
+
+    single = run_experiment("table2", runner)
+    for resolution, reports in result.measured.items():
+        for label, report in reports.items():
+            assert report.l1_miss_rate < 0.005, (resolution, label)
+            assert report.l1_line_reuse > 300, (resolution, label)
+            assert report.dram_time < 0.06, (resolution, label)
+            # Not noticeably different from the 1-VO configuration.
+            ratio = report.l1_miss_rate / single.measured[resolution][label].l1_miss_rate
+            assert 0.4 < ratio < 2.5, (resolution, label, ratio)

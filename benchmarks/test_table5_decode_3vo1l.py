@@ -1,0 +1,33 @@
+"""Table 5: video decoding, three visual objects, one layer each.
+
+Beyond the usual bands, checks the paper's paradox: decoding cache
+performance *does not degrade* (and tends to improve) when the object
+count triples.
+"""
+
+from conftest import record_artifact
+
+from repro.core.experiments import run_experiment
+
+
+def test_table5_decode_3vo1l(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table5", runner), rounds=1, iterations=1
+    )
+    record_artifact(results_dir, "table5", result.text)
+
+    single = run_experiment("table3", runner)
+    for resolution, reports in result.measured.items():
+        for label, report in reports.items():
+            assert report.l1_miss_rate < 0.01, (resolution, label)
+            assert report.dram_time <= 0.12, (resolution, label)
+            single_report = single.measured[resolution][label]
+            # "Improving under pressure": no significant degradation vs 1 VO.
+            assert report.l2_miss_rate <= single_report.l2_miss_rate * 1.35, (
+                resolution,
+                label,
+            )
+            assert report.dram_time <= single_report.dram_time * 1.5 + 0.01, (
+                resolution,
+                label,
+            )

@@ -1,0 +1,23 @@
+"""Table 6: video encoding, three visual objects, two layers each.
+
+Adding scalability layers multiplies memory requirements again; the paper
+finds cache behaviour unchanged (or slightly better).
+"""
+
+from conftest import record_artifact
+
+from repro.core.experiments import run_experiment
+
+
+def test_table6_encode_3vo2l(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table6", runner), rounds=1, iterations=1
+    )
+    record_artifact(results_dir, "table6", result.text)
+
+    for resolution, reports in result.measured.items():
+        for label, report in reports.items():
+            assert report.l1_miss_rate < 0.005, (resolution, label)
+            assert report.l1_line_reuse > 300, (resolution, label)
+            assert report.dram_time < 0.06, (resolution, label)
+            assert report.bus_utilization < 0.05, (resolution, label)

@@ -1,0 +1,27 @@
+"""Table 7: video decoding, three visual objects, two layers each.
+
+Completes the paper's "improving under pressure" ladder: (1 VO, 1 L) ->
+(3 VO, 1 L) -> (3 VO, 2 L) must not degrade decode cache behaviour.
+"""
+
+from conftest import record_artifact
+
+from repro.core.experiments import run_experiment
+
+
+def test_table7_decode_3vo2l(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table7", runner), rounds=1, iterations=1
+    )
+    record_artifact(results_dir, "table7", result.text)
+
+    single = run_experiment("table3", runner)
+    for resolution, reports in result.measured.items():
+        for label, report in reports.items():
+            assert report.l1_miss_rate < 0.01, (resolution, label)
+            assert report.dram_time <= 0.12, (resolution, label)
+            single_report = single.measured[resolution][label]
+            assert report.l2_miss_rate <= single_report.l2_miss_rate * 1.35, (
+                resolution,
+                label,
+            )

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Error resilience: video packets, corruption recovery, concealment.
+
+MPEG-4 targets "mobile multimedia" (paper Section 1), where bitstreams
+arrive damaged.  This example codes a sequence with one video packet per
+macroblock row, smashes bytes in the middle of the stream, and decodes it
+in error-tolerant mode: the decoder re-synchronizes at the next marker and
+conceals lost rows from the reference frame.
+
+Run:  python examples/error_resilience.py
+"""
+
+from repro.codec import CodecConfig, VopDecoder, VopEncoder
+from repro.video import SceneSpec, SyntheticScene, psnr
+
+
+def main() -> None:
+    width, height, n_frames = 176, 144, 6
+    scene = SyntheticScene(SceneSpec.default(width, height, n_objects=1))
+    frames = [scene.frame(i) for i in range(n_frames)]
+
+    config = CodecConfig(width, height, qp=8, gop_size=6, m_distance=1,
+                         resync_markers=True)
+    encoded = VopEncoder(config).encode_sequence(frames)
+    print(f"encoded {n_frames} frames with resync markers: "
+          f"{len(encoded.data):,} bytes")
+
+    # Vandalize a stretch of the stream.
+    broken = bytearray(encoded.data)
+    start = len(broken) // 2
+    for index in range(start, min(start + 40, len(broken))):
+        broken[index] = 0xA5 ^ (index & 0x5A)
+    print(f"corrupted 40 bytes at offset {start:,}")
+
+    decoder = VopDecoder()
+    decoded = decoder.decode_sequence(bytes(broken), tolerate_errors=True)
+    lost = sum(v.lost_packets for v in decoded.vop_stats)
+    total_packets = n_frames * (height // 16)
+    print(f"decoded all {len(decoded.frames)} frames; lost "
+          f"{lost}/{total_packets} video packets to the corruption")
+
+    print("\nper-frame luma PSNR vs the clean source:")
+    for index, (source, output) in enumerate(zip(frames, decoded.frames)):
+        marker = ""
+        stats = next(v for v in decoded.vop_stats if v.display_index == index)
+        if stats.lost_packets:
+            marker = f"   <- {stats.lost_packets} packet(s) concealed"
+        print(f"  frame {index}: {psnr(source.y, output.y):5.1f} dB{marker}")
+
+    print("\nwithout markers the same damage would cost the rest of the VOP;")
+    print("with them, loss is confined to the damaged packets.")
+
+
+if __name__ == "__main__":
+    main()

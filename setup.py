@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline editable install).
+
+`pip install -e .` requires bdist_wheel; this sandbox has no network to
+fetch it, so `python setup.py develop` provides the equivalent editable
+install using the metadata in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""Modified discrete cosine transform (the MP3/AAC filterbank core).
+
+A lapped transform with 50 % overlap and the Princen-Bradley sine window:
+1152-sample windows produce 576 spectral bins, and overlap-add of inverse
+transforms reconstructs the signal exactly (time-domain alias
+cancellation).  Implemented as precomputed basis matrices -- the trace
+layer models the FFT-style access pattern separately, as real encoders
+implement the MDCT via FFTs over small tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Samples consumed per frame hop (50 % overlap of 2x windows).
+FRAME_SAMPLES = 576
+#: Spectral bins per frame.
+SPECTRAL_BINS = 576
+#: Window length.
+WINDOW_SAMPLES = 2 * FRAME_SAMPLES
+
+
+def _sine_window(length: int) -> np.ndarray:
+    n = np.arange(length)
+    return np.sin(np.pi / length * (n + 0.5))
+
+
+_WINDOW = _sine_window(WINDOW_SAMPLES)
+
+
+def _mdct_basis() -> np.ndarray:
+    n = np.arange(WINDOW_SAMPLES)
+    k = np.arange(SPECTRAL_BINS)
+    phase = (
+        np.pi
+        / FRAME_SAMPLES
+        * (n[None, :] + 0.5 + FRAME_SAMPLES / 2)
+        * (k[:, None] + 0.5)
+    )
+    return np.cos(phase) * np.sqrt(2.0 / FRAME_SAMPLES)
+
+
+_BASIS = _mdct_basis()
+
+
+def mdct_frame(windowed: np.ndarray) -> np.ndarray:
+    """MDCT of one 1152-sample window (already extracted, not windowed)."""
+    if windowed.shape != (WINDOW_SAMPLES,):
+        raise ValueError(f"expected {WINDOW_SAMPLES} samples, got {windowed.shape}")
+    return _BASIS @ (windowed * _WINDOW)
+
+
+def imdct_frame(spectrum: np.ndarray) -> np.ndarray:
+    """Inverse MDCT: 1152 windowed output samples for overlap-add."""
+    if spectrum.shape != (SPECTRAL_BINS,):
+        raise ValueError(f"expected {SPECTRAL_BINS} bins, got {spectrum.shape}")
+    return (_BASIS.T @ spectrum) * _WINDOW
+
+
+def analyze(samples: np.ndarray) -> np.ndarray:
+    """MDCT analysis of a whole signal: ``(n_frames, SPECTRAL_BINS)``.
+
+    The signal is zero-padded by one half-window on each side so
+    synthesis reconstructs every input sample.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    padded = np.concatenate(
+        [np.zeros(FRAME_SAMPLES), samples, np.zeros(2 * FRAME_SAMPLES)]
+    )
+    n_frames = (len(padded) - WINDOW_SAMPLES) // FRAME_SAMPLES + 1
+    spectra = np.empty((n_frames, SPECTRAL_BINS))
+    for frame in range(n_frames):
+        start = frame * FRAME_SAMPLES
+        spectra[frame] = mdct_frame(padded[start : start + WINDOW_SAMPLES])
+    return spectra
+
+
+def synthesize(spectra: np.ndarray, n_samples: int) -> np.ndarray:
+    """Overlap-add inverse of :func:`analyze`, cropped to ``n_samples``."""
+    n_frames = spectra.shape[0]
+    output = np.zeros(n_frames * FRAME_SAMPLES + FRAME_SAMPLES)
+    for frame in range(n_frames):
+        start = frame * FRAME_SAMPLES
+        output[start : start + WINDOW_SAMPLES] += imdct_frame(spectra[frame])
+    return output[FRAME_SAMPLES : FRAME_SAMPLES + n_samples]

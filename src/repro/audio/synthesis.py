@@ -1,0 +1,44 @@
+"""Deterministic audio test-signal synthesis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AudioSpec:
+    """A deterministic mixture of tones, a sweep, and shaped noise."""
+
+    sample_rate: int = 44_100
+    duration_s: float = 1.0
+    tone_hz: tuple[float, ...] = (220.0, 440.0, 1320.0)
+    noise_level: float = 0.02
+    seed: int = 0
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.sample_rate * self.duration_s)
+
+
+def synthesize_audio(spec: AudioSpec) -> np.ndarray:
+    """PCM float64 signal in [-1, 1]: harmonics + slow sweep + pink-ish noise."""
+    t = np.arange(spec.n_samples) / spec.sample_rate
+    signal = np.zeros_like(t)
+    for index, frequency in enumerate(spec.tone_hz):
+        signal += (0.5 / (index + 1)) * np.sin(2 * np.pi * frequency * t)
+    # A slow sweep exercises changing band allocations frame to frame.
+    signal += 0.2 * np.sin(2 * np.pi * (300.0 + 200.0 * t) * t)
+    rng = np.random.default_rng(spec.seed)
+    white = rng.standard_normal(spec.n_samples)
+    # One-pole lowpass shapes the noise toward low frequencies.
+    shaped = np.empty_like(white)
+    state = 0.0
+    alpha = 0.85
+    for index, value in enumerate(white):
+        state = alpha * state + (1 - alpha) * value
+        shaped[index] = state
+    signal += spec.noise_level * shaped / max(np.abs(shaped).max(), 1e-9)
+    peak = np.abs(signal).max()
+    return signal / (peak * 1.05)

@@ -1,0 +1,68 @@
+"""Command-line entry point: ``python -m repro <experiment> [...]``.
+
+Regenerates paper artifacts from the shell:
+
+.. code-block:: console
+
+   $ python -m repro table5                 # one table, default scale
+   $ python -m repro fig2 --scale quick     # one figure, fast
+   $ python -m repro all --scale paper      # everything, 30-frame runs
+   $ python -m repro list                   # what can be regenerated
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.experiments import EXPERIMENTS, SCALES, StudyRunner, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate tables/figures of 'An MPEG-4 Performance Study for "
+            "non-SIMD, General Purpose Architectures' (ISPASS 2003)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (table1..table8, fig2..fig4), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="default",
+        help="tracing effort preset (default: default)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[experiment_id].__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{experiment_id:<8} {summary}")
+        return 0
+    runner = StudyRunner(SCALES[args.scale])
+    if args.experiment == "all":
+        experiment_ids = sorted(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        experiment_ids = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr
+        )
+        return 2
+    for experiment_id in experiment_ids:
+        result = run_experiment(experiment_id, runner)
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,180 @@
+"""Adaptive binary arithmetic coder.
+
+MPEG-4 codes arbitrary shapes "using a context-based arithmetic encoding
+scheme" (paper Section 2.1).  This module provides the arithmetic-coding
+substrate: a classic integer (Witten/Neal/Cleary-style) binary coder with
+32-bit registers plus per-context adaptive probability models.  The shape
+layer (:mod:`repro.codec.shape`) supplies the 10-bit neighbourhood
+contexts.
+
+Encoded segments are emitted as self-contained byte blobs; the shape layer
+frames them with an explicit length so a decoder never reads past the
+segment (the normative CAE uses careful termination instead -- an
+implementation detail that does not change the access pattern or the
+instruction mix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_PRECISION = 32
+_FULL = (1 << _PRECISION) - 1
+_HALF = 1 << (_PRECISION - 1)
+_QUARTER = 1 << (_PRECISION - 2)
+_THREE_QUARTER = _HALF + _QUARTER
+
+_PROB_BITS = 16
+_PROB_ONE = 1 << _PROB_BITS
+_PROB_MIN = 32
+_PROB_MAX = _PROB_ONE - _PROB_MIN
+
+#: Rescale context counts when they reach this total (keeps adaptivity).
+_MAX_TOTAL = 1024
+
+
+class AdaptiveBinaryModel:
+    """Per-context zero/one counts with probability estimation."""
+
+    def __init__(self, n_contexts: int) -> None:
+        if n_contexts <= 0:
+            raise ValueError("n_contexts must be positive")
+        self.n_contexts = n_contexts
+        self._zeros = np.ones(n_contexts, dtype=np.int32)
+        self._ones = np.ones(n_contexts, dtype=np.int32)
+
+    def p_zero(self, context: int) -> int:
+        """Probability of a 0 bit, in 1/65536 units, clamped away from 0/1."""
+        zeros = int(self._zeros[context])
+        total = zeros + int(self._ones[context])
+        probability = (zeros * _PROB_ONE) // total
+        return min(max(probability, _PROB_MIN), _PROB_MAX)
+
+    def update(self, context: int, bit: int) -> None:
+        if bit:
+            self._ones[context] += 1
+        else:
+            self._zeros[context] += 1
+        if self._zeros[context] + self._ones[context] >= _MAX_TOTAL:
+            self._zeros[context] = (self._zeros[context] + 1) >> 1
+            self._ones[context] = (self._ones[context] + 1) >> 1
+
+
+class ArithEncoder:
+    """Binary arithmetic encoder producing a self-contained byte blob."""
+
+    def __init__(self, model: AdaptiveBinaryModel) -> None:
+        self.model = model
+        self._low = 0
+        self._high = _FULL
+        self._pending = 0
+        self._bits: list[int] = []
+        self.bits_coded = 0
+
+    def encode(self, bit: int, context: int) -> None:
+        p_zero = self.model.p_zero(context)
+        span = self._high - self._low + 1
+        mid = self._low + ((span * p_zero) >> _PROB_BITS) - 1
+        if bit:
+            self._low = mid + 1
+        else:
+            self._high = mid
+        self.model.update(context, bit)
+        self.bits_coded += 1
+        self._renormalize()
+
+    def _emit(self, bit: int) -> None:
+        self._bits.append(bit)
+        for _ in range(self._pending):
+            self._bits.append(1 - bit)
+        self._pending = 0
+
+    def _renormalize(self) -> None:
+        while True:
+            if self._high < _HALF:
+                self._emit(0)
+            elif self._low >= _HALF:
+                self._emit(1)
+                self._low -= _HALF
+                self._high -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTER:
+                self._pending += 1
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+            else:
+                return
+            self._low = (self._low << 1) & _FULL
+            self._high = ((self._high << 1) | 1) & _FULL
+
+    def finish(self) -> bytes:
+        """Terminate and return the encoded blob (byte padded)."""
+        # Disambiguate the final interval with one bit plus pending bits.
+        self._pending += 1
+        if self._low < _QUARTER:
+            self._emit(0)
+        else:
+            self._emit(1)
+        bits = self._bits
+        while len(bits) % 8:
+            bits.append(0)
+        data = bytearray()
+        for index in range(0, len(bits), 8):
+            byte = 0
+            for bit in bits[index : index + 8]:
+                byte = (byte << 1) | bit
+            data.append(byte)
+        return bytes(data)
+
+
+class ArithDecoder:
+    """Mirror-image decoder over an encoder-produced blob."""
+
+    def __init__(self, data: bytes, model: AdaptiveBinaryModel) -> None:
+        self.model = model
+        self._data = data
+        self._bit_pos = 0
+        self._low = 0
+        self._high = _FULL
+        self._value = 0
+        for _ in range(_PRECISION):
+            self._value = (self._value << 1) | self._next_bit()
+
+    def _next_bit(self) -> int:
+        byte_pos = self._bit_pos >> 3
+        if byte_pos >= len(self._data):
+            self._bit_pos += 1
+            return 0
+        bit = (self._data[byte_pos] >> (7 - (self._bit_pos & 7))) & 1
+        self._bit_pos += 1
+        return bit
+
+    def decode(self, context: int) -> int:
+        p_zero = self.model.p_zero(context)
+        span = self._high - self._low + 1
+        mid = self._low + ((span * p_zero) >> _PROB_BITS) - 1
+        bit = 1 if self._value > mid else 0
+        if bit:
+            self._low = mid + 1
+        else:
+            self._high = mid
+        self.model.update(context, bit)
+        self._renormalize()
+        return bit
+
+    def _renormalize(self) -> None:
+        while True:
+            if self._high < _HALF:
+                pass
+            elif self._low >= _HALF:
+                self._low -= _HALF
+                self._high -= _HALF
+                self._value -= _HALF
+            elif self._low >= _QUARTER and self._high < _THREE_QUARTER:
+                self._low -= _QUARTER
+                self._high -= _QUARTER
+                self._value -= _QUARTER
+            else:
+                return
+            self._low = (self._low << 1) & _FULL
+            self._high = ((self._high << 1) | 1) & _FULL
+            self._value = ((self._value << 1) | self._next_bit()) & _FULL

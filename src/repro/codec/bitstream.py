@@ -1,0 +1,201 @@
+"""Bit-level stream writer/reader with MPEG-4 style startcodes.
+
+MPEG-4 bitstreams are hierarchies of byte-aligned sections delimited by
+unique 32-bit startcodes (``00 00 01 xx``); the decoder "reads a stream of
+bits looking for the unique bit patterns called startcodes that mark the
+divisions between different sections" (paper Section 2.1).  Section
+payloads are self-delimiting VLC, so a conforming decode always lands
+exactly on the stuffing that precedes the next startcode;
+``next_startcode`` is only ever invoked from such aligned positions.
+"""
+
+from __future__ import annotations
+
+# Startcode suffixes (the ``xx`` of ``00 00 01 xx``), loosely following
+# ISO/IEC 14496-2 value ranges.
+VO_STARTCODE = 0x05
+VOL_STARTCODE = 0x20
+VOP_STARTCODE = 0xB6
+USER_DATA_STARTCODE = 0xB2
+SEQUENCE_END_CODE = 0xB1
+#: Video-packet resync marker (error-resilience tool).
+RESYNC_STARTCODE = 0xB7
+
+STARTCODE_PREFIX = (0x00, 0x00, 0x01)
+
+
+class BitWriter:
+    """Append-only MSB-first bit sink."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bit_buffer = 0
+        self._bit_count = 0
+
+    def write_bits(self, value: int, n_bits: int) -> None:
+        """Write ``n_bits`` of ``value`` (MSB first)."""
+        if n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        if n_bits == 0:
+            return
+        if value < 0 or value >= (1 << n_bits):
+            raise ValueError(f"value {value} does not fit in {n_bits} bits")
+        self._bit_buffer = (self._bit_buffer << n_bits) | value
+        self._bit_count += n_bits
+        while self._bit_count >= 8:
+            self._bit_count -= 8
+            self._bytes.append((self._bit_buffer >> self._bit_count) & 0xFF)
+        self._bit_buffer &= (1 << self._bit_count) - 1
+
+    def write_bit(self, bit: int) -> None:
+        self.write_bits(bit & 1, 1)
+
+    def write_ue(self, value: int) -> None:
+        """Exponential-Golomb unsigned code (generic VLC for headers)."""
+        value = int(value)  # accept NumPy integers
+        if value < 0:
+            raise ValueError("write_ue takes non-negative values")
+        code = value + 1
+        length = code.bit_length()
+        self.write_bits(0, length - 1)
+        self.write_bits(code, length)
+
+    def write_se(self, value: int) -> None:
+        """Signed Exp-Golomb: 0, 1, -1, 2, -2, ... -> 0, 1, 2, 3, 4, ..."""
+        mapped = 2 * value - 1 if value > 0 else -2 * value
+        self.write_ue(mapped)
+
+    def byte_align(self) -> None:
+        """Stuff with a ``0`` then ``1``s to the byte boundary (MPEG-4 style)."""
+        self.write_bit(0)
+        while self._bit_count % 8:
+            self.write_bit(1)
+
+    def write_startcode(self, suffix: int) -> None:
+        self.byte_align()
+        for byte in STARTCODE_PREFIX:
+            self._bytes.append(byte)
+        self._bytes.append(suffix & 0xFF)
+
+    def getvalue(self) -> bytes:
+        """Finished byte string; flushes any partial byte with stuffing."""
+        if self._bit_count:
+            tail = BitWriter()
+            tail._bytes = bytearray(self._bytes)
+            tail._bit_buffer = self._bit_buffer
+            tail._bit_count = self._bit_count
+            tail.byte_align()
+            return bytes(tail._bytes)
+        return bytes(self._bytes)
+
+    @property
+    def bit_position(self) -> int:
+        return len(self._bytes) * 8 + self._bit_count
+
+    def __len__(self) -> int:
+        """Current whole bytes written (excluding any partial byte)."""
+        return len(self._bytes)
+
+
+class BitReader:
+    """MSB-first bit source with startcode scanning."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read_bits(self, n_bits: int) -> int:
+        if n_bits < 0:
+            raise ValueError("n_bits must be non-negative")
+        if n_bits > self.bits_remaining:
+            raise EOFError(f"requested {n_bits} bits, {self.bits_remaining} remain")
+        value = 0
+        pos = self._pos
+        data = self._data
+        for _ in range(n_bits):
+            byte = data[pos >> 3]
+            value = (value << 1) | ((byte >> (7 - (pos & 7))) & 1)
+            pos += 1
+        self._pos = pos
+        return value
+
+    def read_bit(self) -> int:
+        return self.read_bits(1)
+
+    def peek_bits(self, n_bits: int) -> int:
+        """Read without consuming; short reads at EOF are zero-padded."""
+        saved = self._pos
+        available = min(n_bits, self.bits_remaining)
+        value = self.read_bits(available)
+        self._pos = saved
+        return value << (n_bits - available)
+
+    def read_ue(self) -> int:
+        zeros = 0
+        while self.read_bit() == 0:
+            zeros += 1
+            if zeros > 64:
+                raise ValueError("malformed Exp-Golomb code")
+        value = 1
+        for _ in range(zeros):
+            value = (value << 1) | self.read_bit()
+        return value - 1
+
+    def read_se(self) -> int:
+        mapped = self.read_ue()
+        if mapped % 2:
+            return (mapped + 1) // 2
+        return -(mapped // 2)
+
+    def byte_align(self) -> None:
+        """Consume stuffing up to the next byte boundary.
+
+        Mirrors the writer's stuffing rule: a writer that was already
+        aligned emits a full ``0x7F`` stuffing byte (``0`` then seven
+        ``1`` s), so an aligned reader consumes exactly that byte when
+        present.
+        """
+        if self._pos % 8 == 0:
+            byte_pos = self._pos // 8
+            if byte_pos < len(self._data) and self._data[byte_pos] == 0x7F:
+                self._pos += 8
+            return
+        self._pos += 8 - (self._pos % 8)
+
+    def next_startcode(self) -> int | None:
+        """Scan forward to the next startcode; returns its suffix or None.
+
+        Leaves the position just after the 4-byte code.
+        """
+        self.byte_align()
+        data = self._data
+        byte_pos = self._pos // 8
+        end = len(data) - 3
+        while byte_pos < end:
+            if data[byte_pos] == 0 and data[byte_pos + 1] == 0 and data[byte_pos + 2] == 1:
+                self._pos = (byte_pos + 4) * 8
+                return data[byte_pos + 3]
+            byte_pos += 1
+        self._pos = len(data) * 8
+        return None
+
+    def at_startcode(self) -> bool:
+        """True if the (aligned) position sits exactly on a startcode prefix."""
+        if self._pos % 8:
+            return False
+        byte_pos = self._pos // 8
+        return self._data[byte_pos : byte_pos + 3] == b"\x00\x00\x01"
+
+    def seek_bits(self, bit_position: int) -> None:
+        """Reposition the reader (used by error-resilient re-sync)."""
+        if not 0 <= bit_position <= len(self._data) * 8:
+            raise ValueError(f"bit position {bit_position} outside stream")
+        self._pos = bit_position

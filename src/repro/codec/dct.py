@@ -1,0 +1,65 @@
+"""8x8 discrete cosine transform.
+
+"Texture is coded separately by a discrete cosine transform (DCT) scheme"
+(paper Section 2.1).  The reference software uses a double-precision
+separable DCT; we implement the orthonormal type-II DCT as two 8x8 matrix
+products, vectorized over arbitrarily many blocks at once.  Forward and
+inverse are exact inverses up to floating-point rounding, which the
+round-trip and energy-conservation property tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+BLOCK = 8
+
+
+def _basis_matrix() -> np.ndarray:
+    matrix = np.empty((BLOCK, BLOCK), dtype=np.float64)
+    for k in range(BLOCK):
+        scale = math.sqrt(1.0 / BLOCK) if k == 0 else math.sqrt(2.0 / BLOCK)
+        for n in range(BLOCK):
+            matrix[k, n] = scale * math.cos(math.pi * (2 * n + 1) * k / (2 * BLOCK))
+    return matrix
+
+
+_C = _basis_matrix()
+_CT = _C.T.copy()
+
+
+def forward_dct(blocks: np.ndarray) -> np.ndarray:
+    """Type-II DCT of ``(..., 8, 8)`` pixel blocks (any leading shape)."""
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.shape[-2:] != (BLOCK, BLOCK):
+        raise ValueError(f"expected trailing 8x8 blocks, got {blocks.shape}")
+    return _C @ blocks @ _CT
+
+
+def inverse_dct(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse DCT; returns float blocks (caller rounds/clips)."""
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape[-2:] != (BLOCK, BLOCK):
+        raise ValueError(f"expected trailing 8x8 blocks, got {coefficients.shape}")
+    return _CT @ coefficients @ _C
+
+
+def blocks_from_plane(plane: np.ndarray) -> np.ndarray:
+    """Tile a plane into raster-ordered 8x8 blocks: ``(rows, cols, 8, 8)``."""
+    height, width = plane.shape
+    if height % BLOCK or width % BLOCK:
+        raise ValueError(f"plane {width}x{height} not a multiple of {BLOCK}")
+    return (
+        plane.reshape(height // BLOCK, BLOCK, width // BLOCK, BLOCK)
+        .swapaxes(1, 2)
+    )
+
+
+def plane_from_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`blocks_from_plane`."""
+    rows, cols, b1, b2 = blocks.shape
+    if (b1, b2) != (BLOCK, BLOCK):
+        raise ValueError(f"expected 8x8 blocks, got {blocks.shape}")
+    return blocks.swapaxes(1, 2).reshape(rows * BLOCK, cols * BLOCK)

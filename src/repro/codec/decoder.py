@@ -1,0 +1,626 @@
+"""MPEG-4 visual decoder (one video object layer).
+
+Mirrors :mod:`repro.codec.encoder` exactly.  The decoder "reads a stream
+of bits looking for the unique bit patterns called startcodes" (paper
+Section 2.1), follows the encoder's coded order (I, P, B1, B2, ...), and
+reorders reconstructed VOPs back into display order -- the out-of-order
+decode that "increases the performance and storage requirements for
+real-time playback".
+
+The macroblock decode loop is the paper's
+``DecodeVopCombMotionShapeTexture()``; it carries the ``vop_decode``
+trace phase for the Table 8 burstiness experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec import vlc
+from repro.codec.bitstream import (
+    RESYNC_STARTCODE,
+    SEQUENCE_END_CODE,
+    VO_STARTCODE,
+    VOL_STARTCODE,
+    VOP_STARTCODE,
+    BitReader,
+)
+from repro.codec.dct import inverse_dct
+from repro.codec.encoder import LUMA_BLOCK_OFFSETS
+from repro.codec.framestore import BORDER, FrameStore
+from repro.codec.motion import MotionVector, PredictionMode, ZERO_MV, compensate, median_mv
+from repro.codec.padding import repetitive_pad
+from repro.codec.predict import DEFAULT_DC, FROM_ABOVE, AcDcPredictor
+from repro.codec.quant import dequantize_any, events_to_levels, inverse_zigzag_scan
+from repro.codec.shape import decode_shape_plane
+from repro.codec.types import VopStats, VopType
+from repro.video.yuv import MB_SIZE, YuvFrame
+
+
+@dataclass
+class DecodedSequence:
+    """Decoder output, reordered to display order."""
+
+    frames: list[YuvFrame]
+    masks: list[np.ndarray] | None
+    vop_stats: list[VopStats] = field(default_factory=list)  # coded order
+    width: int = 0
+    height: int = 0
+
+
+class VopDecoder:
+    """Decoder for one video object layer's bitstream."""
+
+    def __init__(
+        self,
+        recorder=None,
+        stream_name: str = "dec.vo0.vol0",
+        walk_tables: bool = True,
+    ) -> None:
+        self.walk_tables = walk_tables
+        self._rec = recorder
+        self._tk = None
+        if recorder is not None:
+            from repro.trace import kernels
+
+            self._tk = kernels
+        self._stream_name = stream_name
+        self.width = 0
+        self.height = 0
+        self.arbitrary_shape = False
+        self._anchors: list[FrameStore] = []
+        self._anchor_display = [-1, -1]
+        self._next_anchor_slot = 0
+        self._bwork: FrameStore | None = None
+        self._stream_region = None
+        self._output_region = None
+
+    def decode_sequence(
+        self, data: bytes, tolerate_errors: bool = False
+    ) -> DecodedSequence:
+        """Decode a full VOL bitstream produced by the encoder.
+
+        With ``tolerate_errors=True`` (and a stream coded with resync
+        markers), bitstream corruption inside a video packet loses only
+        that packet: the decoder scans to the next resync marker and
+        conceals the lost macroblock rows from the reference frame.
+        """
+        self._tolerate_errors = tolerate_errors
+        reader = BitReader(data)
+        n_frames = self._read_headers(reader)
+        self._allocate_stores()
+        frames: dict[int, YuvFrame] = {}
+        masks: dict[int, np.ndarray] = {}
+        stats: list[VopStats] = []
+        coded_index = 0
+        while True:
+            suffix = reader.next_startcode()
+            if suffix is None or suffix == SEQUENCE_END_CODE:
+                break
+            if suffix != VOP_STARTCODE:
+                if tolerate_errors:
+                    continue  # skip unexpected sections, keep scanning
+                raise ValueError(f"unexpected startcode 0x{suffix:02x} in VOL stream")
+            try:
+                frame, mask, vop_stats = self._decode_vop(reader, coded_index)
+            except Exception:
+                if not tolerate_errors:
+                    raise
+                # The VOP header itself was damaged: drop the whole VOP
+                # (concealed below) and resynchronize at the next section.
+                coded_index += 1
+                continue
+            frames[vop_stats.display_index] = frame
+            if mask is not None:
+                masks[vop_stats.display_index] = mask
+            stats.append(vop_stats)
+            coded_index += 1
+        if len(frames) != n_frames:
+            if not tolerate_errors:
+                raise ValueError(f"expected {n_frames} VOPs, decoded {len(frames)}")
+            self._conceal_missing_frames(frames, n_frames)
+        return DecodedSequence(
+            frames=[frames[i] for i in sorted(frames)],
+            masks=[masks[i] for i in sorted(masks)] if masks else None,
+            vop_stats=stats,
+            width=self.width,
+            height=self.height,
+        )
+
+    def _conceal_missing_frames(self, frames: dict, n_frames: int) -> None:
+        """Whole-VOP concealment: repeat the nearest decoded frame (or
+        emit mid-grey when nothing decoded at all)."""
+        for display in range(n_frames):
+            if display in frames:
+                continue
+            earlier = [d for d in frames if d < display]
+            later = [d for d in frames if d > display]
+            if earlier:
+                frames[display] = frames[max(earlier)].copy()
+            elif later:
+                frames[display] = frames[min(later)].copy()
+            else:
+                frames[display] = YuvFrame.blank(self.width, self.height)
+
+    # -- headers / allocation --------------------------------------------------
+
+    def _read_headers(self, reader: BitReader) -> int:
+        if reader.next_startcode() != VO_STARTCODE:
+            raise ValueError("missing VO startcode")
+        self.vo_id = reader.read_ue()
+        if reader.next_startcode() != VOL_STARTCODE:
+            raise ValueError("missing VOL startcode")
+        self.vol_id = reader.read_ue()
+        self.width = reader.read_ue()
+        self.height = reader.read_ue()
+        self.arbitrary_shape = bool(reader.read_bit())
+        self.quant_method = reader.read_bits(2)
+        self.resync_markers = bool(reader.read_bit())
+        return reader.read_ue()
+
+    def _allocate_stores(self) -> None:
+        rec = self._rec
+        name = self._stream_name
+        self._anchors = [
+            FrameStore(self.width, self.height, f"{name}.anchor0", rec),
+            FrameStore(self.width, self.height, f"{name}.anchor1", rec),
+        ]
+        self._bwork = FrameStore(self.width, self.height, f"{name}.bvop", rec)
+        self._alpha_region = None
+        if rec is not None:
+            frame_bytes = self.width * self.height * 3 // 2
+            self._stream_region = rec.map_linear(f"{name}.bitstream", frame_bytes * 64)
+            if self.arbitrary_shape:
+                self._alpha_region = rec.map_linear(
+                    f"{name}.alpha", self.width * self.height
+                )
+            frame_bytes = self.width * self.height * 3 // 2
+            self._aux_ring = [
+                rec.map_linear(f"{name}.aux{i}", frame_bytes) for i in range(3)
+            ]
+            self._tables_region = (
+                rec.map_linear(f"{name}.tables", 1536 << 10)
+                if self.walk_tables
+                else None
+            )
+            rec.configure_rows(self.height // MB_SIZE)
+
+    # -- VOP layer ----------------------------------------------------------------
+
+    def _decode_vop(self, reader: BitReader, coded_index: int):
+        rec = self._rec
+        bits_before = reader.bit_position
+        vop_type = VopType(reader.read_bits(2))
+        display = reader.read_ue()
+        qp = reader.read_bits(5)
+        vop_stats = VopStats(
+            vop_type=vop_type, display_index=display, coded_index=coded_index, qp=qp
+        )
+        if rec is not None:
+            rec.begin_vop(coded_index, vop_type.name, display)
+            rec.push_phase("vop_decode")
+            if self._tables_region is not None:
+                self._tk.metadata_walk(rec, self._tables_region)
+
+        mask = None
+        if self.arbitrary_shape:
+            mask = decode_shape_plane(reader, self.width, self.height)
+            if rec is not None:
+                from repro.codec.shape import ShapeStats
+
+                tiled = mask.reshape(self.height // 16, 16, self.width // 16, 16)
+                boundary = int(
+                    (tiled.any(axis=(1, 3)) != tiled.all(axis=(1, 3))).sum()
+                )
+                stats = ShapeStats(coded_babs=boundary, coded_pixels=boundary * 256)
+                self._tk.shape_code(rec, self._alpha_region, stats, decode=True)
+
+        past, future = self._references(display, vop_type)
+        if vop_type is VopType.B:
+            recon_store = self._bwork
+        else:
+            slot = self._next_anchor_slot
+            recon_store = self._anchors[slot]
+            self._anchor_display[slot] = display
+            self._next_anchor_slot = 1 - slot
+
+        self._decode_macroblocks(reader, vop_type, qp, mask, past, future, recon_store, vop_stats)
+        if rec is not None:
+            rec.resume_vop_scope()
+
+        recon_store.expand_borders()
+        if rec is not None:
+            self._tk.border_expand(rec, recon_store.fmap, self.width, self.height)
+        if self.arbitrary_shape and vop_type is not VopType.B:
+            self._pad_store(recon_store, mask)
+            recon_store.expand_borders()
+
+        frame = recon_store.to_frame()
+        if rec is not None:
+            # Buffer hand-offs inside the decode pipeline...
+            self._tk.vop_pipeline_overhead(
+                rec, recon_store.fmap, self._aux_ring, coded_index, None,
+                self.width, self.height, n_copies=1,
+            )
+            rec.pop_phase()
+            self._tk.stream_read(
+                rec, self._stream_region, (reader.bit_position - bits_before + 7) // 8
+            )
+            # ...and the display-order output read.  Out-of-temporal-order
+            # decoding means the frame displayed now was usually decoded
+            # several VOPs ago (paper Section 2.1: reordering "increases
+            # the performance and storage requirements for real-time
+            # playback"), so the display read targets an older ring bank.
+            # The write side of the file/display hand-off happens in the
+            # kernel, uncounted.
+            display_bank = self._aux_ring[(coded_index + 1) % len(self._aux_ring)]
+            self._tk.plane_read(rec, display_bank, self.width, self.height)
+        vop_stats.bits = reader.bit_position - bits_before
+        return frame, mask, vop_stats
+
+    def _references(self, display: int, vop_type: VopType):
+        if vop_type is VopType.I:
+            return None, None
+        known = [d for d in self._anchor_display if 0 <= d]
+        if vop_type is VopType.P:
+            past_display = max(d for d in known if d < display)
+            return self._anchors[self._anchor_display.index(past_display)], None
+        past_display = max(d for d in known if d < display)
+        future_display = min(d for d in known if d > display)
+        return (
+            self._anchors[self._anchor_display.index(past_display)],
+            self._anchors[self._anchor_display.index(future_display)],
+        )
+
+    def _pad_store(self, store: FrameStore, mask: np.ndarray) -> None:
+        store.interior_y[:] = repetitive_pad(store.interior_y, mask)
+        chroma_mask = mask[::2, ::2]
+        store.interior_u[:] = repetitive_pad(store.interior_u, chroma_mask)
+        store.interior_v[:] = repetitive_pad(store.interior_v, chroma_mask)
+        if self._rec is not None:
+            self._tk.padding_pass(self._rec, store.fmap, self.width, self.height)
+
+    # -- macroblock layer -----------------------------------------------------------
+
+    def _decode_macroblocks(
+        self, reader, vop_type, qp, mask, past, future, recon_store, vop_stats
+    ) -> None:
+        mb_rows = self.height // MB_SIZE
+        mb_cols = self.width // MB_SIZE
+        dc_preds = self._make_dc_predictors(vop_type)
+        mv_grid = [[ZERO_MV] * mb_cols for _ in range(mb_rows)]
+        row = 0
+        while row < mb_rows:
+            try:
+                if self.resync_markers and row > 0:
+                    suffix = reader.next_startcode()
+                    if suffix != RESYNC_STARTCODE:
+                        raise ValueError(
+                            f"expected resync marker before row {row}, got {suffix}"
+                        )
+                    marker_row = reader.read_ue()
+                    qp = reader.read_bits(5)
+                    if marker_row != row:
+                        raise ValueError(
+                            f"resync marker row {marker_row} != expected {row}"
+                        )
+                    if dc_preds is not None:
+                        dc_preds = self._make_dc_predictors(vop_type)
+                if self._rec is not None:
+                    self._rec.begin_mb_row(row)
+                self._decode_mb_row(
+                    reader, vop_type, qp, mask, past, future, recon_store,
+                    vop_stats, dc_preds, mv_grid, row,
+                )
+            except Exception:
+                if not getattr(self, "_tolerate_errors", False):
+                    raise
+                vop_stats.lost_packets += 1
+                self._conceal_row(row, vop_type, past, recon_store)
+                resumed = self._scan_to_resync(reader)
+                if resumed is None:
+                    for lost in range(row + 1, mb_rows):
+                        vop_stats.lost_packets += 1
+                        self._conceal_row(lost, vop_type, past, recon_store)
+                    return
+                next_row, _ = resumed
+                for lost in range(row + 1, min(next_row, mb_rows)):
+                    vop_stats.lost_packets += 1
+                    self._conceal_row(lost, vop_type, past, recon_store)
+                # The scan left the reader positioned at the marker; the
+                # loop top re-parses it (and re-enters error handling if
+                # that packet is corrupt too).
+                row = next_row
+                continue
+            row += 1
+
+    def _decode_mb_row(
+        self, reader, vop_type, qp, mask, past, future, recon_store,
+        vop_stats, dc_preds, mv_grid, row,
+    ) -> None:
+        mb_cols = self.width // MB_SIZE
+        pred_fwd = ZERO_MV
+        pred_bwd = ZERO_MV
+        for col in range(mb_cols):
+            mb_y = row * MB_SIZE
+            mb_x = col * MB_SIZE
+            if mask is not None and not mask[
+                mb_y : mb_y + MB_SIZE, mb_x : mb_x + MB_SIZE
+            ].any():
+                vop_stats.transparent_mbs += 1
+                continue
+            if vop_type is VopType.I:
+                self._decode_intra_mb(
+                    reader, qp, mb_y, mb_x, recon_store, dc_preds, row, col, vop_stats
+                )
+            elif vop_type is VopType.P:
+                self._decode_p_mb(
+                    reader, qp, mb_y, mb_x, past, recon_store, mv_grid, row, col, vop_stats
+                )
+            else:
+                pred_fwd, pred_bwd = self._decode_b_mb(
+                    reader, qp, mb_y, mb_x, past, future, recon_store,
+                    pred_fwd, pred_bwd, vop_stats,
+                )
+
+    def _conceal_row(self, row, vop_type, past, recon_store) -> None:
+        """Error concealment for a lost packet: copy the strip from the
+        past reference (inter VOPs) or fill mid-grey (intra VOPs)."""
+        y0 = BORDER + row * MB_SIZE
+        cy0 = BORDER + row * MB_SIZE // 2
+        if vop_type is not VopType.I and past is not None:
+            recon_store.y[y0 : y0 + MB_SIZE, :] = past.y[y0 : y0 + MB_SIZE, :]
+            recon_store.u[cy0 : cy0 + 8, :] = past.u[cy0 : cy0 + 8, :]
+            recon_store.v[cy0 : cy0 + 8, :] = past.v[cy0 : cy0 + 8, :]
+        else:
+            recon_store.y[y0 : y0 + MB_SIZE, :] = 128
+            recon_store.u[cy0 : cy0 + 8, :] = 128
+            recon_store.v[cy0 : cy0 + 8, :] = 128
+
+    def _scan_to_resync(self, reader):
+        """Scan forward to the next resync marker inside this VOP.
+
+        Returns ``(row, qp)``, or None when the VOP (or stream) ends first
+        -- in which case the terminating startcode is left unconsumed for
+        the caller.
+        """
+        while True:
+            suffix = reader.next_startcode()
+            if suffix is None:
+                return None
+            if suffix in (VOP_STARTCODE, SEQUENCE_END_CODE, VO_STARTCODE, VOL_STARTCODE):
+                reader.seek_bits(reader.bit_position - 32)
+                return None
+            if suffix == RESYNC_STARTCODE:
+                marker_start = reader.bit_position - 32
+                try:
+                    row = reader.read_ue()
+                    qp = reader.read_bits(5)
+                except (EOFError, ValueError):
+                    continue
+                if 0 < row < self.height // MB_SIZE and 1 <= qp <= 31:
+                    reader.seek_bits(marker_start)
+                    return row, qp
+
+    def _make_dc_predictors(self, vop_type):
+        if vop_type is not VopType.I:
+            return None
+        mb_rows = self.height // MB_SIZE
+        mb_cols = self.width // MB_SIZE
+        return {
+            "y": AcDcPredictor(2 * mb_rows, 2 * mb_cols),
+            "u": AcDcPredictor(mb_rows, mb_cols),
+            "v": AcDcPredictor(mb_rows, mb_cols),
+        }
+
+    def _scatter_mb(self, store, mb_y, mb_x, blocks) -> None:
+        y0 = BORDER + mb_y
+        x0 = BORDER + mb_x
+        cy0 = BORDER + mb_y // 2
+        cx0 = BORDER + mb_x // 2
+        pixels = np.clip(np.rint(blocks), 0, 255).astype(np.uint8)
+        for index, (by, bx) in enumerate(LUMA_BLOCK_OFFSETS):
+            store.y[y0 + by : y0 + by + 8, x0 + bx : x0 + bx + 8] = pixels[index]
+        store.u[cy0 : cy0 + 8, cx0 : cx0 + 8] = pixels[4]
+        store.v[cy0 : cy0 + 8, cx0 : cx0 + 8] = pixels[5]
+
+    def _predict_mb(self, store_ref, mb_y, mb_x, mv) -> np.ndarray:
+        y0 = BORDER + mb_y
+        x0 = BORDER + mb_x
+        luma = compensate(store_ref.y, y0, x0, mv, MB_SIZE)
+        cmv = mv.chroma()
+        cy0 = BORDER + mb_y // 2
+        cx0 = BORDER + mb_x // 2
+        u = compensate(store_ref.u, cy0, cx0, cmv, 8)
+        v = compensate(store_ref.v, cy0, cx0, cmv, 8)
+        prediction = np.empty((6, 8, 8), dtype=np.float64)
+        for index, (by, bx) in enumerate(LUMA_BLOCK_OFFSETS):
+            prediction[index] = luma[by : by + 8, bx : bx + 8]
+        prediction[4] = u
+        prediction[5] = v
+        if self._rec is not None:
+            self._tk.mc_mb(self._rec, store_ref.fmap, mb_y, mb_x, mv.dx | mv.dy)
+        return prediction
+
+    def _read_residual_levels(self, reader, cbp) -> tuple[np.ndarray, int]:
+        """Inter-coded residual levels for the six blocks; returns (levels, events)."""
+        levels = np.zeros((6, 8, 8), dtype=np.int32)
+        n_events = 0
+        for index in range(6):
+            if not cbp & (1 << (5 - index)):
+                continue
+            events = self._read_events(reader)
+            n_events += len(events)
+            levels[index] = inverse_zigzag_scan(events_to_levels(events))
+        return levels, n_events
+
+    @staticmethod
+    def _read_events(reader) -> list[tuple[int, int, int]]:
+        events = []
+        while True:
+            last, run, level = vlc.decode_coefficient_event(reader)
+            events.append((last, run, level))
+            if last:
+                return events
+
+    def _decode_intra_mb(
+        self, reader, qp, mb_y, mb_x, recon_store, dc_preds, row, col, vop_stats,
+        inter_allowed: bool = False, header=None,
+    ) -> None:
+        if header is None:
+            header = vlc.decode_macroblock_header(reader, inter_allowed)
+        use_ac_pred = bool(reader.read_bit()) if dc_preds is not None else False
+        levels = np.zeros((6, 8, 8), dtype=np.int32)
+        n_events = 6
+        for index in range(6):
+            dc_diff = reader.read_se()
+            grid = self._block_grid(dc_preds, index, row, col)
+            if grid is None:
+                predicted, direction = DEFAULT_DC, FROM_ABOVE
+                predictor = None
+            else:
+                predictor, block_row, block_col = grid
+                predicted, direction = predictor.predict_with_direction(
+                    block_row, block_col
+                )
+            dc = predicted + dc_diff
+            scanned = np.zeros(64, dtype=np.int32)
+            if header.cbp & (1 << (5 - index)):
+                events = self._read_events(reader)
+                n_events += len(events)
+                scanned[1:] = events_to_levels(events, length=63)
+            block = inverse_zigzag_scan(scanned)
+            if use_ac_pred and predictor is not None:
+                predicted_ac = predictor.predict_ac(block_row, block_col, direction)
+                if direction == FROM_ABOVE:
+                    block[0, 1:8] += predicted_ac
+                else:
+                    block[1:8, 0] += predicted_ac
+            block[0, 0] = dc
+            levels[index] = block
+            if predictor is not None:
+                predictor.store(block_row, block_col, dc)
+                predictor.store_ac(block_row, block_col, block[0, 1:8], block[1:8, 0])
+        recon = np.clip(
+            inverse_dct(dequantize_any(levels, qp, True, self.quant_method)), 0, 255
+        )
+        self._scatter_mb(recon_store, mb_y, mb_x, recon)
+        vop_stats.intra_mbs += 1
+        vop_stats.coded_coefficients += n_events
+        if self._rec is not None:
+            self._tk.mb_texture(
+                self._rec, "intra_dec", None, recon_store.fmap, mb_y, mb_x,
+                n_coded_blocks=6, n_events=n_events,
+            )
+
+    @staticmethod
+    def _block_grid(dc_preds, index, row, col):
+        """(predictor, block_row, block_col) for block ``index``, or None."""
+        if dc_preds is None:
+            return None
+        if index < 4:
+            by, bx = divmod(index, 2)
+            return dc_preds["y"], 2 * row + by, 2 * col + bx
+        return dc_preds["u" if index == 4 else "v"], row, col
+
+    def _decode_p_mb(
+        self, reader, qp, mb_y, mb_x, past, recon_store, mv_grid, row, col, vop_stats
+    ) -> None:
+        header = vlc.decode_macroblock_header(reader, inter_allowed=True)
+        if header.is_skipped:
+            prediction = self._predict_mb(past, mb_y, mb_x, ZERO_MV)
+            self._scatter_mb(recon_store, mb_y, mb_x, prediction)
+            vop_stats.skipped_mbs += 1
+            mv_grid[row][col] = ZERO_MV
+            return
+        if header.is_intra:
+            self._decode_intra_mb(
+                reader, qp, mb_y, mb_x, recon_store, None, row, col, vop_stats,
+                inter_allowed=True, header=header,
+            )
+            mv_grid[row][col] = ZERO_MV
+            return
+        predictor = self._mv_predictor(
+            mv_grid, row, col, cross_row=not self.resync_markers
+        )
+        dx = vlc.decode_mv_component(reader)
+        dy = vlc.decode_mv_component(reader)
+        mv = MotionVector(predictor.dx + dx, predictor.dy + dy)
+        mv_grid[row][col] = mv
+        levels, n_events = self._read_residual_levels(reader, header.cbp)
+        prediction = self._predict_mb(past, mb_y, mb_x, mv)
+        recon = prediction + inverse_dct(
+            dequantize_any(levels, qp, False, self.quant_method)
+        )
+        self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))
+        vop_stats.inter_mbs += 1
+        vop_stats.coded_coefficients += n_events
+        if self._rec is not None:
+            self._tk.mb_texture(
+                self._rec, "inter_dec", None, recon_store.fmap, mb_y, mb_x,
+                n_coded_blocks=bin(header.cbp).count("1"), n_events=n_events,
+            )
+
+    @staticmethod
+    def _mv_predictor(mv_grid, row, col, cross_row: bool = True) -> MotionVector:
+        left = mv_grid[row][col - 1] if col > 0 else ZERO_MV
+        above = mv_grid[row - 1][col] if row > 0 and cross_row else ZERO_MV
+        if row > 0 and cross_row and col + 1 < len(mv_grid[0]):
+            above_right = mv_grid[row - 1][col + 1]
+        else:
+            above_right = ZERO_MV
+        return median_mv(left, above, above_right)
+
+    def _decode_b_mb(
+        self, reader, qp, mb_y, mb_x, past, future, recon_store,
+        pred_fwd, pred_bwd, vop_stats,
+    ):
+        header = vlc.decode_macroblock_header(reader, inter_allowed=True)
+        if header.is_skipped:
+            prediction_f = self._predict_mb(past, mb_y, mb_x, ZERO_MV)
+            prediction_b = self._predict_mb(future, mb_y, mb_x, ZERO_MV)
+            prediction = (prediction_f + prediction_b + 1.0) // 2
+            self._scatter_mb(recon_store, mb_y, mb_x, prediction)
+            vop_stats.skipped_mbs += 1
+            return pred_fwd, pred_bwd
+        if header.is_intra:
+            self._decode_intra_mb(
+                reader, qp, mb_y, mb_x, recon_store, None, 0, 0, vop_stats,
+                inter_allowed=True, header=header,
+            )
+            return pred_fwd, pred_bwd
+        mode = PredictionMode(reader.read_bits(2))
+        mv_f = mv_b = None
+        if mode in (PredictionMode.FORWARD, PredictionMode.BIDIRECTIONAL):
+            dx = vlc.decode_mv_component(reader)
+            dy = vlc.decode_mv_component(reader)
+            mv_f = MotionVector(pred_fwd.dx + dx, pred_fwd.dy + dy)
+            pred_fwd = mv_f
+        if mode in (PredictionMode.BACKWARD, PredictionMode.BIDIRECTIONAL):
+            dx = vlc.decode_mv_component(reader)
+            dy = vlc.decode_mv_component(reader)
+            mv_b = MotionVector(pred_bwd.dx + dx, pred_bwd.dy + dy)
+            pred_bwd = mv_b
+        levels, n_events = self._read_residual_levels(reader, header.cbp)
+        if mode is PredictionMode.FORWARD:
+            prediction = self._predict_mb(past, mb_y, mb_x, mv_f)
+        elif mode is PredictionMode.BACKWARD:
+            prediction = self._predict_mb(future, mb_y, mb_x, mv_b)
+        else:
+            prediction_f = self._predict_mb(past, mb_y, mb_x, mv_f)
+            prediction_b = self._predict_mb(future, mb_y, mb_x, mv_b)
+            prediction = (prediction_f + prediction_b + 1.0) // 2
+        recon = prediction + inverse_dct(
+            dequantize_any(levels, qp, False, self.quant_method)
+        )
+        self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))
+        vop_stats.inter_mbs += 1
+        vop_stats.coded_coefficients += n_events
+        if self._rec is not None:
+            self._tk.mb_texture(
+                self._rec, "inter_dec", None, recon_store.fmap, mb_y, mb_x,
+                n_coded_blocks=bin(header.cbp).count("1"), n_events=n_events,
+            )
+        return pred_fwd, pred_bwd

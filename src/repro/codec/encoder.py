@@ -1,0 +1,798 @@
+"""MPEG-4 visual encoder (one video object layer).
+
+Structure follows the MoMuSys reference encoder that the paper measures:
+
+- sequence layer: VO/VOL headers, GOP scheduling with out-of-temporal-order
+  coding of B-VOPs (display ``I B1 B2 P`` codes as ``I P B1 B2``);
+- VOP layer (``VopCode()`` in MoMuSys, phase ``vop_encode`` in our traces):
+  optional binary shape coding, then the macroblock loop;
+- macroblock layer: full-search motion estimation with half-pel refinement
+  against the expanded past (and, for B-VOPs, future) reference stores,
+  intra/inter mode decision, 8x8 DCT + quantization + zigzag + run-level
+  VLC of texture, motion-vector prediction and coding, reconstruction.
+
+Every kernel call site has a trace hook (``self._rec``); with no recorder
+attached the encoder runs pure NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec import vlc
+from repro.codec.bitstream import (
+    RESYNC_STARTCODE,
+    SEQUENCE_END_CODE,
+    VO_STARTCODE,
+    VOL_STARTCODE,
+    VOP_STARTCODE,
+    BitWriter,
+)
+from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.framestore import BORDER, FrameStore
+from repro.codec.motion import (
+    MotionVector,
+    PredictionMode,
+    ZERO_MV,
+    compensate,
+    full_search,
+    half_pel_refine,
+    intra_inter_decision,
+    median_mv,
+)
+from repro.codec.padding import repetitive_pad
+from repro.codec.predict import (
+    AC_LINE,
+    DEFAULT_DC,
+    FROM_ABOVE,
+    AcDcPredictor,
+    DcPredictor,
+)
+from repro.codec.quant import (
+    dequantize_any,
+    quantize_any,
+    run_level_events,
+    zigzag_scan,
+)
+from repro.codec.ratecontrol import make_controller
+from repro.codec.shape import encode_shape_plane
+from repro.codec.types import CodecConfig, SequenceStats, VopStats, VopType, coding_order
+from repro.video.quality import psnr
+from repro.video.yuv import MB_SIZE, YuvFrame
+
+#: Offsets of the four 8x8 luma blocks inside a macroblock, in block order.
+LUMA_BLOCK_OFFSETS = ((0, 0), (0, 8), (8, 0), (8, 8))
+
+
+@dataclass
+class EncodedSequence:
+    """Encoder output: the bitstream plus reconstructions and statistics."""
+
+    data: bytes
+    config: CodecConfig
+    stats: SequenceStats
+    reconstructions: list[YuvFrame] = field(default_factory=list)  # display order
+    masks: list[np.ndarray] | None = None
+
+    @property
+    def total_bits(self) -> int:
+        return len(self.data) * 8
+
+
+class VopEncoder:
+    """Encoder for one video object layer."""
+
+    def __init__(
+        self,
+        config: CodecConfig,
+        recorder=None,
+        stream_name: str = "vo0.vol0",
+        vo_id: int = 0,
+        vol_id: int = 0,
+        walk_tables: bool = True,
+    ) -> None:
+        self.config = config
+        self.vo_id = vo_id
+        self.vol_id = vol_id
+        # The table/metadata working set is per *process*, not per VOL:
+        # only the primary (full-frame, base-layer) codec instance walks
+        # it, once per frame -- auxiliary VOs and enhancement layers share
+        # the same structures in the reference software.
+        self.walk_tables = walk_tables
+        self._rec = recorder
+        self._tk = None
+        if recorder is not None:
+            from repro.trace import kernels
+
+            self._tk = kernels
+        name = stream_name
+        self._cur = FrameStore(config.width, config.height, f"{name}.cur", recorder)
+        self._anchors = [
+            FrameStore(config.width, config.height, f"{name}.anchor0", recorder),
+            FrameStore(config.width, config.height, f"{name}.anchor1", recorder),
+        ]
+        self._bwork = FrameStore(config.width, config.height, f"{name}.bvop", recorder)
+        self._stream_region = None
+        self._input_region = None
+        self._alpha_region = None
+        if recorder is not None:
+            frame_bytes = config.width * config.height * 3 // 2
+            self._stream_region = recorder.map_linear(f"{name}.bitstream", frame_bytes * 64)
+            self._input_region = recorder.map_linear(f"{name}.input", frame_bytes)
+            if config.arbitrary_shape:
+                self._alpha_region = recorder.map_linear(
+                    f"{name}.alpha", config.width * config.height
+                )
+            self._aux_ring = [
+                recorder.map_linear(f"{name}.aux{i}", frame_bytes) for i in range(3)
+            ]
+            self._tables_region = (
+                recorder.map_linear(f"{name}.tables", 1536 << 10)
+                if walk_tables
+                else None
+            )
+            self._interp_region = recorder.map_linear(
+                f"{name}.interp", 4 * config.width * config.height
+            )
+            recorder.configure_rows(config.mb_rows)
+        # Anchor bookkeeping: display indices of the two anchor stores.
+        self._anchor_display = [-1, -1]
+        self._next_anchor_slot = 0
+        self._controller = make_controller(config)
+
+    # -- public API ----------------------------------------------------------
+
+    def encode_sequence(
+        self, frames: list[YuvFrame], masks: list[np.ndarray] | None = None
+    ) -> EncodedSequence:
+        """Encode frames (display order); returns the bitstream + stats.
+
+        ``masks`` (binary alpha planes, one per frame) are required when the
+        configuration uses arbitrary shape.
+        """
+        self.begin_sequence(frames, masks)
+        while self.encode_next() is not None:
+            pass
+        return self.finish_sequence()
+
+    def begin_sequence(
+        self, frames: list[YuvFrame], masks: list[np.ndarray] | None = None
+    ) -> None:
+        """Start an incremental encode (used to interleave multiple VOs).
+
+        Call :meth:`encode_next` once per scheduled VOP, then
+        :meth:`finish_sequence`.
+        """
+        config = self.config
+        if config.arbitrary_shape and masks is None:
+            raise ValueError("arbitrary-shape VOLs need per-frame alpha masks")
+        for frame in frames:
+            if (frame.width, frame.height) != (config.width, config.height):
+                raise ValueError("all frames must match the configured dimensions")
+        self._frames = frames
+        self._masks = masks
+        self._writer = BitWriter()
+        self._write_headers(self._writer, n_frames=len(frames))
+        self._schedule = coding_order(len(frames), config.gop_size, config.m_distance)
+        self._schedule_pos = 0
+        self._seq_stats = SequenceStats()
+        self._recons: dict[int, YuvFrame] = {}
+        self._out_masks: dict[int, np.ndarray] = {}
+
+    def encode_next(self) -> VopStats | None:
+        """Encode the next scheduled VOP; None when the schedule is done."""
+        if self._schedule_pos >= len(self._schedule):
+            return None
+        coded_index = self._schedule_pos
+        display, vop_type = self._schedule[coded_index]
+        self._schedule_pos += 1
+        mask = self._masks[display] if self._masks is not None else None
+        vop_stats = self._encode_vop(
+            self._writer, self._frames[display], mask, vop_type, display, coded_index
+        )
+        self._seq_stats.vops.append(vop_stats)
+        store = self._store_for(display, vop_type)
+        recon = store.to_frame()
+        if self.config.arbitrary_shape:
+            self._out_masks[display] = mask.copy()
+        self._recons[display] = recon
+        vop_stats.psnr_y = psnr(self._frames[display].y, recon.y)
+        return vop_stats
+
+    def finish_sequence(self) -> EncodedSequence:
+        """Terminate the stream and collect the results."""
+        if self._schedule_pos < len(self._schedule):
+            raise RuntimeError(
+                f"{len(self._schedule) - self._schedule_pos} VOPs still unscheduled"
+            )
+        self._writer.write_startcode(SEQUENCE_END_CODE)
+        data = self._writer.getvalue()
+        recons = self._recons
+        out_masks = self._out_masks
+        return EncodedSequence(
+            data=data,
+            config=self.config,
+            stats=self._seq_stats,
+            reconstructions=[recons[i] for i in sorted(recons)],
+            masks=[out_masks[i] for i in sorted(out_masks)] if out_masks else None,
+        )
+
+    # -- sequence/VOP layers ---------------------------------------------------
+
+    def _write_headers(self, writer: BitWriter, n_frames: int) -> None:
+        config = self.config
+        writer.write_startcode(VO_STARTCODE)
+        writer.write_ue(self.vo_id)
+        writer.write_startcode(VOL_STARTCODE)
+        writer.write_ue(self.vol_id)
+        writer.write_ue(config.width)
+        writer.write_ue(config.height)
+        writer.write_bit(1 if config.arbitrary_shape else 0)
+        writer.write_bits(config.quant_method, 2)
+        writer.write_bit(1 if config.resync_markers else 0)
+        writer.write_ue(n_frames)
+
+    def _store_for(self, display: int, vop_type: VopType) -> FrameStore:
+        if vop_type is VopType.B:
+            return self._bwork
+        slot = self._anchor_display.index(display)
+        return self._anchors[slot]
+
+    def _encode_vop(
+        self,
+        writer: BitWriter,
+        frame: YuvFrame,
+        mask: np.ndarray | None,
+        vop_type: VopType,
+        display: int,
+        coded_index: int,
+    ) -> VopStats:
+        config = self.config
+        rec = self._rec
+        qp = self._controller.qp_for(vop_type)
+        vop_stats = VopStats(
+            vop_type=vop_type, display_index=display, coded_index=coded_index, qp=qp
+        )
+        bits_before = writer.bit_position
+
+        # Load the input frame into the current store ("other" phase: frame
+        # I/O sits outside VopCode() in the reference encoder).
+        if rec is not None:
+            rec.begin_vop(coded_index, vop_type.name, display)
+            self._tk.plane_copy(
+                rec, self._input_region, self._cur.fmap, config.width, config.height
+            )
+        self._cur.load(frame)
+
+        if rec is not None:
+            rec.push_phase("vop_encode")
+            if self._tables_region is not None:
+                self._tk.metadata_walk(rec, self._tables_region)
+
+        if config.arbitrary_shape:
+            # Pad the input VOP so boundary macroblocks have defined pixels.
+            self._pad_store(self._cur, mask)
+
+        writer.write_startcode(VOP_STARTCODE)
+        writer.write_bits(vop_type.value, 2)
+        writer.write_ue(display)
+        writer.write_bits(qp, 5)
+
+        if config.arbitrary_shape:
+            shape_stats = encode_shape_plane(writer, mask)
+            if rec is not None:
+                self._tk.shape_code(rec, self._alpha_region, shape_stats, decode=False)
+
+        # Reference selection.
+        past, future = self._references(display, vop_type)
+
+        # Target store for the reconstruction.
+        if vop_type is VopType.B:
+            recon_store = self._bwork
+        else:
+            slot = self._next_anchor_slot
+            # An I/P anchor replaces the *older* anchor; B-VOPs between the
+            # two anchors were already coded (coded order!), so it is free.
+            recon_store = self._anchors[slot]
+            self._anchor_display[slot] = display
+            self._next_anchor_slot = 1 - slot
+
+        self._encode_macroblocks(
+            writer, vop_type, qp, mask, past, future, recon_store, vop_stats
+        )
+        if rec is not None:
+            rec.resume_vop_scope()
+
+        recon_store.expand_borders()
+        if rec is not None:
+            self._tk.border_expand(rec, recon_store.fmap, config.width, config.height)
+        if config.arbitrary_shape and vop_type is not VopType.B:
+            # Repetitive padding of the reconstructed reference for MC.
+            self._pad_store(recon_store, mask)
+            recon_store.expand_borders()
+
+        if rec is not None:
+            # Reference-pipeline bookkeeping: buffer copies for every VOP,
+            # plus the half-pel interpolated reference build for anchors.
+            self._tk.vop_pipeline_overhead(
+                rec,
+                recon_store.fmap,
+                self._aux_ring,
+                coded_index,
+                self._interp_region if vop_type is not VopType.B else None,
+                config.width,
+                config.height,
+            )
+            rec.pop_phase()
+
+        bits = writer.bit_position - bits_before
+        vop_stats.bits = bits
+        self._controller.update(vop_type, bits)
+        if rec is not None:
+            self._tk.stream_write(rec, self._stream_region, (bits + 7) // 8)
+        return vop_stats
+
+    def _references(self, display: int, vop_type: VopType):
+        if vop_type is VopType.I:
+            return None, None
+        known = [d for d in self._anchor_display if 0 <= d]
+        if not known:
+            raise ValueError("P/B-VOP encoded before any anchor exists")
+        if vop_type is VopType.P:
+            past_display = max(d for d in known if d < display)
+            past = self._anchors[self._anchor_display.index(past_display)]
+            return past, None
+        past_display = max(d for d in known if d < display)
+        future_display = min((d for d in known if d > display), default=None)
+        if future_display is None:
+            raise ValueError(f"B-VOP {display} has no future anchor")
+        past = self._anchors[self._anchor_display.index(past_display)]
+        future = self._anchors[self._anchor_display.index(future_display)]
+        return past, future
+
+    def _pad_store(self, store: FrameStore, mask: np.ndarray) -> None:
+        rec = self._rec
+        store.interior_y[:] = repetitive_pad(store.interior_y, mask)
+        chroma_mask = mask[::2, ::2]
+        store.interior_u[:] = repetitive_pad(store.interior_u, chroma_mask)
+        store.interior_v[:] = repetitive_pad(store.interior_v, chroma_mask)
+        if rec is not None:
+            self._tk.padding_pass(rec, store.fmap, self.config.width, self.config.height)
+
+    # -- macroblock layer ------------------------------------------------------
+
+    def _encode_macroblocks(
+        self,
+        writer: BitWriter,
+        vop_type: VopType,
+        qp: int,
+        mask: np.ndarray | None,
+        past: FrameStore | None,
+        future: FrameStore | None,
+        recon_store: FrameStore,
+        vop_stats: VopStats,
+    ) -> None:
+        config = self.config
+        rec = self._rec
+        mb_rows, mb_cols = config.mb_rows, config.mb_cols
+        dc_preds = self._make_dc_predictors() if vop_type is VopType.I else None
+        mv_grid = [[ZERO_MV] * mb_cols for _ in range(mb_rows)]
+
+        for row in range(mb_rows):
+            if config.resync_markers and row > 0:
+                # One video packet per macroblock row: resync marker plus
+                # enough header state (row index, quantizer) to decode the
+                # packet independently.  Prediction must not cross packets.
+                writer.write_startcode(RESYNC_STARTCODE)
+                writer.write_ue(row)
+                writer.write_bits(qp, 5)
+                if dc_preds is not None:
+                    dc_preds = self._make_dc_predictors()
+            if rec is not None:
+                rec.begin_mb_row(row)
+            pred_fwd = ZERO_MV
+            pred_bwd = ZERO_MV
+            for col in range(mb_cols):
+                mb_y = row * MB_SIZE
+                mb_x = col * MB_SIZE
+                if mask is not None and not mask[
+                    mb_y : mb_y + MB_SIZE, mb_x : mb_x + MB_SIZE
+                ].any():
+                    vop_stats.transparent_mbs += 1
+                    mv_grid[row][col] = ZERO_MV
+                    continue
+                bits_before = writer.bit_position
+                if vop_type is VopType.I:
+                    self._code_intra_mb(
+                        writer, qp, mb_y, mb_x, recon_store, dc_preds, row, col, vop_stats
+                    )
+                elif vop_type is VopType.P:
+                    self._code_p_mb(
+                        writer, qp, mb_y, mb_x, past, recon_store, mv_grid, row, col, vop_stats
+                    )
+                else:
+                    pred_fwd, pred_bwd = self._code_b_mb(
+                        writer, qp, mb_y, mb_x, past, future, recon_store,
+                        pred_fwd, pred_bwd, vop_stats,
+                    )
+                if rec is not None:
+                    self._tk.stream_write(
+                        rec,
+                        self._stream_region,
+                        (writer.bit_position - bits_before + 7) // 8,
+                    )
+
+    def _make_dc_predictors(self) -> dict[str, AcDcPredictor]:
+        config = self.config
+        return {
+            "y": AcDcPredictor(2 * config.mb_rows, 2 * config.mb_cols),
+            "u": AcDcPredictor(config.mb_rows, config.mb_cols),
+            "v": AcDcPredictor(config.mb_rows, config.mb_cols),
+        }
+
+    def _gather_mb(self, store: FrameStore, mb_y: int, mb_x: int) -> np.ndarray:
+        """The six 8x8 blocks of a macroblock as a (6, 8, 8) array."""
+        y0 = BORDER + mb_y
+        x0 = BORDER + mb_x
+        cy0 = BORDER + mb_y // 2
+        cx0 = BORDER + mb_x // 2
+        blocks = np.empty((6, 8, 8), dtype=np.float64)
+        for index, (by, bx) in enumerate(LUMA_BLOCK_OFFSETS):
+            blocks[index] = store.y[y0 + by : y0 + by + 8, x0 + bx : x0 + bx + 8]
+        blocks[4] = store.u[cy0 : cy0 + 8, cx0 : cx0 + 8]
+        blocks[5] = store.v[cy0 : cy0 + 8, cx0 : cx0 + 8]
+        return blocks
+
+    def _scatter_mb(
+        self, store: FrameStore, mb_y: int, mb_x: int, blocks: np.ndarray
+    ) -> None:
+        y0 = BORDER + mb_y
+        x0 = BORDER + mb_x
+        cy0 = BORDER + mb_y // 2
+        cx0 = BORDER + mb_x // 2
+        pixels = np.clip(np.rint(blocks), 0, 255).astype(np.uint8)
+        for index, (by, bx) in enumerate(LUMA_BLOCK_OFFSETS):
+            store.y[y0 + by : y0 + by + 8, x0 + bx : x0 + bx + 8] = pixels[index]
+        store.u[cy0 : cy0 + 8, cx0 : cx0 + 8] = pixels[4]
+        store.v[cy0 : cy0 + 8, cx0 : cx0 + 8] = pixels[5]
+
+    # -- intra ------------------------------------------------------------------
+
+    def _code_intra_mb(
+        self,
+        writer: BitWriter,
+        qp: int,
+        mb_y: int,
+        mb_x: int,
+        recon_store: FrameStore,
+        dc_preds: dict[str, DcPredictor] | None,
+        row: int,
+        col: int,
+        vop_stats: VopStats,
+        inter_allowed: bool = False,
+    ) -> None:
+        blocks = self._gather_mb(self._cur, mb_y, mb_x)
+        coefficients = forward_dct(blocks)
+        levels = quantize_any(coefficients, qp, True, self.config.quant_method)
+
+        # Adaptive DC (and, in I-VOPs, AC) prediction.  The per-block
+        # direction and prediction lines must be computed before this
+        # macroblock's blocks are stored.
+        predicted_dc = np.zeros(6, dtype=np.int32)
+        directions = np.zeros(6, dtype=np.int32)
+        predicted_ac = np.zeros((6, AC_LINE), dtype=np.int32)
+        ac_pred_gain = 0
+        for index in range(6):
+            grid = self._block_grid(dc_preds, index, row, col)
+            if grid is None:
+                predicted_dc[index] = DEFAULT_DC
+                continue
+            predictor, block_row, block_col = grid
+            dc, direction = predictor.predict_with_direction(block_row, block_col)
+            predicted_dc[index] = dc
+            directions[index] = direction
+            predicted_ac[index] = predictor.predict_ac(block_row, block_col, direction)
+            actual = self._ac_line(levels[index], direction)
+            ac_pred_gain += int(
+                np.abs(actual).sum() - np.abs(actual - predicted_ac[index]).sum()
+            )
+            predictor.store(block_row, block_col, int(levels[index, 0, 0]))
+            predictor.store_ac(
+                block_row, block_col, levels[index, 0, 1:8], levels[index, 1:8, 0]
+            )
+        use_ac_pred = dc_preds is not None and ac_pred_gain > 0
+
+        levels_coded = levels.copy()
+        if use_ac_pred:
+            for index in range(6):
+                self._subtract_ac_line(
+                    levels_coded[index], directions[index], predicted_ac[index]
+                )
+        scanned = zigzag_scan(levels_coded)
+        cbp = 0
+        block_events = []
+        for index in range(6):
+            events = run_level_events(scanned[index, 1:])
+            block_events.append(events)
+            if events:
+                cbp |= 1 << (5 - index)
+        vlc.encode_macroblock_header(writer, True, False, cbp, inter_allowed)
+        if dc_preds is not None:
+            writer.write_bit(1 if use_ac_pred else 0)
+        for index in range(6):
+            dc = int(levels[index, 0, 0])
+            writer.write_se(dc - int(predicted_dc[index]))
+            for last, run, level in block_events[index]:
+                vlc.encode_coefficient_event(writer, last, run, level)
+        n_events = sum(len(events) for events in block_events) + 6
+        vop_stats.intra_mbs += 1
+        vop_stats.coded_coefficients += n_events
+        recon = np.clip(
+            inverse_dct(dequantize_any(levels, qp, True, self.config.quant_method)),
+            0,
+            255,
+        )
+        self._scatter_mb(recon_store, mb_y, mb_x, recon)
+        if self._rec is not None:
+            self._tk.mb_texture(
+                self._rec,
+                "intra_enc",
+                self._cur.fmap,
+                recon_store.fmap,
+                mb_y,
+                mb_x,
+                n_coded_blocks=6,
+                n_events=n_events,
+            )
+
+    @staticmethod
+    def _block_grid(dc_preds, index: int, row: int, col: int):
+        """(predictor, block_row, block_col) for block ``index``, or None."""
+        if dc_preds is None:
+            return None
+        if index < 4:
+            by, bx = divmod(index, 2)
+            return dc_preds["y"], 2 * row + by, 2 * col + bx
+        plane = "u" if index == 4 else "v"
+        return dc_preds[plane], row, col
+
+    @staticmethod
+    def _ac_line(block_levels: np.ndarray, direction: int) -> np.ndarray:
+        """The predicted AC line of one quantized block."""
+        if direction == FROM_ABOVE:
+            return block_levels[0, 1:8].copy()
+        return block_levels[1:8, 0].copy()
+
+    @staticmethod
+    def _subtract_ac_line(block_levels, direction: int, predicted) -> None:
+        if direction == FROM_ABOVE:
+            block_levels[0, 1:8] -= predicted
+        else:
+            block_levels[1:8, 0] -= predicted
+
+    # -- inter (P) ---------------------------------------------------------------
+
+    def _motion_search(self, store_ref: FrameStore, mb_y: int, mb_x: int):
+        """Full search + optional half-pel refinement in expanded coordinates."""
+        config = self.config
+        y0 = BORDER + mb_y
+        x0 = BORDER + mb_x
+        cur_block = self._cur.y[y0 : y0 + MB_SIZE, x0 : x0 + MB_SIZE]
+        result = full_search(
+            cur_block,
+            store_ref.y,
+            x0,
+            y0,
+            config.search_range,
+            model_work=self._rec is not None,
+        )
+        halfpel_evals = 0
+        if config.use_half_pel:
+            refined = half_pel_refine(
+                cur_block, store_ref.y, x0, y0, result.mv, result.sad
+            )
+            halfpel_evals = refined.candidates_evaluated
+            final_mv, final_sad = refined.mv, refined.sad
+        else:
+            final_mv, final_sad = result.mv, result.sad
+        if self._rec is not None:
+            self._tk.me_search(
+                self._rec,
+                store_ref.fmap,
+                self._cur.fmap,
+                mb_y,
+                mb_x,
+                config.search_range,
+                result,
+                halfpel_evals,
+            )
+        return final_mv, final_sad, result.candidates_evaluated + halfpel_evals
+
+    def _predict_mb(
+        self, store_ref: FrameStore, mb_y: int, mb_x: int, mv: MotionVector
+    ) -> np.ndarray:
+        """Motion-compensated prediction for all six blocks: (6, 8, 8)."""
+        y0 = BORDER + mb_y
+        x0 = BORDER + mb_x
+        luma = compensate(store_ref.y, y0, x0, mv, MB_SIZE)
+        cmv = mv.chroma()
+        cy0 = BORDER + mb_y // 2
+        cx0 = BORDER + mb_x // 2
+        u = compensate(store_ref.u, cy0, cx0, cmv, 8)
+        v = compensate(store_ref.v, cy0, cx0, cmv, 8)
+        prediction = np.empty((6, 8, 8), dtype=np.float64)
+        for index, (by, bx) in enumerate(LUMA_BLOCK_OFFSETS):
+            prediction[index] = luma[by : by + 8, bx : bx + 8]
+        prediction[4] = u
+        prediction[5] = v
+        if self._rec is not None:
+            self._tk.mc_mb(self._rec, store_ref.fmap, mb_y, mb_x, mv.dx | mv.dy)
+        return prediction
+
+    def _code_residual(self, qp: int, residual: np.ndarray):
+        """Quantize a (6, 8, 8) residual; returns (cbp, events, n_events, levels)."""
+        coefficients = forward_dct(residual)
+        levels = quantize_any(coefficients, qp, False, self.config.quant_method)
+        scanned = zigzag_scan(levels)
+        cbp = 0
+        all_events = []
+        for index in range(6):
+            events = run_level_events(scanned[index])
+            all_events.append(events)
+            if events:
+                cbp |= 1 << (5 - index)
+        return cbp, all_events, sum(len(ev) for ev in all_events), levels
+
+    def _code_p_mb(
+        self,
+        writer: BitWriter,
+        qp: int,
+        mb_y: int,
+        mb_x: int,
+        past: FrameStore,
+        recon_store: FrameStore,
+        mv_grid,
+        row: int,
+        col: int,
+        vop_stats: VopStats,
+    ) -> None:
+        mv, sad, candidates = self._motion_search(past, mb_y, mb_x)
+        vop_stats.sad_candidates += candidates
+        y0 = BORDER + mb_y
+        x0 = BORDER + mb_x
+        cur_block = self._cur.y[y0 : y0 + MB_SIZE, x0 : x0 + MB_SIZE]
+        if intra_inter_decision(cur_block, sad):
+            self._code_intra_mb(
+                writer, qp, mb_y, mb_x, recon_store, None, row, col, vop_stats,
+                inter_allowed=True,
+            )
+            mv_grid[row][col] = ZERO_MV
+            return
+        current = self._gather_mb(self._cur, mb_y, mb_x)
+        prediction = self._predict_mb(past, mb_y, mb_x, mv)
+        residual = current - prediction
+        cbp, all_events, n_events, levels = self._code_residual(qp, residual)
+        if cbp == 0 and mv.is_zero:
+            vlc.encode_macroblock_header(writer, False, True, 0, inter_allowed=True)
+            vop_stats.skipped_mbs += 1
+            mv_grid[row][col] = ZERO_MV
+            self._scatter_mb(recon_store, mb_y, mb_x, prediction)
+            return
+        vlc.encode_macroblock_header(writer, False, False, cbp, inter_allowed=True)
+        predictor = self._mv_predictor(
+            mv_grid, row, col, cross_row=not self.config.resync_markers
+        )
+        vlc.encode_mv_component(writer, mv.dx - predictor.dx)
+        vlc.encode_mv_component(writer, mv.dy - predictor.dy)
+        mv_grid[row][col] = mv
+        for events in all_events:
+            for last, run, level in events:
+                vlc.encode_coefficient_event(writer, last, run, level)
+        vop_stats.inter_mbs += 1
+        vop_stats.coded_coefficients += n_events
+        recon = prediction + inverse_dct(
+            dequantize_any(levels, qp, False, self.config.quant_method)
+        )
+        self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))
+        if self._rec is not None:
+            self._tk.mb_texture(
+                self._rec, "inter_enc", self._cur.fmap, recon_store.fmap,
+                mb_y, mb_x, n_coded_blocks=bin(cbp).count("1"), n_events=n_events,
+            )
+
+    @staticmethod
+    def _mv_predictor(
+        mv_grid, row: int, col: int, cross_row: bool = True
+    ) -> MotionVector:
+        """Median MV predictor; ``cross_row=False`` blocks prediction across
+        video-packet (macroblock-row) boundaries."""
+        left = mv_grid[row][col - 1] if col > 0 else ZERO_MV
+        above = mv_grid[row - 1][col] if row > 0 and cross_row else ZERO_MV
+        if row > 0 and cross_row and col + 1 < len(mv_grid[0]):
+            above_right = mv_grid[row - 1][col + 1]
+        else:
+            above_right = ZERO_MV
+        return median_mv(left, above, above_right)
+
+    # -- inter (B) ---------------------------------------------------------------
+
+    def _code_b_mb(
+        self,
+        writer: BitWriter,
+        qp: int,
+        mb_y: int,
+        mb_x: int,
+        past: FrameStore,
+        future: FrameStore,
+        recon_store: FrameStore,
+        pred_fwd: MotionVector,
+        pred_bwd: MotionVector,
+        vop_stats: VopStats,
+    ):
+        mv_f, sad_f, candidates_f = self._motion_search(past, mb_y, mb_x)
+        mv_b, sad_b, candidates_b = self._motion_search(future, mb_y, mb_x)
+        vop_stats.sad_candidates += candidates_f + candidates_b
+        current = self._gather_mb(self._cur, mb_y, mb_x)
+        prediction_f = self._predict_mb(past, mb_y, mb_x, mv_f)
+        prediction_b = self._predict_mb(future, mb_y, mb_x, mv_b)
+        prediction_bi = (prediction_f + prediction_b + 1.0) // 2
+        y0 = BORDER + mb_y
+        x0 = BORDER + mb_x
+        cur_luma = self._cur.y[y0 : y0 + MB_SIZE, x0 : x0 + MB_SIZE].astype(np.int32)
+        sad_bi = self._luma_sad(cur_luma, prediction_bi)
+        best = min(
+            (sad_f, PredictionMode.FORWARD),
+            (sad_b, PredictionMode.BACKWARD),
+            (sad_bi, PredictionMode.BIDIRECTIONAL),
+            key=lambda item: item[0],
+        )[1]
+        if best is PredictionMode.FORWARD:
+            prediction = prediction_f
+        elif best is PredictionMode.BACKWARD:
+            prediction = prediction_b
+        else:
+            prediction = prediction_bi
+        residual = current - prediction
+        cbp, all_events, n_events, levels = self._code_residual(qp, residual)
+        uses_zero_mvs = (
+            best is PredictionMode.BIDIRECTIONAL and mv_f.is_zero and mv_b.is_zero
+        )
+        if cbp == 0 and uses_zero_mvs:
+            vlc.encode_macroblock_header(writer, False, True, 0, inter_allowed=True)
+            vop_stats.skipped_mbs += 1
+            self._scatter_mb(recon_store, mb_y, mb_x, prediction)
+            return pred_fwd, pred_bwd
+        vlc.encode_macroblock_header(writer, False, False, cbp, inter_allowed=True)
+        writer.write_bits(best.value, 2)
+        if best in (PredictionMode.FORWARD, PredictionMode.BIDIRECTIONAL):
+            vlc.encode_mv_component(writer, mv_f.dx - pred_fwd.dx)
+            vlc.encode_mv_component(writer, mv_f.dy - pred_fwd.dy)
+            pred_fwd = mv_f
+        if best in (PredictionMode.BACKWARD, PredictionMode.BIDIRECTIONAL):
+            vlc.encode_mv_component(writer, mv_b.dx - pred_bwd.dx)
+            vlc.encode_mv_component(writer, mv_b.dy - pred_bwd.dy)
+            pred_bwd = mv_b
+        for events in all_events:
+            for last, run, level in events:
+                vlc.encode_coefficient_event(writer, last, run, level)
+        vop_stats.inter_mbs += 1
+        vop_stats.coded_coefficients += n_events
+        recon = prediction + inverse_dct(
+            dequantize_any(levels, qp, False, self.config.quant_method)
+        )
+        self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))
+        if self._rec is not None:
+            self._tk.mb_texture(
+                self._rec, "inter_enc", self._cur.fmap, recon_store.fmap,
+                mb_y, mb_x, n_coded_blocks=bin(cbp).count("1"), n_events=n_events,
+            )
+        return pred_fwd, pred_bwd
+
+    @staticmethod
+    def _luma_sad(cur_luma: np.ndarray, prediction: np.ndarray) -> int:
+        luma = np.empty((MB_SIZE, MB_SIZE), dtype=np.float64)
+        for index, (by, bx) in enumerate(LUMA_BLOCK_OFFSETS):
+            luma[by : by + 8, bx : bx + 8] = prediction[index]
+        return int(np.abs(cur_luma - luma).sum())

@@ -1,0 +1,90 @@
+"""Reference frame stores with expanded borders.
+
+The reference software keeps reconstructed VOPs in frame stores expanded
+by a replicated border so that unrestricted motion vectors (and half-pel
+interpolation at the frame edge) never index outside a plane.  We use a
+16-pixel border on every plane; motion search and compensation operate in
+*expanded* coordinates (interior origin at ``(BORDER, BORDER)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.yuv import YuvFrame
+
+#: Border width, in samples, replicated around every plane.
+BORDER = 16
+
+
+class FrameStore:
+    """One YUV 4:2:0 frame with expanded, replicated borders.
+
+    When a trace recorder is attached the store also carries the virtual
+    address map (:class:`repro.trace.layout.FrameMap`) of its planes, so
+    kernels can emit accesses against realistic frame-buffer addresses.
+    """
+
+    def __init__(self, width: int, height: int, name: str = "", recorder=None) -> None:
+        self.width = width
+        self.height = height
+        self.name = name
+        self.y = np.full((height + 2 * BORDER, width + 2 * BORDER), 128, dtype=np.uint8)
+        self.u = np.full(
+            (height // 2 + 2 * BORDER, width // 2 + 2 * BORDER), 128, dtype=np.uint8
+        )
+        self.v = np.full_like(self.u, 128)
+        self.fmap = None
+        if recorder is not None:
+            self.fmap = recorder.map_frame_store(name, self.y.shape, self.u.shape)
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def interior_y(self) -> np.ndarray:
+        return self.y[BORDER : BORDER + self.height, BORDER : BORDER + self.width]
+
+    @property
+    def interior_u(self) -> np.ndarray:
+        return self.u[
+            BORDER : BORDER + self.height // 2, BORDER : BORDER + self.width // 2
+        ]
+
+    @property
+    def interior_v(self) -> np.ndarray:
+        return self.v[
+            BORDER : BORDER + self.height // 2, BORDER : BORDER + self.width // 2
+        ]
+
+    # -- content ------------------------------------------------------------
+
+    def load(self, frame: YuvFrame) -> None:
+        """Copy a frame into the interior (borders stay stale until expanded)."""
+        if (frame.width, frame.height) != (self.width, self.height):
+            raise ValueError(
+                f"frame {frame.width}x{frame.height} does not fit store "
+                f"{self.width}x{self.height}"
+            )
+        self.interior_y[:] = frame.y
+        self.interior_u[:] = frame.u
+        self.interior_v[:] = frame.v
+
+    def to_frame(self) -> YuvFrame:
+        """Copy of the interior as a standalone frame."""
+        return YuvFrame(
+            self.interior_y.copy(), self.interior_u.copy(), self.interior_v.copy()
+        )
+
+    def expand_borders(self) -> None:
+        """Replicate interior edges into the border (unrestricted-MV prep)."""
+        for plane, height, width in (
+            (self.y, self.height, self.width),
+            (self.u, self.height // 2, self.width // 2),
+            (self.v, self.height // 2, self.width // 2),
+        ):
+            border = BORDER
+            interior = plane[border : border + height, border : border + width]
+            plane[border : border + height, :border] = interior[:, :1]
+            plane[border : border + height, border + width :] = interior[:, -1:]
+            plane[:border, :] = plane[border : border + 1, :]
+            plane[border + height :, :] = plane[border + height - 1 : border + height, :]

@@ -1,0 +1,229 @@
+"""Quantization, dequantization and zigzag scanning.
+
+Implements both MPEG-4 quantization methods:
+
+- the H.263-style "second method" (:func:`quantize`/:func:`dequantize`):
+  a uniform quantizer with a dead zone for inter blocks and a separate
+  divisor for the intra DC term;
+- the MPEG-2-style "first method" (:func:`quantize_weighted`/
+  :func:`dequantize_weighted`): per-frequency weighting matrices over the
+  same step size, with the standard default intra/inter matrices.
+
+Plus the 8x8 zigzag scan that orders coefficients for (LAST, RUN, LEVEL)
+run-length coding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.dct import BLOCK
+
+#: MPEG default intra weighting matrix (ISO/IEC 14496-2 / 13818-2).
+DEFAULT_INTRA_MATRIX = np.array(
+    [
+        [8, 17, 18, 19, 21, 23, 25, 27],
+        [17, 18, 19, 21, 23, 25, 27, 28],
+        [20, 21, 22, 23, 24, 26, 28, 30],
+        [21, 22, 23, 24, 26, 28, 30, 32],
+        [22, 23, 24, 26, 28, 30, 32, 35],
+        [23, 24, 26, 28, 30, 32, 35, 38],
+        [25, 26, 28, 30, 32, 35, 38, 41],
+        [27, 28, 30, 32, 35, 38, 41, 45],
+    ],
+    dtype=np.int32,
+)
+
+#: MPEG default non-intra weighting matrix.
+DEFAULT_INTER_MATRIX = np.array(
+    [
+        [16, 17, 18, 19, 20, 21, 22, 23],
+        [17, 18, 19, 20, 21, 22, 23, 24],
+        [18, 19, 20, 21, 22, 23, 24, 25],
+        [19, 20, 21, 22, 23, 24, 26, 27],
+        [20, 21, 22, 23, 25, 26, 27, 28],
+        [21, 22, 23, 24, 26, 27, 28, 30],
+        [22, 23, 24, 26, 27, 28, 30, 31],
+        [23, 24, 25, 27, 28, 30, 31, 33],
+    ],
+    dtype=np.int32,
+)
+
+#: Intra DC coefficients are quantized by a fixed divisor (dc_scaler = 8).
+DC_SCALER = 8
+
+#: Legal quantizer parameter range (5-bit ``vop_quant``).
+QP_MIN = 1
+QP_MAX = 31
+
+
+def _zigzag_order() -> np.ndarray:
+    """Classic 8x8 zigzag scan as a permutation of 0..63."""
+    order = sorted(
+        ((row, col) for row in range(BLOCK) for col in range(BLOCK)),
+        key=lambda rc: (
+            rc[0] + rc[1],
+            rc[1] if (rc[0] + rc[1]) % 2 == 0 else rc[0],
+        ),
+    )
+    return np.array([row * BLOCK + col for row, col in order], dtype=np.int64)
+
+
+ZIGZAG = _zigzag_order()
+INVERSE_ZIGZAG = np.argsort(ZIGZAG)
+
+
+def validate_qp(qp: int) -> int:
+    if not QP_MIN <= qp <= QP_MAX:
+        raise ValueError(f"quantizer parameter {qp} outside [{QP_MIN}, {QP_MAX}]")
+    return qp
+
+
+def quantize(coefficients: np.ndarray, qp: int, intra: bool) -> np.ndarray:
+    """Quantize DCT coefficient blocks ``(..., 8, 8)`` to integer levels."""
+    validate_qp(qp)
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if intra:
+        levels = np.trunc(coefficients / (2.0 * qp)).astype(np.int32)
+        dc = np.rint(coefficients[..., 0, 0] / DC_SCALER).astype(np.int32)
+        levels[..., 0, 0] = dc
+        return levels
+    # Inter: dead-zone quantizer (|c| - q/2) / 2q, truncated toward zero.
+    magnitude = np.abs(coefficients)
+    levels = np.trunc((magnitude - qp / 2.0) / (2.0 * qp))
+    levels = np.maximum(levels, 0.0).astype(np.int32)
+    quantized = np.sign(coefficients).astype(np.int32) * levels
+    return quantized.astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, qp: int, intra: bool) -> np.ndarray:
+    """Reconstruct coefficients from quantized levels."""
+    validate_qp(qp)
+    levels = np.asarray(levels, dtype=np.int64)
+    sign = np.sign(levels)
+    magnitude = np.abs(levels)
+    if qp % 2:
+        recon = sign * (2 * magnitude + 1) * qp
+    else:
+        recon = sign * ((2 * magnitude + 1) * qp - 1)
+    recon = np.where(levels == 0, 0, recon).astype(np.float64)
+    if intra:
+        recon[..., 0, 0] = levels[..., 0, 0] * DC_SCALER
+    return recon
+
+
+def quantize_weighted(
+    coefficients: np.ndarray, qp: int, intra: bool, matrix: np.ndarray | None = None
+) -> np.ndarray:
+    """MPEG-style (first-method) quantization with a weighting matrix.
+
+    Each coefficient is scaled by ``16 / W`` before the uniform quantizer,
+    so high frequencies (large weights) quantize more coarsely -- the
+    perceptual shaping H.263-style quantization lacks.  The intra DC term
+    uses the same fixed ``dc_scaler`` as the second method.
+    """
+    validate_qp(qp)
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if matrix is None:
+        matrix = DEFAULT_INTRA_MATRIX if intra else DEFAULT_INTER_MATRIX
+    weighted = coefficients * 16.0 / matrix
+    if intra:
+        levels = np.trunc(weighted / (2.0 * qp)).astype(np.int32)
+        levels[..., 0, 0] = np.rint(coefficients[..., 0, 0] / DC_SCALER).astype(np.int32)
+        return levels
+    magnitude = np.abs(weighted)
+    levels = np.trunc((magnitude - qp / 2.0) / (2.0 * qp))
+    levels = np.maximum(levels, 0.0).astype(np.int32)
+    return (np.sign(weighted).astype(np.int32) * levels).astype(np.int32)
+
+
+def dequantize_weighted(
+    levels: np.ndarray, qp: int, intra: bool, matrix: np.ndarray | None = None
+) -> np.ndarray:
+    """Inverse of :func:`quantize_weighted`."""
+    validate_qp(qp)
+    if matrix is None:
+        matrix = DEFAULT_INTRA_MATRIX if intra else DEFAULT_INTER_MATRIX
+    levels = np.asarray(levels, dtype=np.int64)
+    sign = np.sign(levels)
+    magnitude = np.abs(levels)
+    recon = sign * (2 * magnitude + 1) * qp
+    recon = np.where(levels == 0, 0, recon).astype(np.float64)
+    recon = recon * matrix / 16.0
+    if intra:
+        recon[..., 0, 0] = levels[..., 0, 0] * DC_SCALER
+    return recon
+
+
+#: H.263-style quantization (MPEG-4 "second method").
+METHOD_H263 = 2
+#: MPEG-style weighted quantization (MPEG-4 "first method").
+METHOD_MPEG = 1
+
+
+def quantize_any(coefficients, qp: int, intra: bool, method: int) -> np.ndarray:
+    """Dispatch to the configured quantization method."""
+    if method == METHOD_H263:
+        return quantize(coefficients, qp, intra)
+    if method == METHOD_MPEG:
+        return quantize_weighted(coefficients, qp, intra)
+    raise ValueError(f"unknown quantization method {method}")
+
+
+def dequantize_any(levels, qp: int, intra: bool, method: int) -> np.ndarray:
+    """Dispatch to the configured dequantization method."""
+    if method == METHOD_H263:
+        return dequantize(levels, qp, intra)
+    if method == METHOD_MPEG:
+        return dequantize_weighted(levels, qp, intra)
+    raise ValueError(f"unknown quantization method {method}")
+
+
+def zigzag_scan(block: np.ndarray) -> np.ndarray:
+    """Flatten ``(..., 8, 8)`` blocks into zigzag order ``(..., 64)``."""
+    flat = np.asarray(block).reshape(*block.shape[:-2], BLOCK * BLOCK)
+    return flat[..., ZIGZAG]
+
+
+def inverse_zigzag_scan(scanned: np.ndarray) -> np.ndarray:
+    """Restore ``(..., 64)`` zigzag vectors to ``(..., 8, 8)`` blocks."""
+    scanned = np.asarray(scanned)
+    if scanned.shape[-1] != BLOCK * BLOCK:
+        raise ValueError(f"expected trailing length 64, got {scanned.shape}")
+    flat = scanned[..., INVERSE_ZIGZAG]
+    return flat.reshape(*scanned.shape[:-1], BLOCK, BLOCK)
+
+
+def run_level_events(scanned: np.ndarray) -> list[tuple[int, int, int]]:
+    """(LAST, RUN, LEVEL) events for one zigzag-scanned block of 64 levels."""
+    nonzero = np.flatnonzero(scanned)
+    events: list[tuple[int, int, int]] = []
+    previous = -1
+    for count, index in enumerate(nonzero):
+        run = int(index) - previous - 1
+        last = 1 if count == len(nonzero) - 1 else 0
+        events.append((last, run, int(scanned[index])))
+        previous = int(index)
+    return events
+
+
+def events_to_levels(
+    events: list[tuple[int, int, int]], length: int = BLOCK * BLOCK
+) -> np.ndarray:
+    """Inverse of :func:`run_level_events`.
+
+    ``length`` is 64 for whole blocks or 63 for intra AC coefficients
+    (whose DC is coded separately by prediction).
+    """
+    levels = np.zeros(length, dtype=np.int32)
+    position = 0
+    for event_index, (last, run, level) in enumerate(events):
+        position += run
+        if position >= length:
+            raise ValueError("run-level events overflow the coefficient block")
+        levels[position] = level
+        position += 1
+        is_final = event_index == len(events) - 1
+        if bool(last) != is_final:
+            raise ValueError("LAST flag inconsistent with event list")
+    return levels

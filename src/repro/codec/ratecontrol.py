@@ -1,0 +1,99 @@
+"""Frame-level rate control.
+
+The paper encodes with a fixed target bitrate (38400 bit/s); the reference
+software's Q2 rate control adjusts the VOP quantizer to track it.  We
+implement a proportional frame-level controller: each VOP type has a
+bit budget derived from the per-frame target (I-VOPs get a larger share),
+and the quantizer steps up or down when the produced bits leave a
+tolerance band around it.  Simple, stable, and sufficient to reproduce the
+study-relevant behaviour: at a fixed bitrate, larger frames are coded with
+coarser quantizers, so texture bits per frame stay roughly constant while
+pixel work scales with the frame area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.quant import QP_MAX, QP_MIN
+from repro.codec.types import VopType
+
+#: Relative bit budgets per VOP type (I frames cost more, B frames less).
+TYPE_WEIGHT = {VopType.I: 3.0, VopType.P: 1.0, VopType.B: 0.6}
+
+#: Tolerance band around the target before the quantizer moves.
+_UPPER_TOLERANCE = 1.15
+_LOWER_TOLERANCE = 0.85
+
+
+@dataclass
+class RateController:
+    """Adaptive per-VOP quantizer selection toward a bitrate target."""
+
+    target_bitrate: int
+    frame_rate: float
+    initial_qp: int = 10
+
+    def __post_init__(self) -> None:
+        if self.target_bitrate <= 0:
+            raise ValueError("target_bitrate must be positive")
+        if self.frame_rate <= 0:
+            raise ValueError("frame_rate must be positive")
+        self._qp = self.initial_qp
+        self._bits_per_frame = self.target_bitrate / self.frame_rate
+
+    def target_bits(self, vop_type: VopType) -> float:
+        """Bit budget for one VOP of the given type."""
+        return self._bits_per_frame * TYPE_WEIGHT[vop_type]
+
+    def qp_for(self, vop_type: VopType) -> int:
+        """Quantizer to use for the next VOP (B-VOPs code slightly coarser)."""
+        qp = self._qp + (2 if vop_type is VopType.B else 0)
+        return min(max(qp, QP_MIN), QP_MAX)
+
+    def update(self, vop_type: VopType, bits_produced: int) -> None:
+        """Feed back the actual VOP size; nudges the quantizer."""
+        target = self.target_bits(vop_type)
+        if bits_produced > target * 2.0:
+            step = 4
+        elif bits_produced > target * _UPPER_TOLERANCE:
+            step = 1
+        elif bits_produced < target * 0.5:
+            step = -2
+        elif bits_produced < target * _LOWER_TOLERANCE:
+            step = -1
+        else:
+            step = 0
+        self._qp = min(max(self._qp + step, QP_MIN), QP_MAX)
+
+    @property
+    def current_qp(self) -> int:
+        return self._qp
+
+
+@dataclass
+class ConstantQp:
+    """Degenerate controller used when no bitrate target is configured."""
+
+    qp: int
+
+    def qp_for(self, vop_type: VopType) -> int:
+        return self.qp
+
+    def update(self, vop_type: VopType, bits_produced: int) -> None:
+        """Constant quantizer: feedback is ignored."""
+
+    @property
+    def current_qp(self) -> int:
+        return self.qp
+
+
+def make_controller(config) -> RateController | ConstantQp:
+    """Controller matching a :class:`~repro.codec.types.CodecConfig`."""
+    if config.target_bitrate is None:
+        return ConstantQp(config.qp)
+    return RateController(
+        target_bitrate=config.target_bitrate,
+        frame_rate=config.frame_rate,
+        initial_qp=config.qp,
+    )

@@ -1,0 +1,178 @@
+"""Core codec types: configuration, VOP taxonomy, GOP/coding order.
+
+The MPEG-4 object model: a *video object* (VO) is a 2-D scene object; each
+time sample of it is a *video object plane* (VOP); a VO can be coded in
+one or more *video object layers* (VOLs, for scalability).  VOPs come in
+three flavours (paper Figure 1): I-VOPs coded independently, P-VOPs
+predicted from the nearest previously coded anchor, and B-VOPs
+interpolated from both the past and future anchors.  Because B-VOPs need
+their *future* anchor first, coded order differs from display order:
+display ``I B1 B2 P`` is coded ``I P B1 B2`` -- reproduced exactly by
+:func:`coding_order`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.codec.quant import validate_qp
+from repro.video.yuv import MB_SIZE
+
+
+class VopType(IntEnum):
+    """VOP coding modes of Figure 1."""
+
+    I = 0
+    P = 1
+    B = 2
+
+
+@dataclass(frozen=True)
+class CodecConfig:
+    """Encoder/decoder configuration for one video object layer.
+
+    ``m_distance`` is the anchor spacing M: M=1 disables B-VOPs, M=3 gives
+    the classic ``I B B P B B P ...`` pattern.  ``target_bitrate`` enables
+    the rate controller (bits per second, as the paper's 38400 target);
+    ``None`` holds ``qp`` constant.
+    """
+
+    width: int
+    height: int
+    qp: int = 10
+    gop_size: int = 12
+    m_distance: int = 3
+    search_range: int = 16
+    use_half_pel: bool = True
+    target_bitrate: int | None = None
+    frame_rate: float = 30.0
+    arbitrary_shape: bool = False
+    #: MPEG-4 quantization method: 1 = MPEG weighting matrices, 2 = H.263.
+    quant_method: int = 2
+    #: Error resilience: one video packet (resync marker) per macroblock row.
+    resync_markers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.quant_method not in (1, 2):
+            raise ValueError("quant_method must be 1 (MPEG) or 2 (H.263)")
+        if self.width % MB_SIZE or self.height % MB_SIZE:
+            raise ValueError(
+                f"dimensions {self.width}x{self.height} must be multiples of {MB_SIZE}"
+            )
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("dimensions must be positive")
+        validate_qp(self.qp)
+        if self.gop_size < 1:
+            raise ValueError("gop_size must be at least 1")
+        if self.m_distance < 1:
+            raise ValueError("m_distance must be at least 1")
+        if self.m_distance > self.gop_size:
+            raise ValueError("m_distance cannot exceed gop_size")
+        if self.search_range < 1:
+            raise ValueError("search_range must be at least 1")
+        if self.frame_rate <= 0:
+            raise ValueError("frame_rate must be positive")
+
+    @property
+    def mb_cols(self) -> int:
+        return self.width // MB_SIZE
+
+    @property
+    def mb_rows(self) -> int:
+        return self.height // MB_SIZE
+
+    @property
+    def n_macroblocks(self) -> int:
+        return self.mb_cols * self.mb_rows
+
+    def scaled(self, factor: int) -> "CodecConfig":
+        """Config for a spatially downscaled layer (base-layer helper)."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        return CodecConfig(
+            width=self.width // factor,
+            height=self.height // factor,
+            qp=self.qp,
+            gop_size=self.gop_size,
+            m_distance=self.m_distance,
+            search_range=max(1, self.search_range // factor),
+            use_half_pel=self.use_half_pel,
+            target_bitrate=self.target_bitrate,
+            frame_rate=self.frame_rate,
+            arbitrary_shape=self.arbitrary_shape,
+        )
+
+
+def coding_order(n_frames: int, gop_size: int, m_distance: int) -> list[tuple[int, VopType]]:
+    """Coded-order schedule ``[(display_index, vop_type), ...]``.
+
+    Every GOP starts with an I-VOP; anchors follow every ``m_distance``
+    frames; the frames between two anchors are B-VOPs emitted *after* the
+    later anchor.  A trailing partial segment promotes its final frame to a
+    P-anchor so no frame is dropped.
+
+    >>> coding_order(5, 12, 3)
+    [(0, <VopType.I: 0>), (3, <VopType.P: 1>), (1, <VopType.B: 2>), (2, <VopType.B: 2>), (4, <VopType.P: 1>)]
+    """
+    if n_frames <= 0:
+        return []
+    schedule: list[tuple[int, VopType]] = []
+    previous_anchor: int | None = None
+    for display in range(n_frames):
+        in_gop = display % gop_size
+        is_i = in_gop == 0
+        is_anchor = is_i or in_gop % m_distance == 0 or display == n_frames - 1
+        if not is_anchor:
+            continue
+        vop_type = VopType.I if is_i else VopType.P
+        schedule.append((display, vop_type))
+        if previous_anchor is not None:
+            for b_display in range(previous_anchor + 1, display):
+                schedule.append((b_display, VopType.B))
+        previous_anchor = display
+    return schedule
+
+
+def display_order(schedule: list[tuple[int, VopType]]) -> list[int]:
+    """Display indices sorted -- the inverse of the coded-order shuffle."""
+    return sorted(display for display, _ in schedule)
+
+
+@dataclass
+class VopStats:
+    """Per-VOP encoding statistics."""
+
+    vop_type: VopType
+    display_index: int
+    coded_index: int
+    qp: int
+    bits: int = 0
+    intra_mbs: int = 0
+    inter_mbs: int = 0
+    skipped_mbs: int = 0
+    transparent_mbs: int = 0
+    coded_coefficients: int = 0
+    sad_candidates: int = 0
+    psnr_y: float = 0.0
+    #: Video packets lost to bitstream errors (error-resilient decode).
+    lost_packets: int = 0
+
+
+@dataclass
+class SequenceStats:
+    """Whole-sequence encoding statistics."""
+
+    vops: list[VopStats] = field(default_factory=list)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(vop.bits for vop in self.vops)
+
+    def mean_bits(self, vop_type: VopType | None = None) -> float:
+        selected = [
+            vop.bits for vop in self.vops if vop_type is None or vop.vop_type == vop_type
+        ]
+        if not selected:
+            return 0.0
+        return sum(selected) / len(selected)

@@ -1,0 +1,236 @@
+"""Variable-length coding for the macroblock layer.
+
+MPEG-4 codes quantized DCT coefficients as (LAST, RUN, LEVEL) events with
+the Huffman table of Annex B (table B-16) plus escape codes, and motion
+vector differences with table B-12.  We reproduce the *structure* exactly
+-- event alphabet, escape mechanism, sign handling, self-delimiting
+prefix-free codes -- with a canonical Huffman table generated from a
+representative frequency model instead of transcribing the normative
+tables digit-for-digit.  Bit counts land close to the reference tables
+(short codes for short runs and small levels) and round-trip exactly,
+which is what the study needs: the decoder's bitstream *scan behaviour*
+and the encode/decode instruction mix, not standard conformance.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.codec.bitstream import BitReader, BitWriter
+
+#: Escape marker symbol used by :data:`COEFF_TABLE`.
+ESCAPE = "escape"
+
+#: Largest run directly representable in the coefficient table.
+MAX_TABLE_RUN = 26
+#: Largest |level| directly representable (per-run bound shrinks with run).
+MAX_TABLE_LEVEL = 12
+
+
+class HuffmanTable:
+    """Deterministic canonical Huffman code over a fixed symbol alphabet.
+
+    Built once at import time; encoding is a dict lookup, decoding walks a
+    binary tree one bit at a time exactly like a table-driven VLC decoder.
+    """
+
+    def __init__(self, weighted_symbols: list[tuple[object, float]]) -> None:
+        if len(weighted_symbols) < 2:
+            raise ValueError("need at least two symbols")
+        lengths = self._code_lengths(weighted_symbols)
+        # Canonical ordering: by (length, insertion order).
+        order = {symbol: index for index, (symbol, _) in enumerate(weighted_symbols)}
+        ordered = sorted(lengths.items(), key=lambda item: (item[1], order[item[0]]))
+        self.codes: dict[object, tuple[int, int]] = {}
+        code = 0
+        previous_length = ordered[0][1]
+        for symbol, length in ordered:
+            code <<= length - previous_length
+            previous_length = length
+            self.codes[symbol] = (code, length)
+            code += 1
+        self._tree = self._build_tree()
+        self.max_length = max(length for _, length in self.codes.values())
+
+    @staticmethod
+    def _code_lengths(weighted_symbols) -> dict[object, int]:
+        heap = []
+        for index, (symbol, weight) in enumerate(weighted_symbols):
+            heapq.heappush(heap, (weight, index, [symbol]))
+        lengths = {symbol: 0 for symbol, _ in weighted_symbols}
+        counter = len(weighted_symbols)
+        while len(heap) > 1:
+            w1, _, group1 = heapq.heappop(heap)
+            w2, _, group2 = heapq.heappop(heap)
+            for symbol in group1 + group2:
+                lengths[symbol] += 1
+            heapq.heappush(heap, (w1 + w2, counter, group1 + group2))
+            counter += 1
+        return lengths
+
+    def _build_tree(self):
+        # Tree nodes are 2-lists [zero_child, one_child]; leaves hold symbols.
+        root: list = [None, None]
+        for symbol, (code, length) in self.codes.items():
+            node = root
+            for bit_index in range(length - 1, -1, -1):
+                bit = (code >> bit_index) & 1
+                if bit_index == 0:
+                    node[bit] = ("leaf", symbol)
+                else:
+                    if node[bit] is None:
+                        node[bit] = [None, None]
+                    node = node[bit]
+        return root
+
+    def encode(self, writer: BitWriter, symbol) -> int:
+        """Write the code for ``symbol``; returns its bit length."""
+        code, length = self.codes[symbol]
+        writer.write_bits(code, length)
+        return length
+
+    def decode(self, reader: BitReader):
+        node = self._tree
+        for _ in range(self.max_length + 1):
+            node = node[reader.read_bit()]
+            if node is None:
+                break
+            if node[0] == "leaf":
+                return node[1]
+        raise ValueError("invalid VLC codeword")
+
+
+def _coefficient_weights() -> list[tuple[object, float]]:
+    """Frequency model for (last, run, level) events.
+
+    Mirrors the shape of MPEG-4 table B-16: probability decays roughly
+    geometrically in run and level, LAST events are rarer than non-LAST,
+    and the representable (run, level) region shrinks as run grows.
+    """
+    weighted: list[tuple[object, float]] = [(ESCAPE, 1e-6)]
+    for last in (0, 1):
+        last_scale = 1.0 if last == 0 else 0.12
+        for run in range(MAX_TABLE_RUN + 1):
+            level_bound = max(1, MAX_TABLE_LEVEL - run // 2 - (4 if last else 6))
+            for level in range(1, level_bound + 1):
+                weight = last_scale * (0.55**run) * (0.42 ** (level - 1))
+                weighted.append(((last, run, level), weight))
+    return weighted
+
+
+#: The (LAST, RUN, LEVEL) event table (sign coded separately, as in MPEG-4).
+COEFF_TABLE = HuffmanTable(_coefficient_weights())
+
+_COEFF_SYMBOLS = frozenset(
+    symbol for symbol, _ in _coefficient_weights() if symbol != ESCAPE
+)
+
+# Escape payload widths (MPEG-4 escape type 3: FLC last/run/level).
+_ESCAPE_RUN_BITS = 6
+_ESCAPE_LEVEL_BITS = 12
+
+
+def encode_coefficient_event(writer: BitWriter, last: int, run: int, level: int) -> None:
+    """Write one (LAST, RUN, LEVEL) event; ``level`` is signed, non-zero."""
+    if level == 0:
+        raise ValueError("coefficient events carry non-zero levels")
+    magnitude = abs(level)
+    sign = 1 if level < 0 else 0
+    symbol = (last, run, magnitude)
+    if symbol in _COEFF_SYMBOLS:
+        COEFF_TABLE.encode(writer, symbol)
+        writer.write_bit(sign)
+        return
+    COEFF_TABLE.encode(writer, ESCAPE)
+    writer.write_bit(last)
+    writer.write_bits(run, _ESCAPE_RUN_BITS)
+    writer.write_bit(sign)
+    if magnitude >= (1 << _ESCAPE_LEVEL_BITS):
+        raise ValueError(f"level magnitude {magnitude} exceeds escape range")
+    writer.write_bits(magnitude, _ESCAPE_LEVEL_BITS)
+
+
+def decode_coefficient_event(reader: BitReader) -> tuple[int, int, int]:
+    """Read one event; returns (last, run, signed level)."""
+    symbol = COEFF_TABLE.decode(reader)
+    if symbol == ESCAPE:
+        last = reader.read_bit()
+        run = reader.read_bits(_ESCAPE_RUN_BITS)
+        sign = reader.read_bit()
+        magnitude = reader.read_bits(_ESCAPE_LEVEL_BITS)
+        level = -magnitude if sign else magnitude
+        return last, run, level
+    last, run, magnitude = symbol
+    sign = reader.read_bit()
+    return last, run, -magnitude if sign else magnitude
+
+
+@dataclass(frozen=True)
+class MacroblockHeader:
+    """Decoded macroblock-layer signalling."""
+
+    is_intra: bool
+    is_skipped: bool
+    cbp: int  # coded-block pattern, one bit per 8x8 block (Y0..Y3, U, V)
+
+
+#: MCBPC-style table: (is_intra, cbp_chroma) jointly coded.
+MCBPC_TABLE = HuffmanTable(
+    [
+        ((False, 0), 0.50),
+        ((False, 1), 0.10),
+        ((False, 2), 0.10),
+        ((False, 3), 0.06),
+        ((True, 0), 0.14),
+        ((True, 1), 0.04),
+        ((True, 2), 0.04),
+        ((True, 3), 0.02),
+    ]
+)
+
+#: CBPY table: 4-bit luma coded-block pattern.
+CBPY_TABLE = HuffmanTable(
+    [(pattern, 0.04 + 0.3 * (bin(pattern).count("1") in (0, 4))) for pattern in range(16)]
+)
+
+
+def encode_macroblock_header(
+    writer: BitWriter, is_intra: bool, is_skipped: bool, cbp: int, inter_allowed: bool
+) -> None:
+    """Write not_coded / MCBPC / CBPY, as in the MPEG-4 combined-motion
+    macroblock layer."""
+    if inter_allowed:
+        writer.write_bit(1 if is_skipped else 0)
+        if is_skipped:
+            return
+    elif is_skipped:
+        raise ValueError("I-VOP macroblocks cannot be skipped")
+    # CBP layout: bits 5..2 are luma blocks Y0..Y3, bit 1 is U, bit 0 is V.
+    cbp_chroma = cbp & 0x3
+    cbp_luma = (cbp >> 2) & 0xF
+    MCBPC_TABLE.encode(writer, (is_intra, cbp_chroma))
+    CBPY_TABLE.encode(writer, cbp_luma)
+
+
+def decode_macroblock_header(reader: BitReader, inter_allowed: bool) -> MacroblockHeader:
+    if inter_allowed and reader.read_bit():
+        return MacroblockHeader(is_intra=False, is_skipped=True, cbp=0)
+    is_intra, cbp_chroma = MCBPC_TABLE.decode(reader)
+    cbp_luma = CBPY_TABLE.decode(reader)
+    return MacroblockHeader(
+        is_intra=is_intra, is_skipped=False, cbp=(cbp_luma << 2) | cbp_chroma
+    )
+
+
+def encode_mv_component(writer: BitWriter, value_half_pel: int) -> None:
+    """Motion-vector difference component, in half-pel units.
+
+    Signed Exp-Golomb stands in for table B-12; same support (+/-32 at
+    +/-16-pixel search range), same short-codes-for-small-values shape.
+    """
+    writer.write_se(value_half_pel)
+
+
+def decode_mv_component(reader: BitReader) -> int:
+    return reader.read_se()

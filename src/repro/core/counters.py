@@ -1,0 +1,63 @@
+"""Perfex-style counter facade.
+
+The paper reads the IRIX virtual performance counters through SpeedShop
+and perfex; this module is the equivalent front end over a simulated
+hierarchy: raw event counts by name, plus the derived metric report.
+Examples and notebooks use it to inspect a run the way the authors
+inspected theirs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machines import MachineSpec
+from repro.core.metrics import MetricReport, compute_report
+from repro.memsim.hierarchy import HierarchyCounters, MemoryHierarchy
+
+#: perfex-style event names -> counter attributes.
+EVENT_MAP = {
+    "graduated_loads": "graduated_loads",
+    "graduated_stores": "graduated_stores",
+    "primary_data_cache_misses": "l1_misses",
+    "secondary_data_cache_misses": "l2_misses",
+    "quadwords_written_back_from_primary": "l1_writebacks",
+    "quadwords_written_back_from_secondary": "l2_writebacks",
+    "prefetch_instructions_executed": "prefetch_issued",
+    "prefetch_primary_misses": "prefetch_l1_misses",
+}
+
+
+@dataclass
+class PerfexSession:
+    """Counter access over one machine's simulated hierarchy."""
+
+    machine: MachineSpec
+    hierarchy: MemoryHierarchy
+
+    @classmethod
+    def start(cls, machine: MachineSpec) -> "PerfexSession":
+        return cls(machine=machine, hierarchy=machine.build_hierarchy())
+
+    def read(self, event: str, phase: str | None = None) -> int:
+        """Raw count for one perfex event name."""
+        if event not in EVENT_MAP:
+            raise KeyError(f"unknown event {event!r}; known: {sorted(EVENT_MAP)}")
+        counters = self._scope(phase)
+        return getattr(counters, EVENT_MAP[event])
+
+    def report(self, phase: str | None = None, scale: float = 1.0) -> MetricReport:
+        """The paper's derived metrics for the whole run or one phase."""
+        return compute_report(self._scope(phase), self.machine, scale)
+
+    def phases(self) -> list[str]:
+        return sorted(self.hierarchy.phases)
+
+    def _scope(self, phase: str | None) -> HierarchyCounters:
+        if phase is None:
+            return self.hierarchy.total
+        if phase not in self.hierarchy.phases:
+            raise KeyError(
+                f"phase {phase!r} not recorded; have {sorted(self.hierarchy.phases)}"
+            )
+        return self.hierarchy.phases[phase]

@@ -1,0 +1,319 @@
+"""Experiment registry: one entry per table and figure of the paper.
+
+:class:`StudyRunner` caches characterization runs so experiments that
+share a workload (encode/decode table pairs, the figures, Table 8's phase
+breakdown) run the expensive pipeline once.  ``run_experiment("table5")``
+regenerates any paper artifact; the benchmark suite is a thin wrapper.
+
+Scale presets: the paper runs 30 frames; tracing all of them is faithful
+but slow, so the default preset traces an 8-frame prefix (one GOP's worth
+of I/P/B mix) and the ``paper`` preset the full 30.  Select with the
+``REPRO_SCALE`` environment variable (``quick`` / ``default`` / ``paper``).
+All reported metrics are ratios or rates, which sampling leaves unbiased
+(see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.machines import SGI_ONYX, SGI_ONYX2, STUDY_MACHINES
+from repro.core.metrics import MetricReport
+from repro.core.paperdata import (
+    IMPROVING_UNDER_PRESSURE,
+    TABLE2_ENCODE_1VO1L,
+    TABLE3_DECODE_1VO1L,
+    TABLE4_ENCODE_3VO1L,
+    TABLE5_DECODE_3VO1L,
+    TABLE6_ENCODE_3VO2L,
+    TABLE7_DECODE_3VO2L,
+)
+from repro.core.report import render_series, render_table
+from repro.core.study import (
+    StudyResult,
+    Workload,
+    characterize_decode,
+    characterize_encode,
+    encode_untraced,
+)
+from repro.trace.recorder import BandSampling
+
+#: Paper resolutions: PAL and the beyond-NTSC size.
+RESOLUTIONS = (("720x576", 720, 576), ("1024x768", 1024, 768))
+#: Figure 2's "extremely large frames" point.
+HUGE_RESOLUTION = ("2048x1024", 2048, 1024)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Tracing effort preset."""
+
+    name: str
+    n_frames: int
+    row_fraction: float
+
+    def sampling(self) -> BandSampling | None:
+        if self.row_fraction >= 1.0:
+            return None
+        return BandSampling(row_fraction=self.row_fraction)
+
+
+SCALES = {
+    "quick": ExperimentScale("quick", 4, 0.5),
+    "default": ExperimentScale("default", 8, 1.0),
+    "paper": ExperimentScale("paper", 30, 1.0),
+}
+
+
+def current_scale() -> ExperimentScale:
+    name = os.environ.get("REPRO_SCALE", "default")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(SCALES)}, got {name!r}")
+    return SCALES[name]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated artifact: its text rendering plus raw data."""
+
+    experiment_id: str
+    text: str
+    measured: dict = field(default_factory=dict)
+
+
+class StudyRunner:
+    """Caches (workload -> StudyResult) across experiments."""
+
+    def __init__(self, scale: ExperimentScale | None = None) -> None:
+        self.scale = scale or current_scale()
+        self._encode_runs: dict[tuple, StudyResult] = {}
+        self._decode_runs: dict[tuple, StudyResult] = {}
+        self._streams: dict[tuple, list] = {}
+
+    def _workload(self, width: int, height: int, n_vos: int, n_layers: int) -> Workload:
+        return Workload(
+            name=f"{width}x{height}-{n_vos}vo-{n_layers}l",
+            width=width,
+            height=height,
+            n_vos=n_vos,
+            n_layers=n_layers,
+            n_frames=self.scale.n_frames,
+        )
+
+    def encode(self, width: int, height: int, n_vos: int = 1, n_layers: int = 1) -> StudyResult:
+        key = (width, height, n_vos, n_layers)
+        if key not in self._encode_runs:
+            workload = self._workload(*key)
+            result = characterize_encode(workload, STUDY_MACHINES, self.scale.sampling())
+            self._encode_runs[key] = result
+            self._streams[key] = result.encoded
+        return self._encode_runs[key]
+
+    def decode(self, width: int, height: int, n_vos: int = 1, n_layers: int = 1) -> StudyResult:
+        key = (width, height, n_vos, n_layers)
+        if key not in self._decode_runs:
+            workload = self._workload(*key)
+            if key not in self._streams:
+                self._streams[key] = encode_untraced(workload)
+            self._decode_runs[key] = characterize_decode(
+                workload, self._streams[key], STUDY_MACHINES, self.scale.sampling()
+            )
+        return self._decode_runs[key]
+
+    def run(self, direction: str, width: int, height: int, n_vos: int, n_layers: int):
+        if direction == "encode":
+            return self.encode(width, height, n_vos, n_layers)
+        return self.decode(width, height, n_vos, n_layers)
+
+
+# -- tables -----------------------------------------------------------------
+
+
+def _metric_table(runner, direction, n_vos, n_layers, paper, title) -> ExperimentResult:
+    measured: dict[str, dict[str, MetricReport]] = {}
+    for label, width, height in RESOLUTIONS:
+        run = runner.run(direction, width, height, n_vos, n_layers)
+        measured[label] = run.reports
+    text = render_table(title, measured, paper)
+    return ExperimentResult(experiment_id=title.split(" ")[0].lower(), text=text,
+                            measured=measured)
+
+
+def table1(runner: StudyRunner) -> ExperimentResult:
+    """Table 1: platform highlights (configuration, not measurement)."""
+    from repro.core.machines import BUS, DRAM, L1_GEOMETRY
+
+    lines = ["Table1 -- Common Platform Highlights", "=" * 36]
+    lines.append(f"L1 data cache      {L1_GEOMETRY.describe()}")
+    for machine in STUDY_MACHINES:
+        lines.append(
+            f"{machine.name:<18} {machine.cpu} @ {machine.clock_mhz:.0f} MHz, "
+            f"L2 {machine.l2.describe()}"
+        )
+    lines.append(
+        f"system bus         {BUS.width_bits} bits, {BUS.clock_mhz:.0f} MHz, "
+        f"split transaction ({BUS.sustained_mb_s:.0f} MB/s sustained, "
+        f"{BUS.peak_mb_s:.0f} MB/s peak)"
+    )
+    lines.append(f"main memory        {DRAM.interleave_ways}-way interleaved SDRAM, "
+                 f"{DRAM.latency_ns:.0f} ns load-to-use")
+    return ExperimentResult("table1", "\n".join(lines))
+
+
+def table2(runner: StudyRunner) -> ExperimentResult:
+    return _metric_table(runner, "encode", 1, 1, TABLE2_ENCODE_1VO1L,
+                         "Table2 -- Video Encoding: One Visual Object, One Layer")
+
+
+def table3(runner: StudyRunner) -> ExperimentResult:
+    return _metric_table(runner, "decode", 1, 1, TABLE3_DECODE_1VO1L,
+                         "Table3 -- Video Decoding: One Visual Object, One Layer")
+
+
+def table4(runner: StudyRunner) -> ExperimentResult:
+    return _metric_table(runner, "encode", 3, 1, TABLE4_ENCODE_3VO1L,
+                         "Table4 -- Video Encoding: Three Visual Objects, One Layer Each")
+
+
+def table5(runner: StudyRunner) -> ExperimentResult:
+    return _metric_table(runner, "decode", 3, 1, TABLE5_DECODE_3VO1L,
+                         "Table5 -- Video Decoding: Three Visual Objects, One Layer Each")
+
+
+def table6(runner: StudyRunner) -> ExperimentResult:
+    return _metric_table(runner, "encode", 3, 2, TABLE6_ENCODE_3VO2L,
+                         "Table6 -- Video Encoding: Three Visual Objects, Two Layers Each")
+
+
+def table7(runner: StudyRunner) -> ExperimentResult:
+    return _metric_table(runner, "decode", 3, 2, TABLE7_DECODE_3VO2L,
+                         "Table7 -- Video Decoding: Three Visual Objects, Two Layers Each")
+
+
+def table8(runner: StudyRunner) -> ExperimentResult:
+    """Table 8: burstiness of VopEncode/VopDecode vs the whole program.
+
+    Measured on the (R12K, 8MB) machine, as in the paper.
+    """
+    machine = SGI_ONYX2.label
+    rows = {}
+    for direction, phase in (("encode", "vop_encode"), ("decode", "vop_decode")):
+        for label, width, height in RESOLUTIONS:
+            run = runner.run(direction, width, height, 1, 1)
+            whole = run.reports[machine]
+            part = run.phase_reports[phase][machine]
+            rows[f"{phase} {label}"] = (part, whole)
+    lines = ["Table8 -- VopEncode/VopDecode vs whole program (R12K, 8MB)",
+             "=" * 58]
+    header = f"{'phase / metric':<28} {'L1C miss':>10} {'L2C miss':>10} {'L1-L2 b/w':>10} {'L2-DRAM':>10}"
+    lines.append(header)
+    measured = {}
+    for name, (part, whole) in rows.items():
+        lines.append(
+            f"{name:<28} {part.l1_miss_rate:>9.2%} {part.l2_miss_rate:>9.1%} "
+            f"{part.l1_l2_bw_mb_s:>10.1f} {part.l2_dram_bw_mb_s:>10.1f}"
+        )
+        lines.append(
+            f"{'  [whole program]':<28} {whole.l1_miss_rate:>9.2%} {whole.l2_miss_rate:>9.1%} "
+            f"{whole.l1_l2_bw_mb_s:>10.1f} {whole.l2_dram_bw_mb_s:>10.1f}"
+        )
+        measured[name] = {"phase": part, "whole": whole}
+    return ExperimentResult("table8", "\n".join(lines), measured)
+
+
+# -- figures ------------------------------------------------------------------
+
+
+def fig2(runner: StudyRunner) -> ExperimentResult:
+    """Figure 2: memory statistics vs growing image size (decode, 1MB L2)."""
+    machine = STUDY_MACHINES[0]  # the 1 MB L2 machine
+    sizes = [*RESOLUTIONS, HUGE_RESOLUTION]
+    series = {"L2C miss rate": [], "L2-DRAM b/w (MB/s)": [], "DRAM stall time": []}
+    labels = []
+    for label, width, height in sizes:
+        run = runner.decode(width, height, 1, 1)
+        report = run.reports[machine.label]
+        labels.append(label)
+        series["L2C miss rate"].append(report.l2_miss_rate)
+        series["L2-DRAM b/w (MB/s)"].append(report.l2_dram_bw_mb_s)
+        series["DRAM stall time"].append(report.dram_time)
+    text = render_series(
+        "Fig2 -- Memory Statistics for Growing Image Size (Decoding, 1MB L2C)",
+        series,
+        labels,
+    )
+    return ExperimentResult("fig2", text, {"labels": labels, "series": series})
+
+
+def _vo_layer_series(runner: StudyRunner, metric: str, title: str, fig_id: str):
+    machine = SGI_ONYX.label  # R10K with 2MB L2, as in Figures 3/4
+    configurations = [("1 VO, 1 layer", 1, 1), ("3 VOs, 1 layer each", 3, 1),
+                      ("3 VOs, 2 layers each", 3, 2)]
+    series = {}
+    labels = []
+    for res_label, width, height in RESOLUTIONS:
+        for direction in ("encode", "decode"):
+            labels.append(f"{direction[:3]} {res_label}")
+    for config_label, n_vos, n_layers in configurations:
+        values = []
+        for res_label, width, height in RESOLUTIONS:
+            for direction in ("encode", "decode"):
+                run = runner.run(direction, width, height, n_vos, n_layers)
+                values.append(getattr(run.reports[machine], metric))
+        series[config_label] = values
+    text = render_series(title, series, labels)
+    return ExperimentResult(fig_id, text, {"labels": labels, "series": series})
+
+
+def fig3(runner: StudyRunner) -> ExperimentResult:
+    """Figure 3: L1C miss rates for varying numbers of objects and layers."""
+    return _vo_layer_series(
+        runner, "l1_miss_rate",
+        "Fig3 -- L1C Miss Rates for Varying Numbers of Objects and Layers (R10K 2MB)",
+        "fig3",
+    )
+
+
+def fig4(runner: StudyRunner) -> ExperimentResult:
+    """Figure 4: L2C miss rates for varying numbers of objects and layers."""
+    return _vo_layer_series(
+        runner, "l2_miss_rate",
+        "Fig4 -- L2C Miss Rates for Varying Numbers of Objects and Layers (R10K 2MB)",
+        "fig4",
+    )
+
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+}
+
+
+def run_experiment(experiment_id: str, runner: StudyRunner | None = None) -> ExperimentResult:
+    """Regenerate one paper artifact by id (``table1``..``table8``, ``fig2``..``fig4``)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[experiment_id](runner or StudyRunner())
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentScale",
+    "IMPROVING_UNDER_PRESSURE",
+    "RESOLUTIONS",
+    "SCALES",
+    "StudyRunner",
+    "current_scale",
+    "run_experiment",
+]

@@ -1,0 +1,164 @@
+"""Reference values transcribed from the paper, for side-by-side reports.
+
+Values come from Tables 4-7 (which are legible in the source scan), from
+Figure 2-4 descriptions, and from prose in Sections 3.2-3.3.  Tables 2
+and 3 are badly garbled in the available scan; where a cell is not
+legible we carry ``None`` and the report renders an em dash.  Prose
+anchors for Tables 2/3: encoding L1 hit rates up to 99.91 % with line
+reuse ~1000, decoding reuse >200; decoding (1 VO, 1024x768) L1 miss
+0.41 %, L2 miss 19.10 %, DRAM stall 7.1 %; decode worst-case stall <=12 %.
+
+Every entry is ``(metric row, machine column) -> value`` with machine
+columns ordered (1 MB, 2 MB, 8 MB) per resolution, as in the paper.
+"""
+
+from __future__ import annotations
+
+#: Row keys, in the paper's order.
+ROWS = (
+    "l1_miss_rate",
+    "l1_miss_time",
+    "l1_line_reuse",
+    "l2_miss_rate",
+    "l2_line_reuse",
+    "dram_time",
+    "l1_l2_bw_mb_s",
+    "l2_dram_bw_mb_s",
+    "prefetch_l1_miss",
+)
+
+#: Human labels for the rows (paper's metric names).
+ROW_LABELS = {
+    "l1_miss_rate": "L1C miss rate",
+    "l1_miss_time": "L1C miss time",
+    "l1_line_reuse": "L1C line reuse",
+    "l2_miss_rate": "L2C miss rate",
+    "l2_line_reuse": "L2C line reuse",
+    "dram_time": "DRAM time",
+    "l1_l2_bw_mb_s": "L1-L2 b/w (MB/s)",
+    "l2_dram_bw_mb_s": "L2-DRAM b/w (MB/s)",
+    "prefetch_l1_miss": "prefetch L1C miss",
+}
+
+_NA = None
+
+# Columns: (720x576: 1MB, 2MB, 8MB), (1024x768: 1MB, 2MB, 8MB).
+
+
+def _table(rows):
+    return {
+        "720x576": {row: values[:3] for row, values in rows.items()},
+        "1024x768": {row: values[3:] for row, values in rows.items()},
+    }
+
+
+#: Table 2 -- encoding, 1 VO x 1 layer.  Mostly illegible in the scan;
+#: prose anchors: L1 hit up to 99.91 %, reuse ~1000, DRAM stall as low as
+#: 0.2 % (large L2, 720x576) and ~4 % worst case (small L2, 1024x768).
+TABLE2_ENCODE_1VO1L = _table(
+    {
+        "l1_miss_rate": (_NA, _NA, 0.0010, _NA, _NA, _NA),
+        "l1_miss_time": (_NA, _NA, _NA, _NA, _NA, _NA),
+        "l1_line_reuse": (1000.0, _NA, _NA, 1000.0, _NA, _NA),
+        "l2_miss_rate": (0.364, _NA, 0.1072, _NA, _NA, _NA),
+        "l2_line_reuse": (_NA, _NA, 6.3, _NA, _NA, _NA),
+        "dram_time": (0.024, _NA, 0.002, 0.040, _NA, 0.015),
+        "l1_l2_bw_mb_s": (_NA, 16.9, 22.4, _NA, 16.3, 20.3),
+        "l2_dram_bw_mb_s": (24.3, 14.9, 9.8, _NA, _NA, 24.0),
+        "prefetch_l1_miss": (0.364, _NA, 0.452, 0.416, _NA, _NA),
+    }
+)
+
+#: Table 3 -- decoding, 1 VO x 1 layer.  Prose anchors: L1 miss 0.40-0.41 %,
+#: reuse 251.7 (1024x768, 1MB), L2 miss 36.48 %, DRAM 11.3 %, worst <=12 %.
+TABLE3_DECODE_1VO1L = _table(
+    {
+        "l1_miss_rate": (_NA, _NA, _NA, 0.0040, 0.0041, _NA),
+        "l1_miss_time": (_NA, _NA, 0.0110, 0.0144, _NA, _NA),
+        "l1_line_reuse": (251.7, _NA, 288.1, 251.7, _NA, _NA),
+        "l2_miss_rate": (0.3648, 0.1910, _NA, 0.3648, 0.1910, _NA),
+        "l2_line_reuse": (1.7, _NA, _NA, 1.7, _NA, _NA),
+        "dram_time": (0.113, 0.071, 0.015, 0.113, 0.071, 0.019),
+        "l1_l2_bw_mb_s": (20.3, _NA, _NA, 20.3, _NA, _NA),
+        "l2_dram_bw_mb_s": (24.0, _NA, _NA, 24.0, _NA, _NA),
+        "prefetch_l1_miss": (0.416, _NA, _NA, 0.416, _NA, _NA),
+    }
+)
+
+#: Table 4 -- encoding, 3 VOs x 1 layer each.
+TABLE4_ENCODE_3VO1L = _table(
+    {
+        "l1_miss_rate": (0.0009, _NA, _NA, _NA, _NA, _NA),
+        "l1_miss_time": (0.0035, _NA, _NA, _NA, _NA, _NA),
+        "l1_line_reuse": (1172.9, _NA, _NA, _NA, _NA, _NA),
+        "l2_miss_rate": (0.3224, _NA, _NA, _NA, _NA, _NA),
+        "l2_line_reuse": (_NA, _NA, _NA, _NA, _NA, _NA),
+        "dram_time": (0.024, _NA, _NA, _NA, _NA, _NA),
+        "l1_l2_bw_mb_s": (4.5, _NA, _NA, _NA, _NA, _NA),
+        "l2_dram_bw_mb_s": (4.9, _NA, _NA, _NA, _NA, _NA),
+        "prefetch_l1_miss": (0.396, _NA, _NA, _NA, _NA, _NA),
+    }
+)
+
+#: Table 5 -- decoding, 3 VOs x 1 layer each (fully legible).
+TABLE5_DECODE_3VO1L = _table(
+    {
+        "l1_miss_rate": (0.0031, 0.0034, 0.0026, 0.0033, 0.0036, 0.0030),
+        "l1_miss_time": (0.0120, 0.0146, 0.0096, 0.0127, 0.0152, 0.0106),
+        "l1_line_reuse": (318.6, 291.5, 356.6, 299.3, 280.3, 327.9),
+        "l2_miss_rate": (0.3656, 0.1609, 0.1241, 0.3522, 0.1612, 0.1492),
+        "l2_line_reuse": (1.7, 4.5, 7.1, 1.6, 4.5, 5.7),
+        "dram_time": (0.095, 0.056, 0.014, 0.097, 0.059, 0.019),
+        "l1_l2_bw_mb_s": (16.8, 16.7, 17.6, 17.9, 17.3, 19.7),
+        "l2_dram_bw_mb_s": (20.2, 12.3, 9.5, 20.6, 13.0, 12.0),
+        "prefetch_l1_miss": (0.444, _NA, 0.403, 0.412, _NA, 0.415),
+    }
+)
+
+#: Table 6 -- encoding, 3 VOs x 2 layers each.
+TABLE6_ENCODE_3VO2L = _table(
+    {
+        "l1_miss_rate": (0.0006, _NA, 0.0010, 0.0011, _NA, _NA),
+        "l1_miss_time": (0.0029, _NA, 0.0035, 0.0045, _NA, _NA),
+        "l1_line_reuse": (1249.4, 966.9, 1026.3, 910.5, _NA, _NA),
+        "l2_miss_rate": (0.0997, 0.1414, 0.1015, 0.4083, _NA, _NA),
+        "l2_line_reuse": (_NA, 6.1, 6.9, _NA, _NA, _NA),
+        "dram_time": (_NA, 0.015, 0.004, _NA, _NA, _NA),
+        "l1_l2_bw_mb_s": (2.6, 5.2, 5.9, _NA, _NA, _NA),
+        "l2_dram_bw_mb_s": (_NA, 3.2, 2.6, _NA, _NA, _NA),
+        "prefetch_l1_miss": (_NA, _NA, 0.406, _NA, _NA, _NA),
+    }
+)
+
+#: Table 7 -- decoding, 3 VOs x 2 layers each.
+TABLE7_DECODE_3VO2L = _table(
+    {
+        "l1_miss_rate": (0.0033, _NA, _NA, 0.0034, _NA, _NA),
+        "l1_miss_time": (0.0121, _NA, _NA, _NA, _NA, _NA),
+        "l1_line_reuse": (304.8, _NA, _NA, _NA, _NA, _NA),
+        "l2_miss_rate": (0.3442, _NA, _NA, 0.3402, _NA, 0.1802),
+        "l2_line_reuse": (1.9, _NA, _NA, _NA, _NA, _NA),
+        "dram_time": (0.090, 0.091, _NA, _NA, 0.056, 0.018),
+        "l1_l2_bw_mb_s": (17.1, 16.9, _NA, _NA, 16.8, 19.2),
+        "l2_dram_bw_mb_s": (19.3, _NA, _NA, _NA, 12.5, 11.6),
+        "prefetch_l1_miss": (0.404, _NA, 0.411, _NA, _NA, 0.367),
+    }
+)
+
+#: Section 3.2 prose: decode on the R10K/2MB machine at 1024x768,
+#: (1 VO 1 L) -> (3 VO 1 L) -> (3 VO 2 L): improving under pressure.
+IMPROVING_UNDER_PRESSURE = {
+    "l1_miss_rate": (0.0041, 0.0036, 0.0034),
+    "l2_miss_rate": (0.1910, 0.1812, 0.1802),
+    "dram_time": (0.071, 0.059, 0.056),
+}
+
+#: Table 8 -- VopEncode/VopDecode phases vs whole program (R12K, 8 MB).
+#: Legible anchors: the phases' L2C miss rate and L2-DRAM traffic are
+#: both smaller than the whole program's; VopDecode L1C misses about
+#: twice the whole-program rate yet still captures >99.2 % of accesses.
+TABLE8_PHASE_ANCHORS = {
+    "vop_encode_l2_miss_le_program": True,
+    "vop_decode_l1_miss_ge_program": True,
+    "vop_decode_l1_hit_min": 0.992,
+}

@@ -1,0 +1,87 @@
+"""Representative 2003-era platforms beyond the SGI machines.
+
+Paper Section 4: "In order to investigate how MPEG-4 behaves with
+different architectural configurations, we are extending our experiments
+to a spectrum of representative platforms (including IA32, IA64, and
+Power4).  Our intuition is that the memory performance of the MPEG-4
+visual profile is unlikely to change qualitatively on any mainstream
+workstation with a conventional cache hierarchy."
+
+These platform models (cache geometries and approximate latencies of the
+era's parts) drive the :mod:`benchmarks.test_ablation_platforms` sweep
+that tests exactly that intuition with the N-level engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.cache import CacheGeometry
+from repro.memsim.multilevel import MultiLevelHierarchy
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One non-SGI comparison platform."""
+
+    name: str
+    clock_mhz: float
+    ipc: float
+    geometries: tuple[CacheGeometry, ...]
+    latencies: tuple[float, ...]  # miss penalty per level, cycles
+    hide: float = 0.35  # OoO latency-hiding fraction
+
+    def build(self) -> MultiLevelHierarchy:
+        return MultiLevelHierarchy(
+            list(self.geometries),
+            list(self.latencies),
+            ipc=self.ipc,
+            clock_mhz=self.clock_mhz,
+            name=self.name,
+            hide=self.hide,
+        )
+
+
+#: Pentium III "Coppermine": 16 KB 4-way L1D, 256 KB 8-way on-die L2.
+PENTIUM_III = PlatformSpec(
+    name="IA32 (Pentium III)",
+    clock_mhz=1000.0,
+    ipc=1.2,
+    geometries=(
+        CacheGeometry(16 << 10, 32, 4),
+        CacheGeometry(256 << 10, 32, 8),
+    ),
+    latencies=(7.0, 140.0),
+    hide=0.40,
+)
+
+#: Itanium: 16 KB L1D, 96 KB L2, 4 MB off-die L3.
+ITANIUM = PlatformSpec(
+    name="IA64 (Itanium)",
+    clock_mhz=800.0,
+    ipc=1.8,
+    geometries=(
+        CacheGeometry(16 << 10, 32, 4),
+        CacheGeometry(96 << 10, 64, 6),
+        CacheGeometry(4 << 20, 64, 4),
+    ),
+    latencies=(6.0, 21.0, 120.0),
+    hide=0.30,
+)
+
+#: POWER4: 32 KB 2-way L1D, ~1.4 MB shared L2 (modelled as 2 MB for
+#: power-of-two set counts), huge off-chip L3.
+POWER4 = PlatformSpec(
+    name="Power4",
+    clock_mhz=1300.0,
+    ipc=1.6,
+    geometries=(
+        CacheGeometry(32 << 10, 128, 2),
+        CacheGeometry(2 << 20, 128, 8),
+        CacheGeometry(32 << 20, 512, 8),
+    ),
+    latencies=(12.0, 90.0, 350.0),
+    hide=0.45,
+)
+
+EXTENDED_PLATFORMS = (PENTIUM_III, ITANIUM, POWER4)

@@ -1,0 +1,84 @@
+"""Rendering of paper-style tables with measured-vs-paper columns."""
+
+from __future__ import annotations
+
+from repro.core.metrics import MetricReport
+from repro.core.paperdata import ROW_LABELS, ROWS
+
+_PERCENT_ROWS = {"l1_miss_rate", "l1_miss_time", "l2_miss_rate", "dram_time",
+                 "prefetch_l1_miss"}
+
+
+def _format_value(row: str, value) -> str:
+    if value is None:
+        return "--"
+    if row in _PERCENT_ROWS:
+        return f"{value:.2%}"
+    return f"{value:.1f}"
+
+
+def metric_value(report: MetricReport, row: str):
+    return getattr(report, row)
+
+
+def render_table(
+    title: str,
+    measured: dict[str, dict[str, MetricReport]],
+    paper: dict[str, dict[str, tuple]] | None = None,
+    machine_labels: tuple[str, ...] = ("R12K 1MB", "R10K 2MB", "R12K 8MB"),
+) -> str:
+    """Text rendering of one paper table.
+
+    ``measured`` maps resolution label -> machine label -> MetricReport;
+    ``paper`` (optional) supplies the transcribed reference values in the
+    same shape as :mod:`repro.core.paperdata` tables.  Each cell renders
+    as ``measured`` or ``measured (paper)`` when a reference is known.
+    """
+    resolutions = list(measured.keys())
+    headers = ["metric"]
+    for resolution in resolutions:
+        for label in machine_labels:
+            headers.append(f"{resolution} {label}")
+    lines = [title, "=" * len(title)]
+    rows_text = []
+    for row in ROWS:
+        cells = [ROW_LABELS[row]]
+        for resolution in resolutions:
+            for index, label in enumerate(machine_labels):
+                report = measured[resolution][label]
+                value = metric_value(report, row)
+                cell = _format_value(row, value)
+                if paper is not None:
+                    reference = paper.get(resolution, {}).get(row)
+                    ref_value = reference[index] if reference else None
+                    cell += f" ({_format_value(row, ref_value)})"
+                cells.append(cell)
+        rows_text.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows_text))
+        for i in range(len(headers))
+    ]
+    def fmt(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * width for width in widths]))
+    for cells in rows_text:
+        lines.append(fmt(cells))
+    if paper is not None:
+        lines.append("cells: measured (paper value; -- where the scan is illegible)")
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: dict[str, list], x_labels: list[str]) -> str:
+    """Simple text rendering of a figure's data series."""
+    lines = [title, "=" * len(title)]
+    width = max(len(name) for name in series)
+    header = " " * (width + 2) + "  ".join(f"{x:>12}" for x in x_labels)
+    lines.append(header)
+    for name, values in series.items():
+        cells = "  ".join(
+            f"{value:>12.4g}" if value is not None else f"{'--':>12}" for value in values
+        )
+        lines.append(f"{name.ljust(width)}  {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""End-to-end characterization runs (the study itself).
+
+A :class:`Workload` describes one cell of the paper's experimental grid:
+resolution x number of VOs x number of VOLs, 30 frames at 30 Hz with a
+38400 bit/s target rate (paper Section 3.1).  :func:`characterize_encode`
+and :func:`characterize_decode` run the instrumented codec over the
+workload with one simulated memory hierarchy per machine attached, and
+return the paper's metrics per machine, plus per-phase breakdowns for the
+Table 8 burstiness experiment.
+
+Multi-VO scenes follow the paper's setup: "the single-object input
+becom[es] a subset of the multiple-object input" -- the 1-VO workload is
+the full composited frame as one rectangular VO; the 3-VO workload codes
+that same full-frame VO plus the two moving foreground objects as
+arbitrary-shape VOs in their own (MB-aligned) bounding boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.decoder import VopDecoder
+from repro.codec.encoder import EncodedSequence, VopEncoder
+from repro.codec.scalability import ScalableDecoder, ScalableEncoded, ScalableEncoder
+from repro.codec.types import CodecConfig
+from repro.core.machines import STUDY_MACHINES, MachineSpec
+from repro.core.metrics import MetricReport, compute_report
+from repro.trace.recorder import BandSampling, TraceRecorder
+from repro.video.synthesis import SceneSpec, SyntheticScene
+from repro.video.yuv import YuvFrame
+
+#: The paper's target bitrate (bits/s) and frame rate.
+PAPER_BITRATE = 38_400
+PAPER_FRAME_RATE = 30.0
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One cell of the experimental grid."""
+
+    name: str
+    width: int
+    height: int
+    n_vos: int = 1
+    n_layers: int = 1
+    n_frames: int = 30
+    target_bitrate: int = PAPER_BITRATE
+    frame_rate: float = PAPER_FRAME_RATE
+    qp: int = 10
+    gop_size: int = 12
+    m_distance: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_vos not in (1, 3):
+            raise ValueError("the study uses 1 or 3 visual objects")
+        if self.n_layers not in (1, 2):
+            raise ValueError("the study uses 1 or 2 layers")
+
+    @property
+    def label(self) -> str:
+        return f"{self.width}x{self.height}, {self.n_vos} VO(s), {self.n_layers} layer(s)"
+
+
+@dataclass
+class VoInput:
+    """Everything needed to encode one visual object."""
+
+    vo_id: int
+    config: CodecConfig
+    frames: list[YuvFrame]
+    masks: list[np.ndarray] | None
+
+
+@dataclass
+class StudyResult:
+    """Per-machine metric reports for one (workload, direction) run."""
+
+    workload: Workload
+    direction: str  # "encode" | "decode"
+    reports: dict[str, MetricReport]
+    phase_reports: dict[str, dict[str, MetricReport]]
+    scale: float
+    footprint_bytes: int
+    encoded: list = field(default_factory=list)
+    raw_counters: dict = field(default_factory=dict)  # machine label -> counters
+
+    def report_for(self, machine: MachineSpec) -> MetricReport:
+        return self.reports[machine.label]
+
+
+def _mb_align(value: int, granularity: int) -> int:
+    return (value + granularity - 1) // granularity * granularity
+
+
+def _bounding_box(masks: list[np.ndarray], granularity: int) -> tuple[int, int, int, int]:
+    """MB-aligned union bounding box (y0, x0, h, w) of a mask sequence."""
+    union = np.zeros_like(masks[0], dtype=bool)
+    for mask in masks:
+        union |= mask != 0
+    if not union.any():
+        return 0, 0, granularity, granularity
+    rows = np.flatnonzero(union.any(axis=1))
+    cols = np.flatnonzero(union.any(axis=0))
+    height, width = union.shape
+    y0 = rows[0] // granularity * granularity
+    x0 = cols[0] // granularity * granularity
+    y1 = min(_mb_align(rows[-1] + 1, granularity), height)
+    x1 = min(_mb_align(cols[-1] + 1, granularity), width)
+    # Clamp the box inside the frame while keeping granularity.
+    h = max(granularity, y1 - y0)
+    w = max(granularity, x1 - x0)
+    if y0 + h > height:
+        y0 = height - h
+    if x0 + w > width:
+        x0 = width - w
+    return int(y0), int(x0), int(h), int(w)
+
+
+def build_workload_inputs(workload: Workload) -> list[VoInput]:
+    """Synthesize the scene and split it into per-VO coding inputs."""
+    n_objects = 2 if workload.n_vos == 3 else 1
+    scene = SyntheticScene(SceneSpec.default(workload.width, workload.height, n_objects))
+    frames = []
+    object_masks: list[list[np.ndarray]] = [[] for _ in range(n_objects)]
+    for index in range(workload.n_frames):
+        frame, masks = scene.frame_with_masks(index)
+        frames.append(frame)
+        for obj_index, mask in enumerate(masks):
+            object_masks[obj_index].append(mask)
+
+    def config_for(width, height, arbitrary_shape):
+        return CodecConfig(
+            width=width,
+            height=height,
+            qp=workload.qp,
+            gop_size=workload.gop_size,
+            m_distance=workload.m_distance,
+            target_bitrate=workload.target_bitrate,
+            frame_rate=workload.frame_rate,
+            arbitrary_shape=arbitrary_shape,
+        )
+
+    # VO 0: the full composited frame, rectangular.
+    inputs = [
+        VoInput(
+            vo_id=0,
+            config=config_for(workload.width, workload.height, False),
+            frames=frames,
+            masks=None,
+        )
+    ]
+    if workload.n_vos == 1:
+        return inputs
+
+    # VOs 1..2: the moving foreground objects, arbitrary shape, coded in
+    # their MB-aligned bounding boxes.
+    granularity = 16
+    for obj_index in range(n_objects):
+        masks = object_masks[obj_index]
+        y0, x0, h, w = _bounding_box(masks, granularity)
+        cropped_frames = [
+            YuvFrame(
+                frame.y[y0 : y0 + h, x0 : x0 + w].copy(),
+                frame.u[y0 // 2 : (y0 + h) // 2, x0 // 2 : (x0 + w) // 2].copy(),
+                frame.v[y0 // 2 : (y0 + h) // 2, x0 // 2 : (x0 + w) // 2].copy(),
+            )
+            for frame in frames
+        ]
+        cropped_masks = [mask[y0 : y0 + h, x0 : x0 + w].copy() for mask in masks]
+        inputs.append(
+            VoInput(
+                vo_id=obj_index + 1,
+                config=config_for(w, h, True),
+                frames=cropped_frames,
+                masks=cropped_masks,
+            )
+        )
+    return inputs
+
+
+def _make_recorder(machines, sampling):
+    hierarchies = {machine.label: machine.build_hierarchy() for machine in machines}
+    recorder = TraceRecorder(list(hierarchies.values()), sampling)
+    return recorder, hierarchies
+
+
+def _collect(workload, direction, recorder, hierarchies, machines, encoded):
+    scale = recorder.scale_factor()
+    reports = {}
+    phase_reports: dict[str, dict[str, MetricReport]] = {}
+    raw_counters = {}
+    for machine in machines:
+        hierarchy = hierarchies[machine.label]
+        reports[machine.label] = compute_report(hierarchy.total, machine, scale)
+        raw_counters[machine.label] = hierarchy.total
+        for phase, counters in hierarchy.phases.items():
+            phase_reports.setdefault(phase, {})[machine.label] = compute_report(
+                counters, machine, scale
+            )
+    return StudyResult(
+        workload=workload,
+        direction=direction,
+        reports=reports,
+        phase_reports=phase_reports,
+        scale=scale,
+        footprint_bytes=recorder.space.footprint_bytes,
+        encoded=encoded,
+        raw_counters=raw_counters,
+    )
+
+
+def characterize_encode(
+    workload: Workload,
+    machines: tuple[MachineSpec, ...] = STUDY_MACHINES,
+    sampling: BandSampling | None = None,
+    inputs: list[VoInput] | None = None,
+) -> StudyResult:
+    """Run the instrumented encoder over a workload; returns per-machine metrics."""
+    recorder, hierarchies = _make_recorder(machines, sampling)
+    if inputs is None:
+        inputs = build_workload_inputs(workload)
+    encoded = []
+    for vo in inputs:
+        name = f"vo{vo.vo_id}"
+        primary = vo.vo_id == 0
+        if workload.n_layers == 2:
+            encoder = ScalableEncoder(vo.config, recorder, name, walk_tables=primary)
+            encoded.append(encoder.encode_sequence(vo.frames, vo.masks))
+        else:
+            encoder = VopEncoder(
+                vo.config, recorder, f"{name}.vol0", vo_id=vo.vo_id,
+                walk_tables=primary,
+            )
+            encoded.append(encoder.encode_sequence(vo.frames, vo.masks))
+    return _collect(workload, "encode", recorder, hierarchies, machines, encoded)
+
+
+def encode_untraced(workload: Workload, inputs: list[VoInput] | None = None) -> list:
+    """Produce the workload's bitstreams without tracing (decode-side input)."""
+    if inputs is None:
+        inputs = build_workload_inputs(workload)
+    encoded = []
+    for vo in inputs:
+        if workload.n_layers == 2:
+            encoded.append(ScalableEncoder(vo.config).encode_sequence(vo.frames, vo.masks))
+        else:
+            encoded.append(VopEncoder(vo.config).encode_sequence(vo.frames, vo.masks))
+    return encoded
+
+
+def characterize_decode(
+    workload: Workload,
+    encoded: list | None = None,
+    machines: tuple[MachineSpec, ...] = STUDY_MACHINES,
+    sampling: BandSampling | None = None,
+) -> StudyResult:
+    """Run the instrumented decoder over a workload's bitstreams."""
+    if encoded is None:
+        encoded = encode_untraced(workload)
+    recorder, hierarchies = _make_recorder(machines, sampling)
+    for vo_index, stream in enumerate(encoded):
+        name = f"dec.vo{vo_index}"
+        primary = vo_index == 0
+        if isinstance(stream, ScalableEncoded):
+            decoder = ScalableDecoder(recorder, name, walk_tables=primary)
+            decoder.decode(stream)
+        elif isinstance(stream, EncodedSequence):
+            decoder = VopDecoder(recorder, f"{name}.vol0", walk_tables=primary)
+            decoder.decode_sequence(stream.data)
+        else:
+            raise TypeError(f"unrecognized encoded stream type {type(stream)!r}")
+    return _collect(workload, "decode", recorder, hierarchies, machines, encoded)

@@ -1,0 +1,51 @@
+"""Memory-hierarchy simulator.
+
+This package stands in for the SGI hardware (MIPS R10000/R12000 with
+two-level cache hierarchies) that the paper measured with perfex/SpeedShop
+counters.  It provides:
+
+- :mod:`repro.memsim.events` -- the run-length, cache-line-granularity
+  access-event batches that instrumented codec kernels emit.
+- :mod:`repro.memsim.cache` -- a reference set-associative, write-back,
+  write-allocate, true-LRU cache model.
+- :mod:`repro.memsim.hierarchy` -- the two-level hierarchy engine that
+  consumes event batches and maintains the counter state the study reads.
+- :mod:`repro.memsim.dram` -- DRAM and system-bus parameters.
+- :mod:`repro.memsim.timing` -- the out-of-order latency-hiding timing
+  model that converts miss counts into stall cycles and execution time.
+- :mod:`repro.memsim.prefetch` -- helpers for modelling compiler-inserted
+  software prefetching.
+"""
+
+from repro.memsim.cache import CacheGeometry, SetAssocCache
+from repro.memsim.dram import BusSpec, DramSpec
+from repro.memsim.events import (
+    GRANULE_BYTES,
+    GRANULE_SHIFT,
+    KIND_PREFETCH,
+    KIND_READ,
+    KIND_WRITE,
+    AccessBatch,
+    coalesce_lines,
+)
+from repro.memsim.hierarchy import HierarchyCounters, MemoryHierarchy
+from repro.memsim.prefetch import prefetch_stream
+from repro.memsim.timing import TimingSpec
+
+__all__ = [
+    "AccessBatch",
+    "BusSpec",
+    "CacheGeometry",
+    "DramSpec",
+    "GRANULE_BYTES",
+    "GRANULE_SHIFT",
+    "HierarchyCounters",
+    "KIND_PREFETCH",
+    "KIND_READ",
+    "KIND_WRITE",
+    "MemoryHierarchy",
+    "SetAssocCache",
+    "TimingSpec",
+    "coalesce_lines",
+    "prefetch_stream",
+]

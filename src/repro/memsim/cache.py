@@ -1,0 +1,156 @@
+"""Reference set-associative cache model.
+
+This is the *clean* cache implementation: set-associative placement, true
+LRU replacement, write-back + write-allocate, as on the MIPS R10000/R12000
+data caches the paper measured.  The optimized two-level engine in
+:mod:`repro.memsim.hierarchy` inlines the same logic for speed; a
+differential test (``tests/memsim/test_hierarchy.py``) keeps the two in
+agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CacheGeometry:
+    """Size/shape of one cache level.
+
+    ``line_bytes`` must be a power of two and a multiple of the 32-byte
+    trace granule so that granule streams can be mapped onto lines by a
+    shift.
+    """
+
+    size_bytes: int
+    line_bytes: int
+    ways: int
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if self.line_bytes % 32:
+            raise ValueError("line_bytes must be a multiple of the 32-byte granule")
+        if self.ways <= 0:
+            raise ValueError("ways must be positive")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError(
+                f"size {self.size_bytes} not divisible by line_bytes*ways "
+                f"({self.line_bytes}*{self.ways})"
+            )
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError(f"set count must be a power of two, got {self.n_sets}")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+    @property
+    def set_shift(self) -> int:
+        """Right-shift that converts a 32-byte granule index to a line index."""
+        return self.line_shift - 5
+
+    def describe(self) -> str:
+        if self.size_bytes >= 1 << 20:
+            size = f"{self.size_bytes >> 20} MB"
+        else:
+            size = f"{self.size_bytes >> 10} KB"
+        return f"{size}, {self.ways}-way, {self.line_bytes} B lines"
+
+
+class SetAssocCache:
+    """A set-associative, write-back, write-allocate, true-LRU cache.
+
+    Addresses are *line indices* (byte address already shifted by the line
+    size); the caller owns that conversion.  ``access`` returns whether the
+    access hit and appends any dirty victim line to ``writebacks`` so the
+    caller can propagate it down the hierarchy.
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self.n_sets = geometry.n_sets
+        self.ways = geometry.ways
+        self._set_mask = self.n_sets - 1
+        # Per-set list of line indices, LRU at position 0, MRU at the end.
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.writeback_count = 0
+        self.evictions = 0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writeback_count = 0
+        self.evictions = 0
+
+    def access(self, line: int, is_write: bool, writebacks: list[int] | None = None) -> bool:
+        """Perform one demand access; returns True on hit."""
+        ways = self._sets[line & self._set_mask]
+        if line in ways:
+            self.hits += 1
+            if ways[-1] != line:
+                ways.remove(line)
+                ways.append(line)
+            if is_write:
+                self._dirty.add(line)
+            return True
+        self.misses += 1
+        self._fill(ways, line, is_write)
+        if writebacks is not None and self._pending_writeback is not None:
+            writebacks.append(self._pending_writeback)
+        return False
+
+    def probe(self, line: int) -> bool:
+        """Check residency without touching LRU state or counters."""
+        return line in self._sets[line & self._set_mask]
+
+    def invalidate(self, line: int) -> bool:
+        """Drop a line (back-invalidation); returns True if it was dirty."""
+        ways = self._sets[line & self._set_mask]
+        if line not in ways:
+            return False
+        ways.remove(line)
+        was_dirty = line in self._dirty
+        self._dirty.discard(line)
+        return was_dirty
+
+    def _fill(self, ways: list[int], line: int, is_write: bool) -> None:
+        self._pending_writeback = None
+        self.last_victim: int | None = None
+        if len(ways) >= self.ways:
+            victim = ways.pop(0)
+            self.evictions += 1
+            self.last_victim = victim
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                self.writeback_count += 1
+                self._pending_writeback = victim
+        ways.append(line)
+        if is_write:
+            self._dirty.add(line)
+
+    _pending_writeback: int | None = None
+    #: Line evicted by the most recent miss (clean or dirty), or None.
+    last_victim: int | None = None
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def contents(self) -> set[int]:
+        """All resident line indices (for invariant checks in tests)."""
+        resident: set[int] = set()
+        for ways in self._sets:
+            resident.update(ways)
+        return resident

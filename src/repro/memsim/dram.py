@@ -1,0 +1,45 @@
+"""DRAM and system-bus specifications (Table 1 of the paper).
+
+All three SGI machines in the study share the same memory system: a 64-bit
+133 MHz split-transaction system bus (1064 MB/s peak, 680 MB/s sustained)
+in front of 4-way interleaved SDRAM.  These dataclasses carry those numbers
+so the study can report *utilization* of the sustained bandwidth, which is
+the quantity the paper's "hungry for bus bandwidth" fallacy is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class BusSpec:
+    """System-bus parameters."""
+
+    width_bits: int = 64
+    clock_mhz: float = 133.0
+    sustained_mb_s: float = 680.0
+
+    @property
+    def peak_mb_s(self) -> float:
+        return self.width_bits / 8 * self.clock_mhz
+
+    def utilization(self, mb_per_s: float) -> float:
+        """Fraction of the sustained bandwidth consumed by ``mb_per_s``."""
+        return mb_per_s / self.sustained_mb_s
+
+
+@dataclass(frozen=True, slots=True)
+class DramSpec:
+    """Main-memory timing.
+
+    ``latency_ns`` is the full load-to-use latency of an L2 miss (row
+    access plus bus transfer plus controller overhead); mid-1990s-to-2003
+    SGI systems sat in the 200-400 ns range.
+    """
+
+    latency_ns: float = 280.0
+    interleave_ways: int = 4
+
+    def latency_cycles(self, clock_mhz: float) -> float:
+        return self.latency_ns * clock_mhz / 1000.0

@@ -1,0 +1,84 @@
+"""Instruction-cost model for codec kernels.
+
+The timing model needs a compute-cycle estimate per kernel section.
+Memory instructions (graduated loads/stores) are counted by the traces
+themselves; the constants here estimate the *non-memory* (ALU, branch,
+address arithmetic) instructions per unit of kernel work, from hand counts
+of the corresponding scalar C inner loops in reference MPEG-4 codecs
+compiled without SIMD (the paper's "non-SIMD, general purpose" setting).
+
+They are model parameters, not measurements; the speed-ratio ablation
+benchmark explores their sensitivity.
+"""
+
+from __future__ import annotations
+
+#: SAD inner loop: subtract, absolute value, accumulate per pixel pair.
+SAD_ALU_PER_PIXEL = 3
+#: Candidate-loop overhead: index arithmetic, comparisons, best tracking.
+ME_ALU_PER_CANDIDATE = 24
+#: Half-pel candidate: bilinear interpolation plus the SAD itself.
+HALFPEL_ALU_PER_PIXEL = 7
+
+#: Separable double-precision 8x8 DCT/IDCT: two 1-D passes of 8 transforms.
+DCT_ALU_PER_BLOCK = 672
+#: Quantizer: divide/round/clamp per coefficient.
+QUANT_ALU_PER_COEFF = 4
+#: Zigzag reorder per coefficient.
+ZIGZAG_ALU_PER_COEFF = 2
+#: VLC table lookup + bit packing per (LAST, RUN, LEVEL) event.
+VLC_ALU_PER_EVENT = 26
+#: VLC decode: bit unpacking + tree walk per event.
+VLC_DEC_ALU_PER_EVENT = 20
+
+#: Motion compensation, full-pel copy per pixel.
+MC_ALU_PER_PIXEL_FULL = 2
+#: Motion compensation with bilinear half-pel filtering per pixel.
+MC_ALU_PER_PIXEL_HALF = 6
+#: Reconstruction: prediction + residual, clamp, per pixel.
+RECON_ALU_PER_PIXEL = 3
+
+#: Repetitive padding per processed pixel (two passes).
+PAD_ALU_PER_PIXEL = 4
+#: Context build + arithmetic-coder step per shape pixel.
+CAE_ALU_PER_PIXEL = 38
+#: Plain copy loops (frame input/output staging).
+COPY_ALU_PER_PIXEL = 1
+#: Bitstream byte handling (shifts, masks, buffer management) per byte.
+STREAM_ALU_PER_BYTE = 10
+#: Border replication per written border pixel.
+BORDER_ALU_PER_PIXEL = 2
+
+#: Scratch traffic generated per coded 8x8 block by the texture pipeline
+#: (loads, stores) -- intermediate arrays that live in the L1-resident
+#: working buffers of the macroblock pipeline.  The encode side covers
+#: DCT + quant + zigzag + the reconstruction IDCT; the decode side covers
+#: bit parsing (getbits reads bytes repeatedly), inverse quant with table
+#: lookups, and the IDCT, which in the reference decoder touches its
+#: double-precision block buffers many times per coefficient.
+SCRATCH_LOADS_PER_BLOCK_ENC = 4 * 64
+SCRATCH_STORES_PER_BLOCK_ENC = 3 * 64
+SCRATCH_LOADS_PER_BLOCK_DEC = 10 * 64
+SCRATCH_STORES_PER_BLOCK_DEC = 5 * 64
+#: Bitstream/table loads per decoded (LAST, RUN, LEVEL) event.
+SCRATCH_LOADS_PER_EVENT_DEC = 24
+#: Per-macroblock loop overhead accesses (header decode, mode bookkeeping).
+MB_OVERHEAD_ACCESSES = 200
+
+#: Per-pixel working-buffer traffic of the macroblock pipeline beyond the
+#: block kernels themselves (prediction buffers, residual buffers, clip
+#: tables, per-stage hand-offs).  The reference decoder in particular
+#: touches its temporaries tens of times per pixel -- it decodes a handful
+#: of frames per second on the study's 300-400 MHz machines.
+ENC_PIPELINE_LOADS_PER_PIXEL = 10
+ENC_PIPELINE_STORES_PER_PIXEL = 5
+DEC_PIPELINE_LOADS_PER_PIXEL = 38
+DEC_PIPELINE_STORES_PER_PIXEL = 16
+#: ALU operations accompanying each pipeline access (address arithmetic,
+#: clamps, branches).  The decode pipeline is essentially move-dominated
+#: (table lookups and buffer shuffling), so the ratio is well below one.
+PIPELINE_ALU_PER_ACCESS = 0.5
+
+#: Size of the per-macroblock scratch/working-set region (bytes): block
+#: buffers, VLC tables, quantizer tables.  Small and hot, as in the C code.
+SCRATCH_BYTES = 2048

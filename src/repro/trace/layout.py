@@ -1,0 +1,109 @@
+"""Virtual address space for codec data structures.
+
+Trace realism requires that frame buffers, bitstream buffers and scratch
+areas live at distinct, plausibly-aligned addresses: cache-set conflicts
+and L2 footprints depend on them.  A simple page-aligned bump allocator
+assigns each registered buffer a region; planes know their base address
+and stride so kernels can translate (row, column) coordinates to trace
+granules with a shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class PlaneMap:
+    """Address map of one 2-D byte plane (stride covers expanded borders)."""
+
+    base: int
+    stride: int
+    height: int
+
+
+@dataclass(frozen=True)
+class FrameMap:
+    """Address maps of one frame store's three planes."""
+
+    name: str
+    y: PlaneMap
+    u: PlaneMap
+    v: PlaneMap
+
+    @property
+    def n_bytes(self) -> int:
+        return (
+            self.y.stride * self.y.height
+            + self.u.stride * self.u.height
+            + self.v.stride * self.v.height
+        )
+
+
+@dataclass
+class LinearRegion:
+    """A linear buffer with a cursor (bitstreams, input/output staging).
+
+    ``advance`` hands out the next ``n`` bytes, wrapping at the region end
+    -- encoders in the reference software recycle ring-like buffers, and
+    wrapping keeps long sequences inside the registered footprint.
+    """
+
+    name: str
+    base: int
+    size: int
+    cursor: int = 0
+
+    def advance(self, n_bytes: int) -> int:
+        """Consume ``n_bytes``; returns the starting address."""
+        if n_bytes > self.size:
+            raise ValueError(f"{n_bytes} bytes exceed region {self.name} ({self.size})")
+        if self.cursor + n_bytes > self.size:
+            self.cursor = 0
+        start = self.base + self.cursor
+        self.cursor += n_bytes
+        return start
+
+
+@dataclass
+class AddressSpace:
+    """Page-aligned bump allocator over a virtual address space."""
+
+    next_free: int = PAGE_BYTES  # leave page zero unmapped, like a real process
+    regions: dict = field(default_factory=dict)
+
+    def allocate(self, name: str, n_bytes: int) -> int:
+        """Reserve ``n_bytes``; returns the base address."""
+        if n_bytes <= 0:
+            raise ValueError("allocation must be positive")
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        base = self.next_free
+        aligned = (n_bytes + PAGE_BYTES - 1) // PAGE_BYTES * PAGE_BYTES
+        self.next_free += aligned
+        self.regions[name] = (base, n_bytes)
+        return base
+
+    def map_frame(self, name: str, y_shape: tuple, uv_shape: tuple) -> FrameMap:
+        """Allocate one frame store's planes contiguously."""
+        y_height, y_stride = y_shape
+        uv_height, uv_stride = uv_shape
+        y_base = self.allocate(f"{name}.y", y_stride * y_height)
+        u_base = self.allocate(f"{name}.u", uv_stride * uv_height)
+        v_base = self.allocate(f"{name}.v", uv_stride * uv_height)
+        return FrameMap(
+            name=name,
+            y=PlaneMap(y_base, y_stride, y_height),
+            u=PlaneMap(u_base, uv_stride, uv_height),
+            v=PlaneMap(v_base, uv_stride, uv_height),
+        )
+
+    def map_linear(self, name: str, n_bytes: int) -> LinearRegion:
+        return LinearRegion(name=name, base=self.allocate(name, n_bytes), size=n_bytes)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes allocated (the workload's resident-memory model)."""
+        return sum(size for _, size in self.regions.values())

@@ -1,0 +1,110 @@
+"""Trace capture and offline replay.
+
+The study normally streams events straight into simulated hierarchies, but
+for what-if sweeps (new cache geometries, timing models, the platform
+engine) it is cheaper to capture a workload's trace once and replay it:
+
+.. code-block:: python
+
+    capture = TraceCapture()
+    recorder = TraceRecorder([capture])
+    VopEncoder(config, recorder).encode_sequence(frames)
+    capture.save("encode-720p.npz")
+
+    replay_trace("encode-720p.npz", [machine.build_hierarchy()])
+
+The on-disk format is a single compressed ``.npz``: three flat arrays
+(granule, count, and a packed kind/phase/alu stream index) plus the batch
+boundaries and a phase-name table -- compact and portable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.memsim.events import AccessBatch
+
+FORMAT_VERSION = 1
+
+
+class TraceCapture:
+    """A recorder sink that accumulates batches for saving."""
+
+    def __init__(self) -> None:
+        self.batches: list[AccessBatch] = []
+
+    def process(self, batch: AccessBatch) -> None:
+        self.batches.append(batch)
+
+    @property
+    def n_events(self) -> int:
+        return sum(batch.n_events for batch in self.batches)
+
+    def save(self, path: str | Path) -> None:
+        """Write all captured batches to a compressed ``.npz``."""
+        phases = sorted({batch.phase for batch in self.batches})
+        phase_index = {phase: i for i, phase in enumerate(phases)}
+        lines = (
+            np.concatenate([b.lines for b in self.batches])
+            if self.batches
+            else np.zeros(0, dtype=np.int64)
+        )
+        counts = (
+            np.concatenate([b.counts for b in self.batches])
+            if self.batches
+            else np.zeros(0, dtype=np.int64)
+        )
+        boundaries = np.cumsum([b.n_events for b in self.batches], dtype=np.int64)
+        kinds = np.array([b.kind for b in self.batches], dtype=np.int8)
+        batch_phases = np.array(
+            [phase_index[b.phase] for b in self.batches], dtype=np.int32
+        )
+        alu = np.array([b.alu_ops for b in self.batches], dtype=np.int64)
+        np.savez_compressed(
+            Path(path),
+            version=np.int64(FORMAT_VERSION),
+            lines=lines,
+            counts=counts,
+            boundaries=boundaries,
+            kinds=kinds,
+            phases=batch_phases,
+            alu=alu,
+            phase_names=np.array(phases, dtype=object),
+        )
+
+
+def load_trace(path: str | Path):
+    """Yield the :class:`AccessBatch` stream stored at ``path``."""
+    with np.load(Path(path), allow_pickle=True) as archive:
+        version = int(archive["version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        lines = archive["lines"]
+        counts = archive["counts"]
+        boundaries = archive["boundaries"]
+        kinds = archive["kinds"]
+        phases = archive["phases"]
+        alu = archive["alu"]
+        phase_names = list(archive["phase_names"])
+    start = 0
+    for index, end in enumerate(boundaries.tolist()):
+        yield AccessBatch(
+            int(kinds[index]),
+            lines[start:end],
+            counts[start:end],
+            phase=str(phase_names[int(phases[index])]),
+            alu_ops=int(alu[index]),
+        )
+        start = end
+
+
+def replay_trace(path: str | Path, sinks) -> int:
+    """Replay a saved trace into simulator sinks; returns batches replayed."""
+    count = 0
+    for batch in load_trace(path):
+        for sink in sinks:
+            sink.process(batch)
+        count += 1
+    return count

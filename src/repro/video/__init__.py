@@ -1,0 +1,24 @@
+"""Synthetic video substrate.
+
+The paper manipulates 30-frame camera sequences at PAL (720x576) and
+1024x768 resolutions.  We have no camera footage, so this package
+synthesizes deterministic multi-object scenes: textured moving objects
+over a textured background, with per-object binary alpha masks -- exactly
+the inputs the MPEG-4 object model (VO/VOP) wants, and with the motion and
+texture statistics that exercise the encoder's search and transform paths.
+"""
+
+from repro.video.quality import mse, psnr
+from repro.video.synthesis import SceneSpec, SyntheticScene, VideoObjectSpec
+from repro.video.yuv import YuvFrame, downsample_plane, upsample_plane
+
+__all__ = [
+    "SceneSpec",
+    "SyntheticScene",
+    "VideoObjectSpec",
+    "YuvFrame",
+    "downsample_plane",
+    "mse",
+    "psnr",
+    "upsample_plane",
+]

@@ -1,0 +1,30 @@
+"""Objective quality metrics for codec validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.video.yuv import YuvFrame
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error between two planes."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    diff = a.astype(np.float64) - b.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB; ``inf`` for identical planes."""
+    error = mse(a, b)
+    if error == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / error)
+
+
+def frame_psnr(a: YuvFrame, b: YuvFrame) -> float:
+    """Luma PSNR between two frames (the codec-quality headline number)."""
+    return psnr(a.y, b.y)

@@ -1,0 +1,85 @@
+"""YUV 4:2:0 frame container and plane resampling helpers.
+
+MPEG-4 visual codes 8-bit YUV with chrominance subsampled 2x2 (one U and
+one V sample per 2x2 luminance block); macroblocks cover 16x16 luma and
+8x8 chroma samples.  Frame dimensions are therefore constrained to
+multiples of 16 here -- the synthesis layer and the codec both rely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Macroblock edge in luma samples.
+MB_SIZE = 16
+
+
+@dataclass
+class YuvFrame:
+    """One 8-bit YUV 4:2:0 frame."""
+
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.y.dtype != np.uint8 or self.u.dtype != np.uint8 or self.v.dtype != np.uint8:
+            raise ValueError("planes must be uint8")
+        height, width = self.y.shape
+        if height % MB_SIZE or width % MB_SIZE:
+            raise ValueError(f"frame {width}x{height} not a multiple of {MB_SIZE}")
+        if self.u.shape != (height // 2, width // 2) or self.v.shape != self.u.shape:
+            raise ValueError("chroma planes must be half-resolution 4:2:0")
+
+    @classmethod
+    def blank(cls, width: int, height: int, luma: int = 128, chroma: int = 128) -> "YuvFrame":
+        return cls(
+            y=np.full((height, width), luma, dtype=np.uint8),
+            u=np.full((height // 2, width // 2), chroma, dtype=np.uint8),
+            v=np.full((height // 2, width // 2), chroma, dtype=np.uint8),
+        )
+
+    @property
+    def width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def mb_cols(self) -> int:
+        return self.width // MB_SIZE
+
+    @property
+    def mb_rows(self) -> int:
+        return self.height // MB_SIZE
+
+    @property
+    def n_bytes(self) -> int:
+        return self.y.size + self.u.size + self.v.size
+
+    def copy(self) -> "YuvFrame":
+        return YuvFrame(self.y.copy(), self.u.copy(), self.v.copy())
+
+    def planes(self):
+        """Iterate ``(name, plane)`` pairs."""
+        yield "y", self.y
+        yield "u", self.u
+        yield "v", self.v
+
+
+def downsample_plane(plane: np.ndarray) -> np.ndarray:
+    """2x2 box-filter decimation (used by spatial-scalability base layers)."""
+    height, width = plane.shape
+    if height % 2 or width % 2:
+        raise ValueError("plane dimensions must be even")
+    blocks = plane.reshape(height // 2, 2, width // 2, 2).astype(np.uint16)
+    return ((blocks.sum(axis=(1, 3)) + 2) // 4).astype(np.uint8)
+
+
+def upsample_plane(plane: np.ndarray) -> np.ndarray:
+    """2x nearest-neighbour interpolation (enhancement-layer prediction)."""
+    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)

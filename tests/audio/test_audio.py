@@ -1,0 +1,128 @@
+"""Tests for the audio substrate: MDCT, synthesis, codec round trip."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import (
+    AudioDecoder,
+    AudioEncoder,
+    AudioSpec,
+    FRAME_SAMPLES,
+    SPECTRAL_BINS,
+    synthesize_audio,
+)
+from repro.audio.mdct import analyze, imdct_frame, mdct_frame, synthesize
+
+
+def snr_db(original: np.ndarray, decoded: np.ndarray) -> float:
+    noise = original - decoded
+    power = float((original**2).mean())
+    noise_power = float((noise**2).mean())
+    if noise_power == 0:
+        return math.inf
+    return 10 * math.log10(power / noise_power)
+
+
+class TestMdct:
+    def test_shapes(self):
+        window = np.zeros(2 * FRAME_SAMPLES)
+        assert mdct_frame(window).shape == (SPECTRAL_BINS,)
+        assert imdct_frame(np.zeros(SPECTRAL_BINS)).shape == (2 * FRAME_SAMPLES,)
+        with pytest.raises(ValueError):
+            mdct_frame(np.zeros(100))
+        with pytest.raises(ValueError):
+            imdct_frame(np.zeros(100))
+
+    def test_perfect_reconstruction(self):
+        """TDAC: overlap-add of inverse MDCTs reconstructs the signal."""
+        rng = np.random.default_rng(0)
+        samples = rng.standard_normal(FRAME_SAMPLES * 6)
+        restored = synthesize(analyze(samples), len(samples))
+        assert np.allclose(restored, samples, atol=1e-10)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_reconstruction_any_signal(self, seed):
+        rng = np.random.default_rng(seed)
+        n = FRAME_SAMPLES * 3 + 123  # non-multiple length
+        samples = rng.uniform(-1, 1, n)
+        restored = synthesize(analyze(samples), n)
+        assert np.allclose(restored, samples, atol=1e-9)
+
+    def test_tone_concentrates_energy(self):
+        t = np.arange(FRAME_SAMPLES * 4)
+        tone = np.sin(2 * np.pi * 0.05 * t)
+        spectra = analyze(tone)
+        frame = spectra[2]
+        peak_bin = int(np.argmax(np.abs(frame)))
+        energy = frame**2
+        top = energy[max(0, peak_bin - 3) : peak_bin + 4].sum()
+        assert top > 0.9 * energy.sum()
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        spec = AudioSpec(duration_s=0.1)
+        assert np.array_equal(synthesize_audio(spec), synthesize_audio(spec))
+
+    def test_range(self):
+        signal = synthesize_audio(AudioSpec(duration_s=0.1))
+        assert np.abs(signal).max() <= 1.0
+        assert np.abs(signal).max() > 0.5
+
+
+class TestCodecRoundTrip:
+    def _signal(self, seconds=0.25):
+        return synthesize_audio(AudioSpec(duration_s=seconds))
+
+    def test_roundtrip_quality(self):
+        signal = self._signal()
+        encoded = AudioEncoder(bits_per_frame=4000).encode(signal)
+        decoded = AudioDecoder().decode(encoded)
+        assert decoded.shape == signal.shape
+        assert snr_db(signal, decoded) > 20.0
+
+    def test_rate_quality_tradeoff(self):
+        signal = self._signal()
+        coarse = AudioDecoder().decode(AudioEncoder(bits_per_frame=800).encode(signal))
+        fine = AudioDecoder().decode(AudioEncoder(bits_per_frame=6000).encode(signal))
+        assert snr_db(signal, fine) > snr_db(signal, coarse)
+
+    def test_bitrate_reported(self):
+        signal = self._signal()
+        encoded = AudioEncoder(bits_per_frame=2400).encode(signal)
+        assert 50_000 < encoded.bitrate < 1_000_000
+
+    def test_silence_codes_tiny(self):
+        silence = np.zeros(FRAME_SAMPLES * 8)
+        encoded = AudioEncoder().encode(silence)
+        decoded = AudioDecoder().decode(encoded)
+        assert np.allclose(decoded, 0.0, atol=1e-6)
+        loud = AudioEncoder().encode(self._signal(0.1))
+        assert len(encoded.data) / encoded.n_frames < len(loud.data) / loud.n_frames
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AudioEncoder(bits_per_frame=0)
+
+
+class TestInstrumentedAudio:
+    def test_characterization_shows_cache_friendliness(self):
+        """The paper's Section 1 claim: frame-level audio coding is
+        cache-friendly -- near-perfect L1 hit rates, negligible DRAM."""
+        from repro.core.machines import SGI_O2
+        from repro.trace import TraceRecorder
+
+        hierarchy = SGI_O2.build_hierarchy()
+        recorder = TraceRecorder([hierarchy])
+        signal = synthesize_audio(AudioSpec(duration_s=0.3))
+        encoded = AudioEncoder(recorder=recorder).encode(signal)
+        AudioDecoder(recorder=recorder).decode(encoded)
+        total = hierarchy.total
+        miss_rate = total.l1_misses / total.memory_accesses
+        assert miss_rate < 0.002
+        assert total.clock.dram_stall_cycles / total.clock.total_cycles < 0.02

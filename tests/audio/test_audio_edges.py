@@ -1,0 +1,73 @@
+"""Additional audio-codec edge cases and robustness checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio import AudioDecoder, AudioEncoder
+from repro.audio.codec import ALLOC_BITS, BAND_BINS, N_BANDS, _allocate_bits
+from repro.audio.mdct import FRAME_SAMPLES
+
+
+class TestBitAllocation:
+    def test_budget_respected(self):
+        energy = np.ones(N_BANDS)
+        allocation = _allocate_bits(energy, budget_bits=BAND_BINS * 10)
+        assert allocation.sum() <= 10
+
+    def test_loud_bands_win(self):
+        energy = np.ones(N_BANDS) * 1e-6
+        energy[3] = 1.0
+        allocation = _allocate_bits(energy, budget_bits=BAND_BINS * 4)
+        assert allocation[3] == allocation.max()
+        assert allocation[3] >= 2
+
+    def test_silent_bands_get_nothing(self):
+        energy = np.zeros(N_BANDS)
+        energy[0] = 1.0
+        allocation = _allocate_bits(energy, budget_bits=BAND_BINS * 20)
+        assert allocation[1:].sum() == 0
+
+    def test_allocation_capped(self):
+        energy = np.zeros(N_BANDS)
+        energy[0] = 1e12
+        allocation = _allocate_bits(energy, budget_bits=BAND_BINS * 100)
+        assert allocation.max() <= 15
+        assert allocation.max() < (1 << ALLOC_BITS)
+
+
+class TestCodecEdges:
+    def test_single_frame_signal(self):
+        signal = np.sin(np.linspace(0, 20, FRAME_SAMPLES))
+        encoded = AudioEncoder().encode(signal)
+        decoded = AudioDecoder().decode(encoded)
+        assert decoded.shape == signal.shape
+
+    def test_non_frame_multiple_length(self):
+        signal = np.sin(np.linspace(0, 50, FRAME_SAMPLES * 2 + 77))
+        encoded = AudioEncoder().encode(signal)
+        decoded = AudioDecoder().decode(encoded)
+        assert decoded.shape == signal.shape
+
+    def test_impulse_survives(self):
+        signal = np.zeros(FRAME_SAMPLES * 3)
+        signal[FRAME_SAMPLES + 100] = 0.9
+        encoded = AudioEncoder(bits_per_frame=6000).encode(signal)
+        decoded = AudioDecoder().decode(encoded)
+        peak = int(np.argmax(np.abs(decoded)))
+        assert abs(peak - (FRAME_SAMPLES + 100)) <= 2
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=8, deadline=None)
+    def test_property_decode_never_clips_insanely(self, seed):
+        rng = np.random.default_rng(seed)
+        signal = rng.uniform(-1, 1, FRAME_SAMPLES * 2)
+        decoded = AudioDecoder().decode(AudioEncoder().encode(signal))
+        assert np.abs(decoded).max() < 4.0  # bounded even for noise input
+
+    def test_sample_rate_carried(self):
+        signal = np.zeros(FRAME_SAMPLES)
+        encoded = AudioEncoder().encode(signal, sample_rate=48_000)
+        assert encoded.sample_rate == 48_000
+        assert encoded.bitrate > 0

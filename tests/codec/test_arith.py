@@ -1,0 +1,112 @@
+"""Tests for the adaptive binary arithmetic coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.arith import (
+    AdaptiveBinaryModel,
+    ArithDecoder,
+    ArithEncoder,
+)
+
+
+def roundtrip(bits, contexts, n_contexts=4):
+    encoder = ArithEncoder(AdaptiveBinaryModel(n_contexts))
+    for bit, context in zip(bits, contexts):
+        encoder.encode(bit, context)
+    blob = encoder.finish()
+    decoder = ArithDecoder(blob, AdaptiveBinaryModel(n_contexts))
+    decoded = [decoder.decode(context) for context in contexts]
+    return decoded, blob
+
+
+class TestModel:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AdaptiveBinaryModel(0)
+
+    def test_initial_probability_is_half(self):
+        model = AdaptiveBinaryModel(2)
+        assert model.p_zero(0) == 1 << 15
+
+    def test_adaptation_shifts_probability(self):
+        model = AdaptiveBinaryModel(1)
+        for _ in range(50):
+            model.update(0, 0)
+        assert model.p_zero(0) > 1 << 15
+
+    def test_probability_clamped(self):
+        model = AdaptiveBinaryModel(1)
+        for _ in range(100_000):
+            model.update(0, 1)
+        assert model.p_zero(0) >= 32
+        assert model.p_zero(0) <= (1 << 16) - 32
+
+    def test_contexts_are_independent(self):
+        model = AdaptiveBinaryModel(2)
+        for _ in range(50):
+            model.update(0, 0)
+        assert model.p_zero(1) == 1 << 15
+
+
+class TestRoundTrip:
+    def test_empty_stream(self):
+        decoded, _ = roundtrip([], [])
+        assert decoded == []
+
+    def test_single_bits(self):
+        for bit in (0, 1):
+            decoded, _ = roundtrip([bit], [0])
+            assert decoded == [bit]
+
+    def test_alternating(self):
+        bits = [i % 2 for i in range(500)]
+        decoded, _ = roundtrip(bits, [0] * 500)
+        assert decoded == bits
+
+    def test_skewed_stream_compresses(self):
+        bits = [0] * 2000 + [1]
+        decoded, blob = roundtrip(bits, [0] * 2001)
+        assert decoded == bits
+        assert len(blob) < 2001 // 8  # far below 1 bit/symbol
+
+    def test_random_stream_does_not_compress_much(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=4000).tolist()
+        decoded, blob = roundtrip(bits, [0] * 4000)
+        assert decoded == bits
+        assert len(blob) >= 4000 // 8 - 8
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=600,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip_any_stream(self, data):
+        bits = [bit for bit, _ in data]
+        contexts = [context for _, context in data]
+        decoded, _ = roundtrip(bits, contexts)
+        assert decoded == bits
+
+    def test_context_modelling_beats_single_context(self):
+        """Bits perfectly predictable per context must compress better with
+        per-context models than with one shared context."""
+        rng = np.random.default_rng(1)
+        contexts = rng.integers(0, 2, size=3000).tolist()
+        bits = contexts[:]  # bit == context: deterministic given context
+        _, blob_ctx = roundtrip(bits, contexts, n_contexts=2)
+        _, blob_one = roundtrip(bits, [0] * 3000, n_contexts=1)
+        assert len(blob_ctx) < len(blob_one)
+
+    def test_bits_coded_counter(self):
+        encoder = ArithEncoder(AdaptiveBinaryModel(1))
+        for _ in range(17):
+            encoder.encode(1, 0)
+        assert encoder.bits_coded == 17

@@ -1,0 +1,148 @@
+"""Tests for the bit-level writer/reader and startcode handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.bitstream import (
+    VOP_STARTCODE,
+    BitReader,
+    BitWriter,
+)
+
+
+class TestBitWriter:
+    def test_simple_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0b0101, 4)
+        assert writer.getvalue() == bytes([0b10110101])
+
+    def test_value_must_fit(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(4, 2)
+
+    def test_negative_nbits_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(0, -1)
+
+    def test_zero_bits_is_noop(self):
+        writer = BitWriter()
+        writer.write_bits(0, 0)
+        assert writer.bit_position == 0
+
+    def test_partial_byte_flushed_with_stuffing(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        data = writer.getvalue()
+        assert data == bytes([0b10101111])  # 0-then-1s stuffing
+        # getvalue must not mutate the writer.
+        assert writer.bit_position == 3
+
+    def test_startcode_is_byte_aligned(self):
+        writer = BitWriter()
+        writer.write_bits(1, 3)
+        writer.write_startcode(VOP_STARTCODE)
+        data = writer.getvalue()
+        assert data.index(b"\x00\x00\x01") % 1 == 0
+        assert data[-1] == VOP_STARTCODE
+        assert len(data) % 1 == 0
+
+
+class TestRoundTrips:
+    def test_bits_roundtrip(self):
+        writer = BitWriter()
+        values = [(5, 3), (0, 1), (255, 8), (1023, 10), (1, 1)]
+        for value, width in values:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in values:
+            assert reader.read_bits(value.bit_length() if False else width) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**16 - 1), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_ue_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_ue(value)
+        reader = BitReader(writer.getvalue())
+        for value in values:
+            assert reader.read_ue() == value
+
+    @given(st.lists(st.integers(min_value=-(2**15), max_value=2**15), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_se_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_se(value)
+        reader = BitReader(writer.getvalue())
+        for value in values:
+            assert reader.read_se() == value
+
+    def test_alignment_roundtrip_unaligned(self):
+        writer = BitWriter()
+        writer.write_bits(0b11, 2)
+        writer.byte_align()
+        writer.write_bits(0xAB, 8)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(2) == 0b11
+        reader.byte_align()
+        assert reader.read_bits(8) == 0xAB
+
+    def test_alignment_roundtrip_already_aligned(self):
+        """An aligned writer stuffs a full 0x7F byte; the reader must skip it."""
+        writer = BitWriter()
+        writer.write_bits(0xCD, 8)
+        writer.byte_align()
+        writer.write_bits(0xEF, 8)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(8) == 0xCD
+        reader.byte_align()
+        assert reader.read_bits(8) == 0xEF
+
+
+class TestBitReader:
+    def test_eof_raises(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_peek_does_not_consume(self):
+        reader = BitReader(b"\xa5")
+        assert reader.peek_bits(4) == 0xA
+        assert reader.read_bits(8) == 0xA5
+
+    def test_peek_past_eof_zero_pads(self):
+        reader = BitReader(b"\x80")
+        assert reader.peek_bits(16) == 0x8000
+
+    def test_malformed_ue_rejected(self):
+        reader = BitReader(b"\x00" * 20)
+        with pytest.raises(ValueError):
+            reader.read_ue()
+
+
+class TestStartcodeScanning:
+    def test_scan_finds_code(self):
+        writer = BitWriter()
+        writer.write_bits(0x12, 8)
+        writer.write_startcode(VOP_STARTCODE)
+        writer.write_bits(0x34, 8)
+        reader = BitReader(writer.getvalue())
+        assert reader.next_startcode() == VOP_STARTCODE
+        assert reader.read_bits(8) == 0x34
+
+    def test_scan_returns_none_at_end(self):
+        reader = BitReader(b"\x11\x22\x33")
+        assert reader.next_startcode() is None
+
+    def test_at_startcode(self):
+        writer = BitWriter()
+        writer.write_startcode(VOP_STARTCODE)
+        reader = BitReader(writer.getvalue())
+        reader.byte_align()
+        assert reader.at_startcode()
+        reader.read_bits(8)
+        assert not reader.at_startcode()

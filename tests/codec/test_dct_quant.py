@@ -1,0 +1,195 @@
+"""Tests for the DCT, quantization, zigzag and run-level layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codec.dct import (
+    BLOCK,
+    blocks_from_plane,
+    forward_dct,
+    inverse_dct,
+    plane_from_blocks,
+)
+from repro.codec.quant import (
+    INVERSE_ZIGZAG,
+    ZIGZAG,
+    dequantize,
+    events_to_levels,
+    inverse_zigzag_scan,
+    quantize,
+    run_level_events,
+    zigzag_scan,
+)
+
+uint8_blocks = arrays(np.uint8, (BLOCK, BLOCK))
+
+
+class TestDct:
+    def test_flat_block_has_only_dc(self):
+        block = np.full((8, 8), 100.0)
+        coefficients = forward_dct(block)
+        assert coefficients[0, 0] == pytest.approx(800.0)
+        assert np.abs(coefficients.ravel()[1:]).max() < 1e-9
+
+    def test_dc_value_is_8x_mean(self):
+        rng = np.random.default_rng(0)
+        block = rng.uniform(0, 255, (8, 8))
+        assert forward_dct(block)[0, 0] == pytest.approx(8 * block.mean())
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            forward_dct(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            inverse_dct(np.zeros((8, 4)))
+
+    def test_batched_blocks(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.uniform(0, 255, (5, 3, 8, 8))
+        coefficients = forward_dct(blocks)
+        assert coefficients.shape == blocks.shape
+        assert np.allclose(inverse_dct(coefficients), blocks, atol=1e-9)
+
+    @given(uint8_blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip_exact(self, block):
+        recovered = inverse_dct(forward_dct(block))
+        assert np.allclose(recovered, block, atol=1e-8)
+
+    @given(uint8_blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_property_energy_conservation(self, block):
+        """Orthonormal transform: Parseval equality."""
+        pixels = block.astype(np.float64)
+        coefficients = forward_dct(pixels)
+        assert np.sum(pixels**2) == pytest.approx(np.sum(coefficients**2), rel=1e-9)
+
+
+class TestPlaneTiling:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        plane = rng.integers(0, 256, (32, 48)).astype(np.uint8)
+        assert np.array_equal(plane_from_blocks(blocks_from_plane(plane)), plane)
+
+    def test_block_content_matches_slice(self):
+        plane = np.arange(16 * 16, dtype=np.uint8).reshape(16, 16)
+        blocks = blocks_from_plane(plane)
+        assert np.array_equal(blocks[0, 1], plane[0:8, 8:16])
+
+    def test_rejects_misaligned_plane(self):
+        with pytest.raises(ValueError):
+            blocks_from_plane(np.zeros((12, 16)))
+
+
+class TestZigzag:
+    def test_permutation(self):
+        assert sorted(ZIGZAG.tolist()) == list(range(64))
+        assert np.array_equal(ZIGZAG[INVERSE_ZIGZAG], np.arange(64))
+
+    def test_first_entries(self):
+        # Classic zigzag starts (0,0), (0,1), (1,0), (2,0), (1,1), (0,2)...
+        assert ZIGZAG[:6].tolist() == [0, 1, 8, 16, 9, 2]
+
+    def test_roundtrip(self):
+        block = np.arange(64).reshape(8, 8)
+        assert np.array_equal(inverse_zigzag_scan(zigzag_scan(block)), block)
+
+    def test_batched(self):
+        blocks = np.arange(2 * 64).reshape(2, 8, 8)
+        scanned = zigzag_scan(blocks)
+        assert scanned.shape == (2, 64)
+        assert np.array_equal(inverse_zigzag_scan(scanned), blocks)
+
+
+class TestQuantization:
+    def test_qp_validated(self):
+        with pytest.raises(ValueError):
+            quantize(np.zeros((8, 8)), 0, intra=True)
+        with pytest.raises(ValueError):
+            dequantize(np.zeros((8, 8), dtype=np.int32), 32, intra=False)
+
+    def test_intra_dc_uses_dc_scaler(self):
+        block = np.zeros((8, 8))
+        block[0, 0] = 800.0
+        levels = quantize(block, 10, intra=True)
+        assert levels[0, 0] == 100
+        assert dequantize(levels, 10, intra=True)[0, 0] == 800.0
+
+    def test_inter_dead_zone(self):
+        block = np.full((8, 8), 3.0)
+        assert not quantize(block, 8, intra=False).any()
+
+    def test_zero_maps_to_zero(self):
+        levels = quantize(np.zeros((8, 8)), 5, intra=False)
+        assert not dequantize(levels, 5, intra=False).any()
+
+    @given(
+        qp=st.integers(min_value=1, max_value=31),
+        value=st.floats(min_value=-2000, max_value=2000),
+        intra=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_reconstruction_error_bounded(self, qp, value, intra):
+        """|reconstruction - original| <= quantizer step size (AC terms)."""
+        block = np.zeros((8, 8))
+        block[3, 4] = value
+        levels = quantize(block, qp, intra=intra)
+        recon = dequantize(levels, qp, intra=intra)
+        assert abs(recon[3, 4] - value) <= 2 * qp + qp / 2 + 1
+
+    @given(qp=st.integers(min_value=1, max_value=31))
+    @settings(max_examples=31, deadline=None)
+    def test_property_sign_preserved(self, qp):
+        block = np.zeros((8, 8))
+        block[1, 1] = 500.0
+        block[2, 2] = -500.0
+        recon = dequantize(quantize(block, qp, intra=False), qp, intra=False)
+        assert recon[1, 1] > 0
+        assert recon[2, 2] < 0
+
+
+class TestRunLevel:
+    def test_empty_block(self):
+        assert run_level_events(np.zeros(64, dtype=np.int32)) == []
+
+    def test_single_dc(self):
+        scanned = np.zeros(64, dtype=np.int32)
+        scanned[0] = 7
+        assert run_level_events(scanned) == [(1, 0, 7)]
+
+    def test_runs_and_last_flag(self):
+        scanned = np.zeros(64, dtype=np.int32)
+        scanned[0] = 3
+        scanned[5] = -2
+        events = run_level_events(scanned)
+        assert events == [(0, 0, 3), (1, 4, -2)]
+
+    def test_events_to_levels_roundtrip(self):
+        scanned = np.zeros(64, dtype=np.int32)
+        scanned[[0, 7, 63]] = [5, -1, 2]
+        assert np.array_equal(events_to_levels(run_level_events(scanned)), scanned)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            events_to_levels([(0, 63, 1), (1, 5, 2)])
+
+    def test_inconsistent_last_rejected(self):
+        with pytest.raises(ValueError):
+            events_to_levels([(1, 0, 1), (1, 0, 2)])
+
+    @given(
+        arrays(
+            np.int32,
+            64,
+            elements=st.integers(min_value=-100, max_value=100),
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_run_level_roundtrip(self, scanned):
+        events = run_level_events(scanned)
+        if events:
+            assert np.array_equal(events_to_levels(events), scanned)
+        else:
+            assert not scanned.any()

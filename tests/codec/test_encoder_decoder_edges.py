@@ -1,0 +1,162 @@
+"""Edge cases and error handling for the encoder/decoder pair."""
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecConfig, VopDecoder, VopEncoder, VopType
+from repro.codec.bitstream import BitWriter, VO_STARTCODE, VOL_STARTCODE
+from repro.video import SceneSpec, SyntheticScene
+from repro.video.yuv import YuvFrame
+
+WIDTH, HEIGHT = 64, 48
+
+
+def frames(n, width=WIDTH, height=HEIGHT):
+    scene = SyntheticScene(SceneSpec.default(width, height))
+    return [scene.frame(i) for i in range(n)]
+
+
+class TestIncrementalApi:
+    def test_encode_next_sequence(self):
+        config = CodecConfig(WIDTH, HEIGHT, qp=8, gop_size=4, m_distance=2)
+        encoder = VopEncoder(config)
+        encoder.begin_sequence(frames(5))
+        stats = []
+        while (vop := encoder.encode_next()) is not None:
+            stats.append(vop)
+        encoded = encoder.finish_sequence()
+        assert len(stats) == 5
+        assert [v.coded_index for v in stats] == list(range(5))
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        assert len(decoded.frames) == 5
+
+    def test_finish_before_done_rejected(self):
+        config = CodecConfig(WIDTH, HEIGHT, qp=8, gop_size=4, m_distance=1)
+        encoder = VopEncoder(config)
+        encoder.begin_sequence(frames(3))
+        encoder.encode_next()
+        with pytest.raises(RuntimeError):
+            encoder.finish_sequence()
+
+    def test_interleaved_encoders(self):
+        """Two VOs interleaved VOP-by-VOP, as a multi-VO system would run."""
+        config = CodecConfig(WIDTH, HEIGHT, qp=8, gop_size=4, m_distance=2)
+        encoders = [VopEncoder(config) for _ in range(2)]
+        inputs = frames(4)
+        for encoder in encoders:
+            encoder.begin_sequence(inputs)
+        done = [False, False]
+        while not all(done):
+            for index, encoder in enumerate(encoders):
+                if encoder.encode_next() is None:
+                    done[index] = True
+        streams = [encoder.finish_sequence() for encoder in encoders]
+        assert streams[0].data == streams[1].data  # same input, same config
+
+    def test_incremental_matches_batch(self):
+        config = CodecConfig(WIDTH, HEIGHT, qp=8, gop_size=4, m_distance=2)
+        batch = VopEncoder(config).encode_sequence(frames(5))
+        incremental = VopEncoder(config)
+        incremental.begin_sequence(frames(5))
+        while incremental.encode_next() is not None:
+            pass
+        assert incremental.finish_sequence().data == batch.data
+
+
+class TestDecoderErrorHandling:
+    def _valid_stream(self):
+        config = CodecConfig(WIDTH, HEIGHT, qp=8, gop_size=4, m_distance=1)
+        return VopEncoder(config).encode_sequence(frames(3)).data
+
+    def test_truncated_stream_raises(self):
+        data = self._valid_stream()
+        with pytest.raises((EOFError, ValueError)):
+            VopDecoder().decode_sequence(data[: len(data) // 2])
+
+    def test_missing_vol_header(self):
+        writer = BitWriter()
+        writer.write_startcode(VO_STARTCODE)
+        writer.write_ue(0)
+        with pytest.raises(ValueError, match="VOL"):
+            VopDecoder().decode_sequence(writer.getvalue())
+
+    def test_empty_stream(self):
+        with pytest.raises((ValueError, EOFError)):
+            VopDecoder().decode_sequence(b"")
+
+    def test_vop_count_mismatch_detected(self):
+        writer = BitWriter()
+        writer.write_startcode(VO_STARTCODE)
+        writer.write_ue(0)
+        writer.write_startcode(VOL_STARTCODE)
+        writer.write_ue(0)
+        writer.write_ue(WIDTH)
+        writer.write_ue(HEIGHT)
+        writer.write_bit(0)
+        writer.write_bits(2, 2)  # quant method
+        writer.write_bit(0)  # no resync markers
+        writer.write_ue(3)  # promises 3 VOPs, delivers none
+        with pytest.raises(ValueError, match="expected 3"):
+            VopDecoder().decode_sequence(writer.getvalue())
+
+
+class TestContentEdgeCases:
+    def test_single_macroblock_frame(self):
+        config = CodecConfig(16, 16, qp=8, gop_size=2, m_distance=1)
+        tiny = [YuvFrame.blank(16, 16, luma=100), YuvFrame.blank(16, 16, luma=110)]
+        encoded = VopEncoder(config).encode_sequence(tiny)
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        assert len(decoded.frames) == 2
+        assert np.array_equal(decoded.frames[1].y, encoded.reconstructions[1].y)
+
+    def test_extreme_pixel_values(self):
+        config = CodecConfig(32, 32, qp=4, gop_size=1, m_distance=1)
+        extreme = YuvFrame(
+            np.tile(np.array([[0, 255]], dtype=np.uint8), (32, 16)),
+            np.zeros((16, 16), dtype=np.uint8),
+            np.full((16, 16), 255, dtype=np.uint8),
+        )
+        encoded = VopEncoder(config).encode_sequence([extreme])
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        assert np.array_equal(decoded.frames[0].y, encoded.reconstructions[0].y)
+        assert decoded.frames[0].y.min() >= 0
+        assert decoded.frames[0].y.max() <= 255
+
+    def test_coarsest_quantizer(self):
+        config = CodecConfig(WIDTH, HEIGHT, qp=31, gop_size=4, m_distance=1)
+        encoded = VopEncoder(config).encode_sequence(frames(3))
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        assert np.array_equal(decoded.frames[2].y, encoded.reconstructions[2].y)
+
+    def test_finest_quantizer(self):
+        config = CodecConfig(32, 32, qp=1, gop_size=1, m_distance=1)
+        encoded = VopEncoder(config).encode_sequence(frames(1, 32, 32))
+        # Near-lossless at qp=1.
+        from repro.video import psnr
+
+        assert psnr(frames(1, 32, 32)[0].y, encoded.reconstructions[0].y) > 40
+
+    def test_large_motion_uses_full_window(self):
+        """An object moving faster than the search range still codes fine
+        (intra fallback), and the stream round-trips."""
+        scene_a = YuvFrame.blank(WIDTH, HEIGHT, luma=60)
+        rng = np.random.default_rng(0)
+        scene_b = YuvFrame(
+            rng.integers(0, 256, (HEIGHT, WIDTH)).astype(np.uint8),
+            rng.integers(0, 256, (HEIGHT // 2, WIDTH // 2)).astype(np.uint8),
+            rng.integers(0, 256, (HEIGHT // 2, WIDTH // 2)).astype(np.uint8),
+        )
+        config = CodecConfig(WIDTH, HEIGHT, qp=8, gop_size=4, m_distance=1)
+        encoded = VopEncoder(config).encode_sequence([scene_a, scene_b])
+        p_vop = encoded.stats.vops[1]
+        assert p_vop.intra_mbs > 0  # prediction fails -> intra refresh
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        assert np.array_equal(decoded.frames[1].y, encoded.reconstructions[1].y)
+
+    def test_gop_boundary_refresh(self):
+        config = CodecConfig(WIDTH, HEIGHT, qp=8, gop_size=2, m_distance=1)
+        encoded = VopEncoder(config).encode_sequence(frames(6))
+        types = [v.vop_type for v in sorted(encoded.stats.vops, key=lambda v: v.display_index)]
+        assert types[0] is VopType.I
+        assert types[2] is VopType.I
+        assert types[4] is VopType.I

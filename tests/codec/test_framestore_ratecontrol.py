@@ -1,0 +1,147 @@
+"""Tests for frame stores, rate control, and config/type helpers."""
+
+import numpy as np
+import pytest
+
+from repro.codec.framestore import BORDER, FrameStore
+from repro.codec.ratecontrol import ConstantQp, RateController, make_controller
+from repro.codec.types import CodecConfig, SequenceStats, VopStats, VopType
+from repro.video.yuv import YuvFrame
+
+
+class TestFrameStore:
+    def test_geometry(self):
+        store = FrameStore(96, 64)
+        assert store.y.shape == (64 + 2 * BORDER, 96 + 2 * BORDER)
+        assert store.u.shape == (32 + 2 * BORDER, 48 + 2 * BORDER)
+        assert store.interior_y.shape == (64, 96)
+
+    def test_load_and_to_frame_roundtrip(self):
+        store = FrameStore(32, 32)
+        rng = np.random.default_rng(0)
+        frame = YuvFrame(
+            rng.integers(0, 256, (32, 32)).astype(np.uint8),
+            rng.integers(0, 256, (16, 16)).astype(np.uint8),
+            rng.integers(0, 256, (16, 16)).astype(np.uint8),
+        )
+        store.load(frame)
+        result = store.to_frame()
+        assert np.array_equal(result.y, frame.y)
+        assert np.array_equal(result.u, frame.u)
+
+    def test_load_rejects_wrong_size(self):
+        store = FrameStore(32, 32)
+        with pytest.raises(ValueError):
+            store.load(YuvFrame.blank(64, 64))
+
+    def test_expand_borders_replicates_edges(self):
+        store = FrameStore(32, 32)
+        store.interior_y[:] = 0
+        store.interior_y[0, 0] = 200
+        store.interior_y[0, :] = 50
+        store.interior_y[0, 0] = 200
+        store.expand_borders()
+        # Top border rows replicate interior row 0.
+        assert store.y[0, BORDER] == store.interior_y[0, 0]
+        # Left border replicates column 0 (after corner fill).
+        assert store.y[BORDER, 0] == store.interior_y[0, 0]
+        # Corners are filled too.
+        assert store.y[0, 0] == store.interior_y[0, 0]
+
+    def test_interior_views_are_writable_views(self):
+        store = FrameStore(32, 32)
+        store.interior_y[5, 5] = 99
+        assert store.y[BORDER + 5, BORDER + 5] == 99
+
+
+class TestRateController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateController(target_bitrate=0, frame_rate=30)
+        with pytest.raises(ValueError):
+            RateController(target_bitrate=1000, frame_rate=0)
+
+    def test_type_budgets_ordered(self):
+        controller = RateController(300_000, 30.0)
+        assert controller.target_bits(VopType.I) > controller.target_bits(VopType.P)
+        assert controller.target_bits(VopType.P) > controller.target_bits(VopType.B)
+
+    def test_qp_rises_when_over_budget(self):
+        controller = RateController(300_000, 30.0, initial_qp=10)
+        controller.update(VopType.P, int(controller.target_bits(VopType.P) * 3))
+        assert controller.current_qp > 10
+
+    def test_qp_falls_when_under_budget(self):
+        controller = RateController(300_000, 30.0, initial_qp=10)
+        controller.update(VopType.P, int(controller.target_bits(VopType.P) * 0.3))
+        assert controller.current_qp < 10
+
+    def test_qp_stays_within_tolerance_band(self):
+        controller = RateController(300_000, 30.0, initial_qp=10)
+        controller.update(VopType.P, int(controller.target_bits(VopType.P)))
+        assert controller.current_qp == 10
+
+    def test_qp_clamped(self):
+        controller = RateController(300_000, 30.0, initial_qp=31)
+        for _ in range(10):
+            controller.update(VopType.P, 10**9)
+        assert controller.current_qp == 31
+
+    def test_bvop_coded_coarser(self):
+        controller = RateController(300_000, 30.0, initial_qp=10)
+        assert controller.qp_for(VopType.B) > controller.qp_for(VopType.P)
+
+    def test_constant_qp_ignores_feedback(self):
+        controller = ConstantQp(7)
+        controller.update(VopType.I, 10**9)
+        assert controller.qp_for(VopType.I) == 7
+
+    def test_make_controller_dispatch(self):
+        fixed = make_controller(CodecConfig(32, 32, qp=5))
+        assert isinstance(fixed, ConstantQp)
+        adaptive = make_controller(CodecConfig(32, 32, qp=5, target_bitrate=10_000))
+        assert isinstance(adaptive, RateController)
+
+
+class TestCodecConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CodecConfig(30, 32)  # width not MB multiple
+        with pytest.raises(ValueError):
+            CodecConfig(32, 32, gop_size=0)
+        with pytest.raises(ValueError):
+            CodecConfig(32, 32, m_distance=0)
+        with pytest.raises(ValueError):
+            CodecConfig(32, 32, gop_size=4, m_distance=8)
+        with pytest.raises(ValueError):
+            CodecConfig(32, 32, qp=0)
+        with pytest.raises(ValueError):
+            CodecConfig(32, 32, search_range=0)
+        with pytest.raises(ValueError):
+            CodecConfig(32, 32, frame_rate=0)
+
+    def test_macroblock_geometry(self):
+        config = CodecConfig(96, 64)
+        assert config.mb_cols == 6
+        assert config.mb_rows == 4
+        assert config.n_macroblocks == 24
+
+    def test_scaled(self):
+        config = CodecConfig(64, 64, search_range=16)
+        half = config.scaled(2)
+        assert half.width == 32
+        assert half.search_range == 8
+        with pytest.raises(ValueError):
+            config.scaled(0)
+
+
+class TestStats:
+    def test_sequence_stats_aggregation(self):
+        stats = SequenceStats()
+        stats.vops.append(VopStats(VopType.I, 0, 0, 10, bits=1000))
+        stats.vops.append(VopStats(VopType.P, 1, 1, 10, bits=500))
+        stats.vops.append(VopStats(VopType.P, 2, 2, 10, bits=300))
+        assert stats.total_bits == 1800
+        assert stats.mean_bits(VopType.P) == 400
+        assert stats.mean_bits() == 600
+        assert stats.mean_bits(VopType.B) == 0

@@ -1,0 +1,163 @@
+"""Tests for AC prediction and the MPEG weighted quantization method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import CodecConfig, VopDecoder, VopEncoder
+from repro.codec.predict import AC_LINE, FROM_ABOVE, FROM_LEFT, AcDcPredictor
+from repro.codec.quant import (
+    DEFAULT_INTER_MATRIX,
+    DEFAULT_INTRA_MATRIX,
+    METHOD_H263,
+    METHOD_MPEG,
+    dequantize_any,
+    dequantize_weighted,
+    quantize_any,
+    quantize_weighted,
+)
+from repro.video import SceneSpec, SyntheticScene, psnr
+
+
+class TestAcDcPredictor:
+    def test_unavailable_neighbours_predict_zero_ac(self):
+        predictor = AcDcPredictor(4, 4)
+        assert not predictor.predict_ac(0, 0, FROM_ABOVE).any()
+        assert not predictor.predict_ac(0, 0, FROM_LEFT).any()
+
+    def test_ac_prediction_from_above(self):
+        predictor = AcDcPredictor(4, 4)
+        row_line = np.arange(1, AC_LINE + 1, dtype=np.int32)
+        col_line = np.zeros(AC_LINE, dtype=np.int32)
+        predictor.store(0, 1, 50)
+        predictor.store_ac(0, 1, row_line, col_line)
+        assert np.array_equal(predictor.predict_ac(1, 1, FROM_ABOVE), row_line)
+
+    def test_ac_prediction_from_left(self):
+        predictor = AcDcPredictor(4, 4)
+        col_line = np.full(AC_LINE, 9, dtype=np.int32)
+        predictor.store(1, 0, 50)
+        predictor.store_ac(1, 0, np.zeros(AC_LINE, dtype=np.int32), col_line)
+        assert np.array_equal(predictor.predict_ac(1, 1, FROM_LEFT), col_line)
+
+    def test_direction_consistent_with_dc(self):
+        predictor = AcDcPredictor(4, 4)
+        predictor.store(0, 0, 100)
+        predictor.store(0, 1, 100)
+        predictor.store(1, 0, 30)
+        dc, direction = predictor.predict_with_direction(1, 1)
+        assert direction == FROM_LEFT
+        assert dc == 30
+
+
+class TestAcPredictionEndToEnd:
+    def _frames(self, n=2):
+        scene = SyntheticScene(SceneSpec.default(96, 64))
+        return [scene.frame(i) for i in range(n)]
+
+    def test_ivop_roundtrip_with_ac_pred(self):
+        """Smooth gradients trigger AC prediction; decode must still be
+        bit-exact with the encoder reconstruction."""
+        config = CodecConfig(96, 64, qp=4, gop_size=1, m_distance=1)
+        frames = self._frames(1)
+        encoded = VopEncoder(config).encode_sequence(frames)
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        assert np.array_equal(decoded.frames[0].y, encoded.reconstructions[0].y)
+        assert np.array_equal(decoded.frames[0].u, encoded.reconstructions[0].u)
+
+    def test_gradient_image_compresses_with_ac_pred(self):
+        """A strong horizontal gradient makes every block's first row of AC
+        coefficients identical -- AC prediction should shrink the stream
+        (this exercises the flag=1 path)."""
+        from repro.video.yuv import YuvFrame
+
+        gradient = np.tile(
+            np.linspace(0, 255, 96).astype(np.uint8), (64, 1)
+        )
+        frame = YuvFrame(
+            gradient,
+            np.full((32, 48), 128, np.uint8),
+            np.full((32, 48), 128, np.uint8),
+        )
+        config = CodecConfig(96, 64, qp=4, gop_size=1, m_distance=1)
+        encoded = VopEncoder(config).encode_sequence([frame])
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        assert np.array_equal(decoded.frames[0].y, encoded.reconstructions[0].y)
+        assert psnr(frame.y, decoded.frames[0].y) > 38
+
+
+class TestWeightedQuantization:
+    def test_default_matrices_shape(self):
+        assert DEFAULT_INTRA_MATRIX.shape == (8, 8)
+        assert DEFAULT_INTRA_MATRIX[0, 0] == 8
+        assert DEFAULT_INTER_MATRIX[0, 0] == 16
+        # Weights grow toward high frequencies.
+        assert DEFAULT_INTRA_MATRIX[7, 7] > DEFAULT_INTRA_MATRIX[0, 1]
+
+    def test_intra_dc_unweighted(self):
+        block = np.zeros((8, 8))
+        block[0, 0] = 800.0
+        levels = quantize_weighted(block, 10, intra=True)
+        assert levels[0, 0] == 100
+        assert dequantize_weighted(levels, 10, intra=True)[0, 0] == 800.0
+
+    def test_high_frequencies_quantized_coarser(self):
+        block = np.zeros((8, 8))
+        block[0, 1] = 100.0
+        block[7, 7] = 100.0
+        levels = quantize_weighted(block, 2, intra=True)
+        assert abs(levels[0, 1]) >= abs(levels[7, 7])
+
+    @given(
+        qp=st.integers(min_value=1, max_value=31),
+        value=st.floats(min_value=-1500, max_value=1500),
+        intra=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_reconstruction_error_bounded(self, qp, value, intra):
+        block = np.zeros((8, 8))
+        block[2, 3] = value
+        matrix = DEFAULT_INTRA_MATRIX if intra else DEFAULT_INTER_MATRIX
+        step = 2 * qp * matrix[2, 3] / 16.0
+        levels = quantize_weighted(block, qp, intra=intra)
+        recon = dequantize_weighted(levels, qp, intra=intra)
+        assert abs(recon[2, 3] - value) <= step * 1.5 + 1
+
+    def test_dispatch(self):
+        block = np.zeros((8, 8))
+        block[1, 1] = 300.0
+        for method in (METHOD_H263, METHOD_MPEG):
+            levels = quantize_any(block, 6, True, method)
+            recon = dequantize_any(levels, 6, True, method)
+            assert abs(recon[1, 1] - 300.0) < 70
+        with pytest.raises(ValueError):
+            quantize_any(block, 6, True, 3)
+        with pytest.raises(ValueError):
+            dequantize_any(block.astype(np.int32), 6, True, 0)
+
+
+class TestMpegQuantEndToEnd:
+    def test_mpeg_method_roundtrip(self):
+        scene = SyntheticScene(SceneSpec.default(96, 64))
+        frames = [scene.frame(i) for i in range(3)]
+        config = CodecConfig(96, 64, qp=6, gop_size=4, m_distance=1, quant_method=1)
+        encoded = VopEncoder(config).encode_sequence(frames)
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        for recon, out in zip(encoded.reconstructions, decoded.frames):
+            assert np.array_equal(recon.y, out.y)
+
+    def test_methods_produce_different_streams(self):
+        scene = SyntheticScene(SceneSpec.default(96, 64))
+        frames = [scene.frame(0)]
+        h263 = VopEncoder(
+            CodecConfig(96, 64, qp=6, gop_size=1, m_distance=1, quant_method=2)
+        ).encode_sequence(frames)
+        mpeg = VopEncoder(
+            CodecConfig(96, 64, qp=6, gop_size=1, m_distance=1, quant_method=1)
+        ).encode_sequence(frames)
+        assert h263.data != mpeg.data
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            CodecConfig(96, 64, quant_method=3)

@@ -1,0 +1,107 @@
+"""Cross-cutting property tests on the whole codec.
+
+Each property runs the complete encode->decode pipeline under randomized
+conditions (scene seeds, quantizers, GOP shapes) and checks the invariants
+that define the codec: decodability, bit-exactness with the encoder
+reconstruction, display-order restoration, and monotone rate behaviour.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import CodecConfig, VopDecoder, VopEncoder
+from repro.video import SceneSpec, SyntheticScene, VideoObjectSpec
+from repro.video.yuv import YuvFrame
+
+WIDTH, HEIGHT = 64, 48
+
+
+def random_frames(seed: int, n: int):
+    spec = SceneSpec(
+        width=WIDTH,
+        height=HEIGHT,
+        objects=(
+            VideoObjectSpec(
+                center_x=20 + (seed % 17),
+                center_y=20 + (seed % 11),
+                radius_x=10,
+                radius_y=8,
+                velocity_x=1.0 + (seed % 3),
+                texture_seed=seed,
+            ),
+        ),
+        background_seed=seed + 1,
+    )
+    scene = SyntheticScene(spec)
+    return [scene.frame(i) for i in range(n)]
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    qp=st.integers(min_value=1, max_value=31),
+    m_distance=st.sampled_from([1, 2, 3]),
+)
+@settings(max_examples=12, deadline=None)
+def test_property_roundtrip_bit_exact(seed, qp, m_distance):
+    """Any (scene, quantizer, GOP shape): decode == encoder reconstruction."""
+    config = CodecConfig(WIDTH, HEIGHT, qp=qp, gop_size=6, m_distance=m_distance)
+    frames = random_frames(seed, 4)
+    encoded = VopEncoder(config).encode_sequence(frames)
+    decoded = VopDecoder().decode_sequence(encoded.data)
+    assert len(decoded.frames) == 4
+    for recon, out in zip(encoded.reconstructions, decoded.frames):
+        assert np.array_equal(recon.y, out.y)
+        assert np.array_equal(recon.u, out.u)
+        assert np.array_equal(recon.v, out.v)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_property_rate_monotone_in_qp(seed):
+    """Coarser quantizers never need more bits on the same input."""
+    frames = random_frames(seed, 2)
+    sizes = []
+    for qp in (2, 10, 28):
+        config = CodecConfig(WIDTH, HEIGHT, qp=qp, gop_size=2, m_distance=1)
+        sizes.append(VopEncoder(config).encode_sequence(frames).total_bits)
+    assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_property_determinism(seed):
+    """Identical inputs and config produce identical bitstreams."""
+    frames = random_frames(seed, 3)
+    config = CodecConfig(WIDTH, HEIGHT, qp=8, gop_size=4, m_distance=2)
+    first = VopEncoder(config).encode_sequence(frames)
+    second = VopEncoder(config).encode_sequence(frames)
+    assert first.data == second.data
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    luma=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_flat_frames_compress_extremely(seed, luma):
+    """A constant frame is all-skip after the I-VOP and tiny overall."""
+    flat = YuvFrame.blank(WIDTH, HEIGHT, luma=luma)
+    config = CodecConfig(WIDTH, HEIGHT, qp=10, gop_size=4, m_distance=1)
+    encoded = VopEncoder(config).encode_sequence([flat, flat, flat])
+    assert encoded.total_bits < WIDTH * HEIGHT  # far below 1 bit/pixel total
+    decoded = VopDecoder().decode_sequence(encoded.data)
+    assert np.array_equal(decoded.frames[2].y, encoded.reconstructions[2].y)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=6, deadline=None)
+def test_property_decoder_output_pixel_range(seed):
+    """Decoded planes are always valid uint8, whatever the content."""
+    frames = random_frames(seed, 3)
+    config = CodecConfig(WIDTH, HEIGHT, qp=1, gop_size=3, m_distance=1)
+    encoded = VopEncoder(config).encode_sequence(frames)
+    decoded = VopDecoder().decode_sequence(encoded.data)
+    for frame in decoded.frames:
+        for _, plane in frame.planes():
+            assert plane.dtype == np.uint8

@@ -1,0 +1,127 @@
+"""Tests for error resilience: resync markers, recovery, concealment."""
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecConfig, VopDecoder, VopEncoder
+from repro.codec.bitstream import RESYNC_STARTCODE
+from repro.video import SceneSpec, SyntheticScene, psnr
+
+WIDTH, HEIGHT = 96, 64
+
+
+def frames(n=3):
+    scene = SyntheticScene(SceneSpec.default(WIDTH, HEIGHT))
+    return [scene.frame(i) for i in range(n)]
+
+
+def encode(resync=True, n=3, **overrides):
+    params = dict(qp=8, gop_size=4, m_distance=1, resync_markers=resync)
+    params.update(overrides)
+    config = CodecConfig(WIDTH, HEIGHT, **params)
+    return VopEncoder(config).encode_sequence(frames(n))
+
+
+class TestResyncSyntax:
+    def test_markers_present_in_stream(self):
+        encoded = encode(resync=True)
+        plain = encode(resync=False)
+        assert encoded.data.count(bytes([0, 0, 1, RESYNC_STARTCODE])) > 0
+        assert plain.data.count(bytes([0, 0, 1, RESYNC_STARTCODE])) == 0
+        # Markers cost bits.
+        assert len(encoded.data) > len(plain.data)
+
+    def test_clean_stream_roundtrips(self):
+        encoded = encode(resync=True)
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        for recon, out in zip(encoded.reconstructions, decoded.frames):
+            assert np.array_equal(recon.y, out.y)
+
+    def test_resync_with_bvops(self):
+        encoded = encode(resync=True, n=5, gop_size=12, m_distance=3)
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        for recon, out in zip(encoded.reconstructions, decoded.frames):
+            assert np.array_equal(recon.y, out.y)
+
+    def test_resync_with_ivop_ac_pred(self):
+        """Packet boundaries must reset intra prediction on both sides."""
+        encoded = encode(resync=True, n=1, gop_size=1)
+        decoded = VopDecoder().decode_sequence(encoded.data)
+        assert np.array_equal(decoded.frames[0].y, encoded.reconstructions[0].y)
+
+
+def _corrupt(data: bytes, offset_fraction: float, span: int = 12) -> bytes:
+    """Overwrite a span of payload bytes with noise."""
+    corrupted = bytearray(data)
+    index = int(len(data) * offset_fraction)
+    for position in range(index, min(index + span, len(data))):
+        corrupted[position] = 0xA5 ^ (position & 0x5A)
+    return bytes(corrupted)
+
+
+def _breaking_corruption(data: bytes):
+    """A corruption that provably breaks strict decoding (VLC streams can
+    absorb some byte noise as wrong-but-valid coefficients)."""
+    for percent in range(25, 90, 5):
+        broken = _corrupt(data, percent / 100)
+        try:
+            VopDecoder().decode_sequence(broken)
+        except Exception:
+            return broken
+    pytest.skip("no corruption offset broke this stream")
+
+
+class TestErrorRecovery:
+    def test_strict_mode_raises_on_corruption(self):
+        encoded = encode(resync=True)
+        broken = _breaking_corruption(encoded.data)
+        with pytest.raises(Exception):
+            VopDecoder().decode_sequence(broken)
+
+    def test_tolerant_mode_survives_corruption(self):
+        encoded = encode(resync=True)
+        broken = _breaking_corruption(encoded.data)
+        decoded = VopDecoder().decode_sequence(broken, tolerate_errors=True)
+        assert len(decoded.frames) == 3
+
+    def test_corruption_loses_at_most_some_packets(self):
+        encoded = encode(resync=True, n=2)
+        broken = _breaking_corruption(encoded.data)
+        decoded = VopDecoder().decode_sequence(broken, tolerate_errors=True)
+        lost = sum(v.lost_packets for v in decoded.vop_stats)
+        total_packets = 2 * (HEIGHT // 16)
+        assert 0 < lost < total_packets  # lost something, not everything
+
+    def test_undamaged_frames_stay_bit_exact(self):
+        """Corrupting the last VOP leaves earlier frames untouched."""
+        encoded = encode(resync=True, n=3)
+        broken = _corrupt(encoded.data, 0.97)
+        decoded = VopDecoder().decode_sequence(broken, tolerate_errors=True)
+        assert np.array_equal(decoded.frames[0].y, encoded.reconstructions[0].y)
+
+    def test_concealment_quality_reasonable(self):
+        """Lost packets concealed from the reference should keep the frame
+        recognizable (well above garbage PSNR)."""
+        encoded = encode(resync=True, n=3)
+        broken = _breaking_corruption(encoded.data)
+        decoded = VopDecoder().decode_sequence(broken, tolerate_errors=True)
+        source = frames(3)
+        worst = min(
+            psnr(a.y, b.y) for a, b in zip(source, decoded.frames)
+        )
+        assert worst > 14.0
+
+    def test_multiple_corruptions(self):
+        encoded = encode(resync=True, n=3)
+        broken = _corrupt(_corrupt(encoded.data, 0.4), 0.7)
+        decoded = VopDecoder().decode_sequence(broken, tolerate_errors=True)
+        assert len(decoded.frames) == 3
+
+    def test_without_markers_tolerant_mode_still_finishes(self):
+        """No resync markers -> nothing to recover to within the VOP; the
+        decoder conceals the rest of the VOP instead of crashing."""
+        encoded = encode(resync=False, n=2)
+        broken = _breaking_corruption(encoded.data)
+        decoded = VopDecoder().decode_sequence(broken, tolerate_errors=True)
+        assert len(decoded.frames) == 2
+        assert sum(v.lost_packets for v in decoded.vop_stats) > 0

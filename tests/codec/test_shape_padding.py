@@ -1,0 +1,182 @@
+"""Tests for binary shape coding and repetitive padding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.padding import EXTENDED_FILL, repetitive_pad
+from repro.codec.predict import DEFAULT_DC, DcPredictor
+from repro.codec.shape import (
+    BabMode,
+    bab_mode,
+    decode_shape_plane,
+    encode_shape_plane,
+)
+
+
+def ellipse_mask(height, width, cy, cx, ry, rx):
+    ys, xs = np.mgrid[0:height, 0:width]
+    mask = (((xs - cx) / rx) ** 2 + ((ys - cy) / ry) ** 2) <= 1.0
+    return mask.astype(np.uint8) * 255
+
+
+def shape_roundtrip(mask):
+    writer = BitWriter()
+    stats = encode_shape_plane(writer, mask)
+    reader = BitReader(writer.getvalue())
+    decoded = decode_shape_plane(reader, mask.shape[1], mask.shape[0])
+    return decoded, stats
+
+
+class TestBabMode:
+    def test_classification(self):
+        assert bab_mode(np.zeros((16, 16), dtype=np.uint8)) is BabMode.TRANSPARENT
+        assert bab_mode(np.full((16, 16), 255, dtype=np.uint8)) is BabMode.OPAQUE
+        mixed = np.zeros((16, 16), dtype=np.uint8)
+        mixed[0, 0] = 255
+        assert bab_mode(mixed) is BabMode.CODED
+
+
+class TestShapeRoundTrip:
+    def test_all_transparent(self):
+        mask = np.zeros((32, 32), dtype=np.uint8)
+        decoded, stats = shape_roundtrip(mask)
+        assert np.array_equal(decoded, mask)
+        assert stats.transparent_babs == 4
+        assert stats.coded_babs == 0
+
+    def test_all_opaque(self):
+        mask = np.full((32, 48), 255, dtype=np.uint8)
+        decoded, stats = shape_roundtrip(mask)
+        assert np.array_equal(decoded, mask)
+        assert stats.opaque_babs == 6
+
+    def test_ellipse_lossless(self):
+        mask = ellipse_mask(64, 64, 32, 32, 20, 24)
+        decoded, stats = shape_roundtrip(mask)
+        assert np.array_equal(decoded, mask)
+        assert stats.coded_babs > 0
+        assert stats.opaque_babs > 0
+
+    def test_boundary_babs_only_are_cae_coded(self):
+        mask = ellipse_mask(96, 96, 48, 48, 40, 40)
+        _, stats = shape_roundtrip(mask)
+        total = stats.transparent_babs + stats.opaque_babs + stats.coded_babs
+        assert total == 36
+        assert stats.coded_pixels == stats.coded_babs * 256
+
+    def test_cae_compresses_smooth_shapes(self):
+        mask = ellipse_mask(64, 64, 32, 32, 24, 24)
+        _, stats = shape_roundtrip(mask)
+        # Smooth contours: far fewer than 1 bit per coded pixel.
+        assert stats.cae_bytes * 8 < stats.coded_pixels / 2
+
+    def test_misaligned_plane_rejected(self):
+        with pytest.raises(ValueError):
+            encode_shape_plane(BitWriter(), np.zeros((10, 16), dtype=np.uint8))
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_masks_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        # Blocky random masks: random 4x4 tiles scaled up, so BABs hit all
+        # three modes including ragged coded blocks.
+        coarse = rng.integers(0, 2, (8, 8)).astype(np.uint8)
+        mask = np.kron(coarse, np.ones((8, 8), dtype=np.uint8)) * 255
+        decoded, _ = shape_roundtrip(mask)
+        assert np.array_equal(decoded, mask)
+
+
+class TestRepetitivePadding:
+    def test_fully_opaque_is_identity(self):
+        plane = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        mask = np.full((8, 8), 255, dtype=np.uint8)
+        assert np.array_equal(repetitive_pad(plane, mask), plane)
+
+    def test_horizontal_fill_between(self):
+        plane = np.zeros((1, 5), dtype=np.uint8)
+        plane[0, 0] = 10
+        plane[0, 4] = 20
+        mask = np.array([[255, 0, 0, 0, 255]], dtype=np.uint8)
+        padded = repetitive_pad(plane, mask)
+        assert padded[0, 2] == 15  # bracketed -> average
+
+    def test_one_sided_fill_replicates(self):
+        plane = np.zeros((1, 4), dtype=np.uint8)
+        plane[0, 0] = 99
+        mask = np.array([[255, 0, 0, 0]], dtype=np.uint8)
+        assert (repetitive_pad(plane, mask)[0, 1:] == 99).all()
+
+    def test_vertical_pass_after_horizontal(self):
+        plane = np.zeros((3, 2), dtype=np.uint8)
+        plane[0, 0] = 40
+        mask = np.zeros((3, 2), dtype=np.uint8)
+        mask[0, 0] = 255
+        padded = repetitive_pad(plane, mask)
+        assert (padded == 40).all()
+
+    def test_empty_mask_extended_fill(self):
+        plane = np.zeros((4, 4), dtype=np.uint8)
+        mask = np.zeros((4, 4), dtype=np.uint8)
+        assert (repetitive_pad(plane, mask) == EXTENDED_FILL).all()
+
+    def test_opaque_pixels_never_change(self):
+        rng = np.random.default_rng(0)
+        plane = rng.integers(0, 256, (32, 32)).astype(np.uint8)
+        mask = ellipse_mask(32, 32, 16, 16, 10, 12)
+        padded = repetitive_pad(plane, mask)
+        assert np.array_equal(padded[mask != 0], plane[mask != 0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            repetitive_pad(np.zeros((4, 4)), np.zeros((4, 5)))
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_pixels_defined_and_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        plane = rng.integers(0, 256, (24, 24)).astype(np.uint8)
+        mask = (rng.random((24, 24)) < 0.3).astype(np.uint8) * 255
+        padded = repetitive_pad(plane, mask)
+        assert padded.dtype == plane.dtype
+        assert padded.min() >= 0
+        assert padded.max() <= 255
+
+
+class TestDcPredictor:
+    def test_default_for_first_block(self):
+        predictor = DcPredictor(4, 4)
+        assert predictor.predict(0, 0) == DEFAULT_DC
+
+    def test_predicts_from_left(self):
+        predictor = DcPredictor(2, 2)
+        predictor.store(0, 0, 50)
+        # above and above-left are defaults (equal) -> horizontal gradient 0
+        # is NOT < vertical gradient |default-50|... choose left or above by
+        # rule; just check it returns one of the stored/default values.
+        assert predictor.predict(0, 1) in (50, DEFAULT_DC)
+
+    def test_adaptive_direction(self):
+        predictor = DcPredictor(3, 3)
+        predictor.store(0, 0, 100)  # above-left of (1,1)
+        predictor.store(0, 1, 100)  # above of (1,1)
+        predictor.store(1, 0, 30)  # left of (1,1)
+        # |above_left - left| = 70 >= |above_left - above| = 0 -> predict left.
+        assert predictor.predict(1, 1) == 30
+        predictor2 = DcPredictor(3, 3)
+        predictor2.store(0, 0, 100)
+        predictor2.store(0, 1, 30)
+        predictor2.store(1, 0, 100)
+        # |above_left - left| = 0 < |above_left - above| = 70 -> predict above.
+        assert predictor2.predict(1, 1) == 30
+
+    def test_bounds_checked(self):
+        predictor = DcPredictor(2, 2)
+        with pytest.raises(IndexError):
+            predictor.store(2, 0, 1)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            DcPredictor(0, 4)

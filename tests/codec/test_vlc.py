@@ -1,0 +1,155 @@
+"""Tests for the VLC layer: Huffman tables, coefficient events, MB headers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.vlc import (
+    CBPY_TABLE,
+    COEFF_TABLE,
+    MCBPC_TABLE,
+    HuffmanTable,
+    decode_coefficient_event,
+    decode_macroblock_header,
+    decode_mv_component,
+    encode_coefficient_event,
+    encode_macroblock_header,
+    encode_mv_component,
+)
+
+
+class TestHuffmanTable:
+    def test_requires_two_symbols(self):
+        with pytest.raises(ValueError):
+            HuffmanTable([("a", 1.0)])
+
+    def test_codes_are_prefix_free(self):
+        table = HuffmanTable([("a", 5), ("b", 3), ("c", 1), ("d", 1)])
+        codes = [format(code, f"0{length}b") for code, length in table.codes.values()]
+        for first in codes:
+            for second in codes:
+                if first != second:
+                    assert not second.startswith(first)
+
+    def test_frequent_symbols_get_short_codes(self):
+        table = HuffmanTable([("common", 100), ("rare", 1), ("rarer", 0.5)])
+        assert table.codes["common"][1] < table.codes["rare"][1]
+
+    def test_roundtrip_all_symbols(self):
+        symbols = [(f"s{i}", 2.0**-i) for i in range(12)]
+        table = HuffmanTable(symbols)
+        writer = BitWriter()
+        for symbol, _ in symbols:
+            table.encode(writer, symbol)
+        reader = BitReader(writer.getvalue())
+        for symbol, _ in symbols:
+            assert table.decode(reader) == symbol
+
+    def test_deterministic_construction(self):
+        weights = [("x", 3), ("y", 2), ("z", 2), ("w", 1)]
+        assert HuffmanTable(weights).codes == HuffmanTable(weights).codes
+
+    def test_kraft_equality(self):
+        """A complete Huffman code satisfies the Kraft sum exactly."""
+        table = HuffmanTable([(i, 1 + (i % 5)) for i in range(17)])
+        kraft = sum(2.0**-length for _, length in table.codes.values())
+        assert kraft == pytest.approx(1.0)
+
+
+class TestCoefficientEvents:
+    def test_common_event_roundtrip(self):
+        writer = BitWriter()
+        encode_coefficient_event(writer, 0, 0, 1)
+        encode_coefficient_event(writer, 1, 2, -3)
+        reader = BitReader(writer.getvalue())
+        assert decode_coefficient_event(reader) == (0, 0, 1)
+        assert decode_coefficient_event(reader) == (1, 2, -3)
+
+    def test_escape_event_roundtrip(self):
+        writer = BitWriter()
+        encode_coefficient_event(writer, 1, 40, 900)  # beyond table ranges
+        reader = BitReader(writer.getvalue())
+        assert decode_coefficient_event(reader) == (1, 40, 900)
+
+    def test_zero_level_rejected(self):
+        with pytest.raises(ValueError):
+            encode_coefficient_event(BitWriter(), 0, 0, 0)
+
+    def test_oversized_level_rejected(self):
+        with pytest.raises(ValueError):
+            encode_coefficient_event(BitWriter(), 0, 0, 1 << 13)
+
+    def test_common_events_cheaper_than_escape(self):
+        common = BitWriter()
+        encode_coefficient_event(common, 0, 0, 1)
+        escape = BitWriter()
+        encode_coefficient_event(escape, 0, 50, 2000)
+        assert common.bit_position < escape.bit_position
+
+    @given(
+        last=st.integers(min_value=0, max_value=1),
+        run=st.integers(min_value=0, max_value=63),
+        level=st.integers(min_value=-2047, max_value=2047).filter(lambda v: v != 0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_any_event_roundtrips(self, last, run, level):
+        writer = BitWriter()
+        encode_coefficient_event(writer, last, run, level)
+        reader = BitReader(writer.getvalue())
+        assert decode_coefficient_event(reader) == (last, run, level)
+
+
+class TestMacroblockHeader:
+    @pytest.mark.parametrize("is_intra", [True, False])
+    @pytest.mark.parametrize("cbp", [0, 0b111111, 0b101010, 0b000011])
+    def test_roundtrip(self, is_intra, cbp):
+        writer = BitWriter()
+        encode_macroblock_header(writer, is_intra, False, cbp, inter_allowed=True)
+        header = decode_macroblock_header(BitReader(writer.getvalue()), inter_allowed=True)
+        assert header.is_intra == is_intra
+        assert header.cbp == cbp
+        assert not header.is_skipped
+
+    def test_skip_roundtrip(self):
+        writer = BitWriter()
+        encode_macroblock_header(writer, False, True, 0, inter_allowed=True)
+        header = decode_macroblock_header(BitReader(writer.getvalue()), inter_allowed=True)
+        assert header.is_skipped
+        assert writer.bit_position == 1  # skip costs a single bit
+
+    def test_ivop_cannot_skip(self):
+        with pytest.raises(ValueError):
+            encode_macroblock_header(BitWriter(), True, True, 0, inter_allowed=False)
+
+    def test_ivop_header_has_no_skip_bit(self):
+        writer = BitWriter()
+        encode_macroblock_header(writer, True, False, 0b111100, inter_allowed=False)
+        header = decode_macroblock_header(BitReader(writer.getvalue()), inter_allowed=False)
+        assert header.is_intra
+        assert header.cbp == 0b111100
+
+
+class TestMotionVectorCodes:
+    @given(st.integers(min_value=-33, max_value=33))
+    @settings(max_examples=80, deadline=None)
+    def test_property_mv_roundtrip(self, value):
+        writer = BitWriter()
+        encode_mv_component(writer, value)
+        assert decode_mv_component(BitReader(writer.getvalue())) == value
+
+    def test_zero_is_one_bit(self):
+        writer = BitWriter()
+        encode_mv_component(writer, 0)
+        assert writer.bit_position == 1
+
+
+class TestTableShapes:
+    def test_coeff_table_has_escape(self):
+        from repro.codec.vlc import ESCAPE
+
+        assert ESCAPE in COEFF_TABLE.codes
+
+    def test_small_tables_cover_alphabets(self):
+        assert len(MCBPC_TABLE.codes) == 8
+        assert len(CBPY_TABLE.codes) == 16

@@ -1,0 +1,26 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+        assert "fig2" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Platform Highlights" in out
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "huge"])

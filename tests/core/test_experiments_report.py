@@ -1,0 +1,124 @@
+"""Tests for the experiment registry, scales, and report rendering."""
+
+import pytest
+
+from repro.core.experiments import (
+    EXPERIMENTS,
+    SCALES,
+    ExperimentScale,
+    StudyRunner,
+    current_scale,
+    run_experiment,
+)
+from repro.core.machines import SGI_O2
+from repro.core.metrics import MetricReport
+from repro.core.report import render_series, render_table
+
+
+def fake_report(**overrides):
+    params = dict(
+        machine="R12K 1MB",
+        l1_miss_rate=0.001,
+        l1_miss_time=0.005,
+        l1_line_reuse=1000.0,
+        l2_miss_rate=0.3,
+        l2_line_reuse=2.0,
+        dram_time=0.02,
+        l1_l2_bw_mb_s=10.0,
+        l2_dram_bw_mb_s=5.0,
+        prefetch_l1_miss=0.4,
+        seconds=1.0,
+        bus_utilization=0.01,
+        graduated_loads=1000,
+        graduated_stores=100,
+    )
+    params.update(overrides)
+    return MetricReport(**params)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {f"table{i}" for i in range(1, 9)} | {"fig2", "fig3", "fig4"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_table1_needs_no_simulation(self):
+        result = run_experiment("table1", StudyRunner(SCALES["quick"]))
+        assert "R12000" in result.text
+        assert "680" in result.text
+
+    def test_scales(self):
+        assert SCALES["paper"].n_frames == 30
+        assert SCALES["quick"].n_frames < SCALES["default"].n_frames
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert current_scale().name == "paper"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_scale_sampling(self):
+        assert ExperimentScale("x", 4, 1.0).sampling() is None
+        assert ExperimentScale("x", 4, 0.5).sampling() is not None
+
+
+class TestRunnerCaching:
+    def test_encode_runs_cached(self):
+        runner = StudyRunner(ExperimentScale("tiny", 2, 1.0))
+        first = runner.encode(96, 64)
+        second = runner.encode(96, 64)
+        assert first is second
+
+    def test_decode_reuses_encode_streams(self):
+        runner = StudyRunner(ExperimentScale("tiny", 2, 1.0))
+        enc = runner.encode(96, 64)
+        dec = runner.decode(96, 64)
+        assert dec.encoded is not None
+        assert runner._streams[(96, 64, 1, 1)] is enc.encoded
+
+
+class TestRenderTable:
+    def _measured(self):
+        labels = ("R12K 1MB", "R10K 2MB", "R12K 8MB")
+        return {
+            "720x576": {label: fake_report(machine=label) for label in labels},
+            "1024x768": {label: fake_report(machine=label) for label in labels},
+        }
+
+    def test_contains_all_rows_and_columns(self):
+        text = render_table("TableX", self._measured())
+        assert "L1C miss rate" in text
+        assert "prefetch L1C miss" in text
+        assert "720x576 R12K 1MB" in text
+        assert "1024x768 R12K 8MB" in text
+
+    def test_paper_reference_column(self):
+        paper = {"720x576": {"l1_miss_rate": (0.0009, None, None)}}
+        text = render_table("TableX", self._measured(), paper)
+        assert "(0.09%)" in text
+        assert "(--)" in text
+
+    def test_render_series(self):
+        text = render_series("FigX", {"metric": [0.1, 0.2, None]}, ["a", "b", "c"])
+        assert "FigX" in text
+        assert "0.1" in text
+        assert "--" in text
+
+
+class TestPaperData:
+    def test_table5_values_transcribed(self):
+        from repro.core.paperdata import TABLE5_DECODE_3VO1L
+
+        assert TABLE5_DECODE_3VO1L["720x576"]["l2_miss_rate"][0] == 0.3656
+        assert TABLE5_DECODE_3VO1L["1024x768"]["dram_time"][2] == 0.019
+
+    def test_rows_cover_metric_report_fields(self):
+        from repro.core.paperdata import ROWS
+
+        report = fake_report()
+        for row in ROWS:
+            assert hasattr(report, row)

@@ -1,0 +1,146 @@
+"""Tests for machine specs, metric formulas, and the perfex facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import PerfexSession
+from repro.core.machines import (
+    BUS,
+    L1_GEOMETRY,
+    SGI_O2,
+    SGI_ONYX,
+    SGI_ONYX2,
+    STUDY_MACHINES,
+    machine_by_l2_mb,
+)
+from repro.core.metrics import compute_report
+from repro.memsim.events import KIND_READ, AccessBatch
+from repro.memsim.hierarchy import HierarchyCounters
+from repro.memsim.timing import Clock
+
+
+class TestMachines:
+    def test_table1_l2_sizes(self):
+        assert [m.l2.size_bytes >> 20 for m in STUDY_MACHINES] == [1, 2, 8]
+
+    def test_shared_l1(self):
+        assert L1_GEOMETRY.size_bytes == 32 << 10
+        assert L1_GEOMETRY.line_bytes == 32
+        assert L1_GEOMETRY.ways == 2
+
+    def test_bus_matches_table1(self):
+        assert BUS.width_bits == 64
+        assert BUS.clock_mhz == 133.0
+        assert BUS.sustained_mb_s == 680.0
+
+    def test_r10k_lacks_prefetch_hit_counter(self):
+        assert not SGI_ONYX.counts_prefetch_hits
+        assert SGI_O2.counts_prefetch_hits
+        assert SGI_ONYX2.counts_prefetch_hits
+
+    def test_labels(self):
+        assert SGI_O2.label == "R12K 1MB"
+        assert SGI_ONYX.label == "R10K 2MB"
+        assert SGI_ONYX2.label == "R12K 8MB"
+
+    def test_lookup_by_l2(self):
+        assert machine_by_l2_mb(2) is SGI_ONYX
+        with pytest.raises(KeyError):
+            machine_by_l2_mb(4)
+
+    def test_build_hierarchy_is_fresh(self):
+        first = SGI_O2.build_hierarchy()
+        second = SGI_O2.build_hierarchy()
+        first.process(AccessBatch(KIND_READ, np.array([0]), np.array([1])))
+        assert second.total.l1_misses == 0
+
+
+class TestMetricFormulas:
+    def _counters(self):
+        counters = HierarchyCounters(
+            graduated_loads=900_000,
+            graduated_stores=100_000,
+            l1_hits=999_000,
+            l1_misses=1_000,
+            l1_writebacks=200,
+            l2_hits=640,
+            l2_misses=360,
+            l2_writebacks=100,
+            prefetch_issued=100,
+            prefetch_l1_hits=55,
+            prefetch_l1_misses=45,
+        )
+        counters.clock = Clock(
+            compute_cycles=1_000_000.0, l1_stall_cycles=5_000.0, dram_stall_cycles=20_000.0
+        )
+        return counters
+
+    def test_paper_formulas(self):
+        report = compute_report(self._counters(), SGI_O2)
+        assert report.l1_miss_rate == pytest.approx(1_000 / 1_000_000)
+        assert report.l1_line_reuse == pytest.approx(999_000 / 1_000)
+        assert report.l2_miss_rate == pytest.approx(0.36)
+        assert report.l2_line_reuse == pytest.approx(640 / 360)
+        total = 1_025_000.0
+        assert report.l1_miss_time == pytest.approx(5_000 / total)
+        assert report.dram_time == pytest.approx(20_000 / total)
+
+    def test_bandwidths(self):
+        report = compute_report(self._counters(), SGI_O2)
+        seconds = 1_025_000.0 / 300e6
+        expected_l1_l2 = (1_000 + 45 + 200) * 32 / 1e6 / seconds
+        assert report.l1_l2_bw_mb_s == pytest.approx(expected_l1_l2)
+        expected_l2_dram = (360 + 100) * 128 / 1e6 / seconds
+        # prefetch L2 misses are zero here
+        assert report.l2_dram_bw_mb_s == pytest.approx(expected_l2_dram)
+        assert report.bus_utilization == pytest.approx(expected_l2_dram / 680.0)
+
+    def test_prefetch_metric_respects_machine_capability(self):
+        counters = self._counters()
+        assert compute_report(counters, SGI_O2).prefetch_l1_miss == pytest.approx(0.45)
+        assert compute_report(counters, SGI_ONYX).prefetch_l1_miss is None
+
+    def test_scaling_invariance_of_ratios(self):
+        counters = self._counters()
+        base = compute_report(counters, SGI_O2)
+        scaled = compute_report(counters, SGI_O2, scale=3.0)
+        assert scaled.l1_miss_rate == pytest.approx(base.l1_miss_rate, rel=1e-3)
+        assert scaled.l2_miss_rate == pytest.approx(base.l2_miss_rate, rel=1e-3)
+        assert scaled.dram_time == pytest.approx(base.dram_time, rel=1e-3)
+        assert scaled.l1_l2_bw_mb_s == pytest.approx(base.l1_l2_bw_mb_s, rel=1e-2)
+
+    def test_as_rows_formatting(self):
+        rows = dict(compute_report(self._counters(), SGI_ONYX).as_rows())
+        assert rows["prefetch L1C miss"] == "n/a"
+        assert rows["L1C miss rate"] == "0.10%"
+
+
+class TestPerfexSession:
+    def _session_with_traffic(self):
+        session = PerfexSession.start(SGI_O2)
+        lines = np.arange(100)
+        session.hierarchy.process(
+            AccessBatch(KIND_READ, lines, np.ones_like(lines), phase="vop_decode")
+        )
+        return session
+
+    def test_read_events(self):
+        session = self._session_with_traffic()
+        assert session.read("graduated_loads") == 100
+        assert session.read("primary_data_cache_misses") == 100
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(KeyError):
+            self._session_with_traffic().read("bogus_event")
+
+    def test_phase_scoping(self):
+        session = self._session_with_traffic()
+        assert session.phases() == ["vop_decode"]
+        assert session.read("graduated_loads", phase="vop_decode") == 100
+        with pytest.raises(KeyError):
+            session.read("graduated_loads", phase="nope")
+
+    def test_report(self):
+        report = self._session_with_traffic().report()
+        assert report.machine == "R12K 1MB"
+        assert report.l1_miss_rate == 1.0

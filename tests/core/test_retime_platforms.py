@@ -1,0 +1,68 @@
+"""Tests for report retiming (ablation support) and platform specs."""
+
+import pytest
+
+from repro.core.machines import SGI_O2, SGI_ONYX2
+from repro.core.metrics import retime
+from repro.core.platforms import EXTENDED_PLATFORMS, ITANIUM, PENTIUM_III, POWER4
+from repro.memsim.hierarchy import HierarchyCounters
+from repro.memsim.timing import Clock
+
+
+def counters():
+    made = HierarchyCounters(
+        graduated_loads=1_000_000,
+        graduated_stores=200_000,
+        l1_hits=1_195_000,
+        l1_misses=5_000,
+        l2_hits=3_000,
+        l2_misses=2_000,
+        alu_ops=800_000,
+    )
+    made.clock = Clock(compute_cycles=1.0, l1_stall_cycles=0.0, dram_stall_cycles=0.0)
+    return made
+
+
+class TestRetime:
+    def test_cache_ratios_unchanged(self):
+        report = retime(counters(), SGI_O2, dram_latency_ns=5000)
+        assert report.l1_miss_rate == pytest.approx(5_000 / 1_200_000)
+        assert report.l2_miss_rate == pytest.approx(0.4)
+
+    def test_dram_time_monotone_in_latency(self):
+        slow = retime(counters(), SGI_O2, dram_latency_ns=5000).dram_time
+        fast = retime(counters(), SGI_O2, dram_latency_ns=100).dram_time
+        assert slow > fast
+
+    def test_alu_scale_shrinks_time_and_grows_bandwidth(self):
+        scalar = retime(counters(), SGI_ONYX2)
+        vector = retime(counters(), SGI_ONYX2, alu_scale=0.125)
+        assert vector.seconds < scalar.seconds
+        assert vector.l1_l2_bw_mb_s > scalar.l1_l2_bw_mb_s
+
+    def test_default_latency_matches_machine_dram(self):
+        default = retime(counters(), SGI_O2)
+        explicit = retime(counters(), SGI_O2, dram_latency_ns=300.0)
+        assert default.dram_time == pytest.approx(explicit.dram_time)
+
+
+class TestPlatformSpecs:
+    def test_all_platforms_build(self):
+        for platform in EXTENDED_PLATFORMS:
+            stack = platform.build()
+            assert stack.name == platform.name
+            assert len(stack.caches) == len(platform.geometries)
+
+    def test_level_counts(self):
+        assert len(PENTIUM_III.geometries) == 2
+        assert len(ITANIUM.geometries) == 3
+        assert len(POWER4.geometries) == 3
+
+    def test_capacities_increase_down_the_stack(self):
+        for platform in EXTENDED_PLATFORMS:
+            sizes = [geometry.size_bytes for geometry in platform.geometries]
+            assert sizes == sorted(sizes)
+
+    def test_power4_has_big_lines(self):
+        assert POWER4.geometries[0].line_bytes == 128
+        assert POWER4.geometries[2].line_bytes == 512

@@ -1,0 +1,175 @@
+"""Unit and property tests for the reference set-associative cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.cache import CacheGeometry, SetAssocCache
+
+
+def make_cache(size=1024, line=32, ways=2):
+    return SetAssocCache(CacheGeometry(size, line, ways))
+
+
+class TestCacheGeometry:
+    def test_basic_derivations(self):
+        geom = CacheGeometry(32 * 1024, 32, 2)
+        assert geom.n_sets == 512
+        assert geom.n_lines == 1024
+        assert geom.line_shift == 5
+        assert geom.set_shift == 0
+
+    def test_l2_geometry(self):
+        geom = CacheGeometry(1 << 20, 128, 2)
+        assert geom.n_sets == 4096
+        assert geom.line_shift == 7
+        assert geom.set_shift == 2
+
+    def test_describe_mb_and_kb(self):
+        assert CacheGeometry(1 << 20, 128, 2).describe() == "1 MB, 2-way, 128 B lines"
+        assert CacheGeometry(32 << 10, 32, 2).describe() == "32 KB, 2-way, 32 B lines"
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 48, 2)
+
+    def test_rejects_line_smaller_than_granule(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 16, 2)
+
+    def test_rejects_indivisible_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1000, 32, 2)
+
+    def test_rejects_nonpositive_ways(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 32, 0)
+
+
+class TestSetAssocCache:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(0, False)
+        assert cache.access(0, False)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_lru_eviction_within_set(self):
+        # 1 KB, 32 B lines, 2 ways -> 16 sets. Lines 0, 16, 32 share set 0.
+        cache = make_cache()
+        cache.access(0, False)
+        cache.access(16, False)
+        cache.access(32, False)  # evicts line 0 (LRU)
+        assert not cache.probe(0)
+        assert cache.probe(16)
+        assert cache.probe(32)
+
+    def test_access_refreshes_lru(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.access(16, False)
+        cache.access(0, False)  # line 0 becomes MRU
+        cache.access(32, False)  # should evict 16, not 0
+        assert cache.probe(0)
+        assert not cache.probe(16)
+
+    def test_dirty_victim_produces_writeback(self):
+        cache = make_cache()
+        writebacks = []
+        cache.access(0, True)
+        cache.access(16, False)
+        cache.access(32, False, writebacks)
+        assert writebacks == [0]
+        assert cache.writeback_count == 1
+
+    def test_clean_victim_no_writeback(self):
+        cache = make_cache()
+        writebacks = []
+        cache.access(0, False)
+        cache.access(16, False)
+        cache.access(32, False, writebacks)
+        assert writebacks == []
+        assert cache.writeback_count == 0
+
+    def test_write_hit_marks_dirty(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.access(0, True)
+        writebacks = []
+        cache.access(16, False)
+        cache.access(32, False, writebacks)
+        assert writebacks == [0]
+
+    def test_invalidate_returns_dirtiness(self):
+        cache = make_cache()
+        cache.access(0, True)
+        cache.access(1, False)
+        assert cache.invalidate(0) is True
+        assert cache.invalidate(1) is False
+        assert cache.invalidate(99) is False
+        assert not cache.probe(0)
+
+    def test_probe_does_not_touch_lru(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.access(16, False)
+        cache.probe(0)  # must NOT refresh line 0
+        cache.access(32, False)
+        assert not cache.probe(0)
+
+    def test_reset_counters(self):
+        cache = make_cache()
+        cache.access(0, False)
+        cache.reset_counters()
+        assert cache.hits == cache.misses == cache.writeback_count == 0
+        assert cache.probe(0)  # contents survive a counter reset
+
+    def test_capacity_bound(self):
+        cache = make_cache(size=1024, line=32, ways=2)
+        for line in range(500):
+            cache.access(line, False)
+        assert cache.resident_lines <= cache.geometry.n_lines
+
+    def test_full_associativity_path(self):
+        cache = make_cache(size=128, line=32, ways=4)  # single set
+        for line in range(4):
+            cache.access(line, False)
+        assert all(cache.probe(line) for line in range(4))
+        cache.access(4, False)
+        assert not cache.probe(0)
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=255), st.booleans()),
+        max_size=300,
+    ),
+    ways=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_counter_conservation_and_capacity(accesses, ways):
+    """hits + misses == accesses; residency never exceeds capacity."""
+    cache = SetAssocCache(CacheGeometry(512, 32, ways))
+    for line, is_write in accesses:
+        cache.access(line, is_write)
+    assert cache.hits + cache.misses == len(accesses)
+    assert cache.resident_lines <= cache.geometry.n_lines
+    assert cache.writeback_count <= cache.evictions
+
+
+@given(accesses=st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_property_lru_matches_stack_model(accesses):
+    """A fully-associative cache must behave exactly like an LRU stack."""
+    n_lines = 8
+    cache = SetAssocCache(CacheGeometry(n_lines * 32, 32, n_lines))
+    stack: list[int] = []
+    for line in accesses:
+        expect_hit = line in stack
+        assert cache.access(line, False) == expect_hit
+        if expect_hit:
+            stack.remove(line)
+        elif len(stack) == n_lines:
+            stack.pop(0)
+        stack.append(line)
+    assert cache.contents() == set(stack)

@@ -1,0 +1,241 @@
+"""Tests for the two-level hierarchy engine, including a differential check
+against the reference cache model and inclusion/conservation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.cache import CacheGeometry, SetAssocCache
+from repro.memsim.events import KIND_PREFETCH, KIND_READ, KIND_WRITE, AccessBatch
+from repro.memsim.hierarchy import HierarchyCounters, MemoryHierarchy
+from repro.memsim.timing import TimingSpec
+
+
+def make_timing(**overrides):
+    params = dict(
+        clock_mhz=300.0,
+        ipc=1.2,
+        l2_hit_latency_cycles=10.0,
+        mshr=4,
+        hide_l2=0.6,
+        hide_dram=0.3,
+    )
+    params.update(overrides)
+    return TimingSpec(**params)
+
+
+def make_hierarchy(l1_kb=1, l2_kb=4, l1_ways=2, l2_ways=2):
+    return MemoryHierarchy(
+        CacheGeometry(l1_kb << 10, 32, l1_ways),
+        CacheGeometry(l2_kb << 10, 128, l2_ways),
+        make_timing(),
+    )
+
+
+def read_batch(lines, counts=None, phase="other", alu_ops=0):
+    lines = np.asarray(lines)
+    counts = np.ones_like(lines) if counts is None else np.asarray(counts)
+    return AccessBatch(KIND_READ, lines, counts, phase=phase, alu_ops=alu_ops)
+
+
+class TestBasics:
+    def test_l1_line_must_match_granule(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                CacheGeometry(1024, 64, 2), CacheGeometry(4096, 128, 2), make_timing()
+            )
+
+    def test_equal_line_sizes_are_legal(self):
+        # L2 lines equal to L1 lines are allowed; smaller is impossible by
+        # the granule rule, so the constructor only rejects l2 < l1.
+        hier = MemoryHierarchy(
+            CacheGeometry(1024, 32, 2), CacheGeometry(4096, 32, 2), make_timing()
+        )
+        hier.process(read_batch([0, 1]))
+        assert hier.total.l2_misses == 2
+
+    def test_cold_miss_goes_to_both_levels(self):
+        hier = make_hierarchy()
+        hier.process(read_batch([0]))
+        assert hier.total.l1_misses == 1
+        assert hier.total.l2_misses == 1
+        assert hier.total.l1_hits == 0
+
+    def test_run_length_counts_hit_after_fill(self):
+        hier = make_hierarchy()
+        hier.process(read_batch([0], counts=[16]))
+        assert hier.total.graduated_loads == 16
+        assert hier.total.l1_misses == 1
+        assert hier.total.l1_hits == 15
+
+    def test_l2_spatial_locality(self):
+        """Granules 0..3 share one 128-byte L2 line: one L2 miss, four L1 misses."""
+        hier = make_hierarchy()
+        hier.process(read_batch([0, 1, 2, 3]))
+        assert hier.total.l1_misses == 4
+        assert hier.total.l2_misses == 1
+        assert hier.total.l2_hits == 3
+
+    def test_counter_conservation(self):
+        hier = make_hierarchy()
+        rng = np.random.default_rng(7)
+        lines = rng.integers(0, 4096, size=3000)
+        hier.process(read_batch(lines))
+        total = hier.total
+        assert total.l1_hits + total.l1_misses == total.graduated_loads
+        assert total.l2_hits + total.l2_misses == total.l1_misses
+
+    def test_write_then_evict_generates_writeback_traffic(self):
+        hier = make_hierarchy(l1_kb=1)
+        hier.process(AccessBatch(KIND_WRITE, np.array([0]), np.array([1])))
+        # Push line 0 out of its L1 set (1 KB, 2-way, 16 sets: stride 16).
+        hier.process(read_batch([16, 32]))
+        assert hier.total.l1_writebacks == 1
+
+    def test_phase_counters_sum_to_total(self):
+        hier = make_hierarchy()
+        hier.process(read_batch([0, 1], phase="me"))
+        hier.process(read_batch([512, 513], phase="dct"))
+        merged = HierarchyCounters()
+        for phase in hier.phases.values():
+            merged.add(phase)
+        assert merged.graduated_loads == hier.total.graduated_loads
+        assert merged.l1_misses == hier.total.l1_misses
+        assert merged.l2_misses == hier.total.l2_misses
+
+    def test_access_line_convenience(self):
+        hier = make_hierarchy()
+        assert hier.access_line(5, False) is False
+        assert hier.access_line(5, False) is True
+
+
+class TestInclusion:
+    def test_inclusion_invariant_random_stream(self):
+        hier = make_hierarchy(l1_kb=1, l2_kb=2)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            lines = rng.integers(0, 512, size=200)
+            hier.process(read_batch(lines))
+            assert hier.check_inclusion()
+
+    def test_l2_eviction_back_invalidates_l1(self):
+        # L2: 256 B, 128 B lines, 1 way -> 2 sets. L2 lines 0 and 2 conflict.
+        hier = MemoryHierarchy(
+            CacheGeometry(1 << 10, 32, 2),
+            CacheGeometry(256, 128, 1),
+            make_timing(),
+        )
+        hier.process(read_batch([0]))  # granule 0 -> L2 line 0
+        assert 0 in hier.l1_contents()
+        hier.process(read_batch([8]))  # granule 8 -> L2 line 2, evicts L2 line 0
+        assert 0 not in hier.l1_contents()
+        assert hier.check_inclusion()
+
+    def test_dirty_l1_data_folded_into_l2_writeback(self):
+        hier = MemoryHierarchy(
+            CacheGeometry(1 << 10, 32, 2),
+            CacheGeometry(256, 128, 1),
+            make_timing(),
+        )
+        hier.process(AccessBatch(KIND_WRITE, np.array([0]), np.array([1])))
+        hier.process(read_batch([8]))  # evict L2 line 0 while granule 0 is dirty in L1
+        assert hier.total.l2_writebacks == 1
+        assert hier.total.l1_writebacks == 1
+
+
+class TestPrefetch:
+    def test_prefetch_miss_fills_and_later_read_hits(self):
+        hier = make_hierarchy()
+        hier.process(AccessBatch(KIND_PREFETCH, np.array([0]), np.array([1])))
+        assert hier.total.prefetch_l1_misses == 1
+        hier.process(read_batch([0]))
+        assert hier.total.l1_misses == 0
+        assert hier.total.l1_hits == 1
+
+    def test_prefetch_to_resident_line_is_wasted(self):
+        hier = make_hierarchy()
+        hier.process(read_batch([0]))
+        hier.process(AccessBatch(KIND_PREFETCH, np.array([0]), np.array([1])))
+        assert hier.total.prefetch_l1_hits == 1
+        assert hier.total.prefetch_l1_misses == 0
+
+    def test_prefetch_never_stalls(self):
+        hier = make_hierarchy()
+        hier.process(AccessBatch(KIND_PREFETCH, np.array([0, 64]), np.array([1, 1])))
+        assert hier.total.clock.dram_stall_cycles == 0
+        assert hier.total.clock.l1_stall_cycles == 0
+
+    def test_duplicate_prefetch_in_one_batch_counts_hit(self):
+        hier = make_hierarchy()
+        hier.process(
+            AccessBatch(KIND_PREFETCH, np.array([0, 5, 0]), np.array([1, 1, 1]))
+        )
+        assert hier.total.prefetch_issued == 3
+        assert hier.total.prefetch_l1_misses == 2
+        assert hier.total.prefetch_l1_hits == 1
+
+
+class TestDifferentialAgainstReference:
+    """The inlined hot loop must match the composed reference caches exactly
+    (miss counts at both levels) for write-free streams, where the reference
+    composition is unambiguous."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=400)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_read_stream_differential(self, raw_lines):
+        l1_geom = CacheGeometry(1 << 10, 32, 2)
+        l2_geom = CacheGeometry(4 << 10, 128, 2)
+        hier = MemoryHierarchy(l1_geom, l2_geom, make_timing())
+        hier.process(read_batch(raw_lines))
+
+        ref_l1 = SetAssocCache(l1_geom)
+        ref_l2 = SetAssocCache(l2_geom)
+        for granule in raw_lines:
+            if ref_l1.access(granule, False):
+                continue
+            if not ref_l2.access(granule >> 2, False) and ref_l2.last_victim is not None:
+                # Model inclusion: back-invalidate the granules covered by
+                # the evicted L2 line.
+                base = ref_l2.last_victim << 2
+                for covered in range(base, base + 4):
+                    ref_l1.invalidate(covered)
+        assert hier.total.l1_misses == ref_l1.misses
+        assert hier.total.l2_misses == ref_l2.misses
+
+
+class TestTimingCharges:
+    def test_compute_cycles_accumulate(self):
+        hier = make_hierarchy()
+        hier.process(read_batch([0], counts=[10], alu_ops=14))
+        # (10 loads + 14 alu) / ipc 1.2
+        assert hier.total.clock.compute_cycles == pytest.approx(24 / 1.2)
+
+    def test_stalls_attributed_to_levels(self):
+        hier = make_hierarchy()
+        hier.process(read_batch([0, 1]))  # 2 L1 misses, 1 L2 miss
+        clock = hier.total.clock
+        assert clock.l1_stall_cycles == pytest.approx(1 * 10.0 * 0.4)
+        assert clock.dram_stall_cycles > 0
+
+    def test_bandwidth_bytes(self):
+        hier = make_hierarchy()
+        hier.process(read_batch([0, 1, 2, 3]))
+        assert hier.total.l1_l2_bytes == 4 * 32
+        assert hier.total.l2_dram_bytes(128) == 1 * 128
+
+
+class TestScaling:
+    def test_scaled_counters_are_linear(self):
+        counters = HierarchyCounters(graduated_loads=10, l1_misses=4, l2_misses=2)
+        counters.clock.compute_cycles = 100.0
+        doubled = counters.scaled(2.0)
+        assert doubled.graduated_loads == 20
+        assert doubled.l1_misses == 8
+        assert doubled.clock.compute_cycles == 200.0
+        # Ratios (the paper's metrics) are invariant under scaling.
+        assert doubled.l1_misses / doubled.graduated_loads == pytest.approx(
+            counters.l1_misses / counters.graduated_loads
+        )

@@ -1,0 +1,111 @@
+"""Tests for the N-level hierarchy engine."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.cache import CacheGeometry
+from repro.memsim.events import KIND_PREFETCH, KIND_READ, KIND_WRITE, AccessBatch
+from repro.memsim.multilevel import MultiLevelHierarchy
+
+
+def make_stack(levels=3):
+    geometries = [
+        CacheGeometry(1 << 10, 32, 2),
+        CacheGeometry(4 << 10, 64, 2),
+        CacheGeometry(16 << 10, 128, 4),
+    ][:levels]
+    latencies = [8.0, 30.0, 100.0][:levels]
+    return MultiLevelHierarchy(geometries, latencies, ipc=1.5, clock_mhz=1000.0,
+                               name="test")
+
+
+def read(lines, counts=None):
+    lines = np.asarray(lines)
+    counts = np.ones_like(lines) if counts is None else np.asarray(counts)
+    return AccessBatch(KIND_READ, lines, counts)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiLevelHierarchy([], [])
+        with pytest.raises(ValueError):
+            MultiLevelHierarchy([CacheGeometry(1024, 32, 2)], [1.0, 2.0])
+
+    def test_describe(self):
+        assert "test" in make_stack().describe()
+
+
+class TestWalk:
+    def test_cold_miss_fills_all_levels(self):
+        stack = make_stack()
+        stack.process(read([0]))
+        for level in range(3):
+            assert stack.counters.levels[level].misses == 1
+        assert stack.counters.memory_fills == 1
+
+    def test_l1_hit_stops_walk(self):
+        stack = make_stack()
+        stack.process(read([0]))
+        stack.process(read([0]))
+        assert stack.counters.levels[0].hits >= 1
+        assert stack.counters.levels[1].misses == 1  # not consulted again
+
+    def test_victim_found_in_next_level(self):
+        stack = make_stack()
+        # Fill L1's set 0 beyond capacity; evicted lines stay in L2.
+        conflict = [0, 16, 32]  # same L1 set (16 sets), distinct L2 lines
+        stack.process(read(conflict))
+        stack.process(read([0]))  # L1 miss, L2 hit
+        assert stack.counters.levels[1].hits == 1
+        assert stack.counters.memory_fills == 3
+
+    def test_run_length_counts_hit_l1(self):
+        stack = make_stack()
+        stack.process(read([5], counts=[40]))
+        assert stack.counters.accesses == 40
+        assert stack.counters.levels[0].hits == 39
+
+    def test_dirty_writeback_spills_down(self):
+        stack = make_stack()
+        writes = AccessBatch(KIND_WRITE, np.array([0]), np.array([1]))
+        stack.process(writes)
+        # Evict line 0 from L1 (2-way, 16 sets).
+        stack.process(read([16, 32]))
+        assert stack.counters.levels[0].writebacks == 1
+
+    def test_prefetch_ignored(self):
+        stack = make_stack()
+        stack.process(AccessBatch(KIND_PREFETCH, np.array([0]), np.array([1])))
+        assert stack.counters.accesses == 0
+
+    def test_stall_accounting(self):
+        stack = make_stack()
+        stack.process(read([0]))  # full walk: 8 + 30 + 100
+        assert stack.counters.stall_cycles == pytest.approx(138.0)
+        stack.process(read([0]))  # L1 hit: no stall
+        assert stack.counters.stall_cycles == pytest.approx(138.0)
+
+    def test_metrics_helpers(self):
+        stack = make_stack()
+        stack.process(read(np.arange(64)))
+        assert 0 < stack.l1_miss_rate() <= 1.0
+        assert 0 < stack.stall_fraction() < 1.0
+        assert stack.traffic_to_memory_bytes() > 0
+        assert stack.seconds > 0
+
+    def test_two_level_stack_matches_intuition(self):
+        """A bigger last level must not miss to memory more often."""
+        small = MultiLevelHierarchy(
+            [CacheGeometry(1 << 10, 32, 2), CacheGeometry(4 << 10, 128, 2)],
+            [8.0, 100.0],
+        )
+        big = MultiLevelHierarchy(
+            [CacheGeometry(1 << 10, 32, 2), CacheGeometry(64 << 10, 128, 2)],
+            [8.0, 100.0],
+        )
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 1024, size=4000)
+        for stack in (small, big):
+            stack.process(read(lines))
+        assert big.counters.memory_fills <= small.counters.memory_fills

@@ -1,0 +1,58 @@
+"""Tests for the compiler-style software-prefetch model."""
+
+import numpy as np
+
+from repro.memsim.cache import CacheGeometry
+from repro.memsim.events import GRANULE_BYTES, KIND_PREFETCH
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.prefetch import prefetch_stream
+from repro.memsim.timing import TimingSpec
+
+
+def make_hierarchy():
+    return MemoryHierarchy(
+        CacheGeometry(32 << 10, 32, 2),
+        CacheGeometry(1 << 20, 128, 2),
+        TimingSpec(300.0, 1.2, 10.0, 4, 0.5, 0.25),
+    )
+
+
+class TestPrefetchStream:
+    def test_short_stream_yields_none(self):
+        assert prefetch_stream(0, 16) is None
+
+    def test_kind_and_phase(self):
+        batch = prefetch_stream(0, 1024, phase="copy")
+        assert batch.kind == KIND_PREFETCH
+        assert batch.phase == "copy"
+
+    def test_one_prefetch_per_step(self):
+        batch = prefetch_stream(0, 1024, step_bytes=16)
+        assert batch.n_accesses == 1024 // 16
+
+    def test_two_prefetches_per_granule_with_default_step(self):
+        """16-byte steps over 32-byte granules: half the prefetches are
+        redundant, reproducing the paper's 'over half hit L1' observation."""
+        batch = prefetch_stream(0, 2048, step_bytes=16)
+        assert batch.n_events * 2 == batch.n_accesses
+
+    def test_lookahead_offsets_addresses(self):
+        batch = prefetch_stream(0, 1024, ahead_bytes=64)
+        assert batch.lines[0] == 64 // GRANULE_BYTES
+
+    def test_cold_prefetch_miss_fraction_near_half(self):
+        hier = make_hierarchy()
+        batch = prefetch_stream(0, 8192)
+        hier.process(batch)
+        total = hier.total
+        miss_fraction = total.prefetch_l1_misses / total.prefetch_issued
+        assert 0.4 < miss_fraction <= 0.55
+
+    def test_prefetch_covers_later_demand_reads(self):
+        hier = make_hierarchy()
+        hier.process(prefetch_stream(0, 4096, ahead_bytes=0))
+        lines = np.arange(4096 // GRANULE_BYTES)
+        from repro.memsim.events import KIND_READ, AccessBatch
+
+        hier.process(AccessBatch(KIND_READ, lines, np.ones_like(lines)))
+        assert hier.total.l1_misses == 0

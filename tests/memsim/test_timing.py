@@ -1,0 +1,87 @@
+"""Tests for the timing model and clock accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memsim.dram import BusSpec, DramSpec
+from repro.memsim.timing import Clock, TimingSpec
+
+
+def spec(**overrides):
+    params = dict(
+        clock_mhz=300.0,
+        ipc=1.2,
+        l2_hit_latency_cycles=10.0,
+        mshr=4,
+        hide_l2=0.5,
+        hide_dram=0.25,
+    )
+    params.update(overrides)
+    return TimingSpec(**params)
+
+
+class TestTimingSpec:
+    def test_rejects_bad_hide_fractions(self):
+        with pytest.raises(ValueError):
+            spec(hide_l2=1.0)
+        with pytest.raises(ValueError):
+            spec(hide_dram=-0.1)
+
+    def test_rejects_bad_mshr_and_ipc(self):
+        with pytest.raises(ValueError):
+            spec(mshr=0)
+        with pytest.raises(ValueError):
+            spec(ipc=0)
+
+    def test_compute_cycles(self):
+        assert spec().compute_cycles(6, 3, 3) == pytest.approx(12 / 1.2)
+
+    def test_l1_miss_stall_scales_with_exposure(self):
+        assert spec().l1_miss_stall(10) == pytest.approx(10 * 10.0 * 0.5)
+
+    def test_dram_stall_zero_for_no_misses(self):
+        assert spec().dram_stall(0, 84.0) == 0.0
+
+    def test_dram_stall_mlp_grouping(self):
+        timing = spec(mshr=4, hide_dram=0.0)
+        one = timing.dram_stall(1, 100.0)
+        four = timing.dram_stall(4, 100.0)
+        five = timing.dram_stall(5, 100.0)
+        assert one == four == 100.0  # four misses overlap fully
+        assert five == 200.0  # fifth miss starts a new group
+
+    @given(
+        misses=st.integers(min_value=0, max_value=10_000),
+        mshr=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_dram_stall_monotone_in_misses(self, misses, mshr):
+        timing = spec(mshr=mshr)
+        assert timing.dram_stall(misses, 100.0) <= timing.dram_stall(misses + 1, 100.0)
+
+
+class TestClock:
+    def test_total_and_seconds(self):
+        clock = Clock(compute_cycles=200.0, l1_stall_cycles=50.0, dram_stall_cycles=50.0)
+        assert clock.total_cycles == 300.0
+        assert clock.seconds(300.0) == pytest.approx(1e-6)
+
+    def test_add_and_scaled(self):
+        a = Clock(10.0, 1.0, 2.0)
+        b = Clock(5.0, 1.0, 0.0)
+        a.add(b)
+        assert a.compute_cycles == 15.0
+        half = a.scaled(0.5)
+        assert half.compute_cycles == 7.5
+        assert half.dram_stall_cycles == 1.0
+
+
+class TestDramAndBus:
+    def test_dram_latency_conversion(self):
+        assert DramSpec(latency_ns=280.0).latency_cycles(300.0) == pytest.approx(84.0)
+
+    def test_bus_peak_and_utilization(self):
+        bus = BusSpec(width_bits=64, clock_mhz=133.0, sustained_mb_s=680.0)
+        assert bus.peak_mb_s == pytest.approx(1064.0)
+        assert bus.utilization(68.0) == pytest.approx(0.1)

@@ -1,0 +1,89 @@
+"""Tests for the data-TLB model and its hierarchy integration."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.cache import CacheGeometry
+from repro.memsim.events import KIND_READ, AccessBatch
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.timing import TimingSpec
+from repro.memsim.tlb import PAGE_BYTES, PAGE_SHIFT, Tlb
+
+
+class TestTlb:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(0)
+
+    def test_cold_miss_then_hit(self):
+        tlb = Tlb(4)
+        assert tlb.access(1) is False
+        assert tlb.access(1) is True
+        assert tlb.misses == 1
+        assert tlb.hits == 1
+
+    def test_lru_eviction(self):
+        tlb = Tlb(2)
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(1)  # refresh page 1
+        tlb.access(3)  # evicts page 2
+        assert tlb.access(1) is True
+        assert tlb.access(2) is False
+
+    def test_capacity_bound(self):
+        tlb = Tlb(8)
+        for page in range(100):
+            tlb.access(page)
+        assert tlb.resident == 8
+
+    def test_page_geometry(self):
+        assert PAGE_BYTES == 16 << 10
+        # 16 KB page = 512 granules of 32 bytes.
+        assert 1 << PAGE_SHIFT == PAGE_BYTES // 32
+
+
+class TestHierarchyIntegration:
+    def _hierarchy(self, tlb_entries=4):
+        return MemoryHierarchy(
+            CacheGeometry(32 << 10, 32, 2),
+            CacheGeometry(1 << 20, 128, 2),
+            TimingSpec(300.0, 1.2, 10.0, 1, 0.4, 0.2),
+            tlb_entries=tlb_entries,
+        )
+
+    def test_tlb_misses_counted(self):
+        hierarchy = self._hierarchy()
+        page_granules = 1 << PAGE_SHIFT
+        lines = np.array([0, page_granules, 2 * page_granules])
+        hierarchy.process(AccessBatch(KIND_READ, lines, np.ones_like(lines)))
+        assert hierarchy.total.tlb_misses == 3
+
+    def test_same_page_costs_one_miss(self):
+        hierarchy = self._hierarchy()
+        lines = np.arange(100)  # all within the first 16 KB page
+        hierarchy.process(AccessBatch(KIND_READ, lines, np.ones_like(lines)))
+        assert hierarchy.total.tlb_misses == 1
+
+    def test_page_guard_tracks_across_batches(self):
+        hierarchy = self._hierarchy()
+        lines = np.array([0])
+        hierarchy.process(AccessBatch(KIND_READ, lines, np.array([1])))
+        hierarchy.process(AccessBatch(KIND_READ, lines, np.array([1])))
+        # Second batch stays on the same page: guard avoids re-counting,
+        # and even without the guard it would be a TLB hit.
+        assert hierarchy.total.tlb_misses == 1
+
+    def test_paper_claim_tlb_negligible_for_codec(self):
+        """Frame-sized working sets under blocked access keep the TLB quiet."""
+        from repro.codec import CodecConfig, VopEncoder
+        from repro.trace import TraceRecorder
+        from repro.video import SceneSpec, SyntheticScene
+
+        hierarchy = self._hierarchy(tlb_entries=64)
+        recorder = TraceRecorder([hierarchy])
+        scene = SyntheticScene(SceneSpec.default(96, 64))
+        frames = [scene.frame(i) for i in range(3)]
+        VopEncoder(CodecConfig(96, 64, qp=8, gop_size=4, m_distance=1), recorder).encode_sequence(frames)
+        miss_rate = hierarchy.total.tlb_misses / hierarchy.total.memory_accesses
+        assert miss_rate < 0.001  # "negligible", as the paper reports

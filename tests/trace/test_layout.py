@@ -1,0 +1,66 @@
+"""Tests for the virtual address space and buffer maps."""
+
+import pytest
+
+from repro.trace.layout import PAGE_BYTES, AddressSpace
+
+
+class TestAddressSpace:
+    def test_allocations_are_page_aligned_and_disjoint(self):
+        space = AddressSpace()
+        a = space.allocate("a", 100)
+        b = space.allocate("b", 5000)
+        c = space.allocate("c", 1)
+        assert a % PAGE_BYTES == 0
+        assert b % PAGE_BYTES == 0
+        assert b >= a + 100
+        assert c >= b + 5000
+
+    def test_page_zero_unmapped(self):
+        assert AddressSpace().allocate("x", 10) >= PAGE_BYTES
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.allocate("x", 10)
+        with pytest.raises(ValueError):
+            space.allocate("x", 10)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().allocate("x", 0)
+
+    def test_footprint(self):
+        space = AddressSpace()
+        space.allocate("a", 100)
+        space.allocate("b", 200)
+        assert space.footprint_bytes == 300
+
+    def test_map_frame(self):
+        space = AddressSpace()
+        fmap = space.map_frame("f", (608, 752), (320, 392))
+        assert fmap.y.stride == 752
+        assert fmap.u.base > fmap.y.base
+        assert fmap.v.base > fmap.u.base
+        assert fmap.n_bytes == 752 * 608 + 2 * 392 * 320
+
+
+class TestLinearRegion:
+    def test_advance_sequential(self):
+        space = AddressSpace()
+        region = space.map_linear("stream", 1000)
+        first = region.advance(100)
+        second = region.advance(100)
+        assert second == first + 100
+
+    def test_advance_wraps(self):
+        space = AddressSpace()
+        region = space.map_linear("stream", 250)
+        region.advance(200)
+        start = region.advance(100)  # would overflow: wraps to base
+        assert start == region.base
+
+    def test_oversized_advance_rejected(self):
+        space = AddressSpace()
+        region = space.map_linear("stream", 100)
+        with pytest.raises(ValueError):
+            region.advance(200)

@@ -1,0 +1,92 @@
+"""Tests for the pipeline-overhead emitters (metadata walk, buffer ring)."""
+
+import numpy as np
+
+from repro.memsim.events import GRANULE_SHIFT, KIND_READ, KIND_WRITE
+from repro.trace import TraceRecorder
+from repro.trace import kernels as tk
+
+
+class CollectingSink:
+    def __init__(self):
+        self.batches = []
+
+    def process(self, batch):
+        self.batches.append(batch)
+
+
+def make_recorder():
+    sink = CollectingSink()
+    return TraceRecorder([sink]), sink
+
+
+class TestMetadataWalk:
+    def test_strided_one_granule_per_l2_line(self):
+        rec, sink = make_recorder()
+        region = rec.map_linear("tables", 64 << 10)
+        tk.metadata_walk(rec, region)
+        reads = [b for b in sink.batches if b.kind == KIND_READ]
+        assert reads
+        lines = reads[0].lines
+        # Stride of 4 granules = one touch per 128-byte line.
+        assert np.all(np.diff(lines) == 4)
+        # The walk covers the whole region.
+        span_bytes = (lines[-1] - lines[0] + 4) << GRANULE_SHIFT
+        assert span_bytes == 64 << 10
+
+    def test_inactive_recorder_emits_nothing(self):
+        from repro.trace import BandSampling
+
+        rec = TraceRecorder([CollectingSink()], BandSampling(row_fraction=0.5))
+        rec.configure_rows(10)
+        region = rec.map_linear("tables", 4096)
+        rec.begin_vop(0, "P", 0)
+        rec.begin_mb_row(9)
+        tk.metadata_walk(rec, region)
+        assert rec.sinks[0].batches == []
+
+
+class TestPipelineOverhead:
+    def _setup(self):
+        rec, sink = make_recorder()
+        fmap = rec.map_frame_store("store", (96, 128), (64, 96))
+        ring = [rec.map_linear(f"aux{i}", 96 * 64 * 3 // 2) for i in range(3)]
+        interp = rec.map_linear("interp", 4 * 96 * 64)
+        return rec, sink, fmap, ring, interp
+
+    def test_copies_rotate_through_ring(self):
+        rec, sink, fmap, ring, _ = self._setup()
+        tk.vop_pipeline_overhead(rec, fmap, ring, 0, None, 96, 64, n_copies=2)
+        writes = [b for b in sink.batches if b.kind == KIND_WRITE]
+        bases = {int(b.lines[0]) << GRANULE_SHIFT for b in writes}
+        ring_bases = {region.base for region in ring}
+        # Both copy destinations are ring banks.
+        assert bases <= ring_bases
+        assert len(bases) == 2
+
+    def test_interp_pass_only_for_anchors(self):
+        rec, sink, fmap, ring, interp = self._setup()
+        tk.vop_pipeline_overhead(rec, fmap, ring, 1, None, 96, 64)
+        without = sum(b.n_accesses for b in sink.batches)
+        sink.batches.clear()
+        tk.vop_pipeline_overhead(rec, fmap, ring, 1, interp, 96, 64)
+        with_interp = sum(b.n_accesses for b in sink.batches)
+        assert with_interp > without
+
+    def test_interp_writes_target_interp_region(self):
+        rec, sink, fmap, ring, interp = self._setup()
+        tk.vop_pipeline_overhead(rec, fmap, ring, 2, interp, 96, 64)
+        interp_granule = interp.base >> GRANULE_SHIFT
+        assert any(
+            b.kind == KIND_WRITE and b.lines[0] == interp_granule
+            for b in sink.batches
+        )
+
+    def test_vop_index_changes_bank_order(self):
+        rec, sink, fmap, ring, _ = self._setup()
+        tk.vop_pipeline_overhead(rec, fmap, ring, 0, None, 96, 64, n_copies=1)
+        first = {int(b.lines[0]) for b in sink.batches if b.kind == KIND_WRITE}
+        sink.batches.clear()
+        tk.vop_pipeline_overhead(rec, fmap, ring, 1, None, 96, 64, n_copies=1)
+        second = {int(b.lines[0]) for b in sink.batches if b.kind == KIND_WRITE}
+        assert first != second

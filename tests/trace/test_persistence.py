@@ -1,0 +1,104 @@
+"""Tests for trace capture, save/load, and replay equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecConfig, VopEncoder
+from repro.core.machines import SGI_O2
+from repro.memsim.events import KIND_READ, KIND_WRITE, AccessBatch
+from repro.trace import TraceRecorder
+from repro.trace.persistence import TraceCapture, load_trace, replay_trace
+from repro.video import SceneSpec, SyntheticScene
+
+
+def sample_batches():
+    return [
+        AccessBatch(KIND_READ, np.array([1, 2, 3]), np.array([4, 5, 6]),
+                    phase="me", alu_ops=100),
+        AccessBatch(KIND_WRITE, np.array([9]), np.array([1]), phase="other"),
+        AccessBatch(KIND_READ, np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64), phase="me", alu_ops=7),
+    ]
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        capture = TraceCapture()
+        for batch in sample_batches():
+            capture.process(batch)
+        path = tmp_path / "trace.npz"
+        capture.save(path)
+        loaded = list(load_trace(path))
+        originals = sample_batches()
+        assert len(loaded) == len(originals)
+        for original, restored in zip(originals, loaded):
+            assert restored.kind == original.kind
+            assert restored.phase == original.phase
+            assert restored.alu_ops == original.alu_ops
+            assert np.array_equal(restored.lines, original.lines)
+            assert np.array_equal(restored.counts, original.counts)
+
+    def test_empty_trace(self, tmp_path):
+        capture = TraceCapture()
+        path = tmp_path / "empty.npz"
+        capture.save(path)
+        assert list(load_trace(path)) == []
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path, version=np.int64(99), lines=np.zeros(0), counts=np.zeros(0),
+            boundaries=np.zeros(0), kinds=np.zeros(0), phases=np.zeros(0),
+            alu=np.zeros(0), phase_names=np.array([], dtype=object),
+        )
+        with pytest.raises(ValueError):
+            list(load_trace(path))
+
+    def test_n_events(self):
+        capture = TraceCapture()
+        for batch in sample_batches():
+            capture.process(batch)
+        assert capture.n_events == 4
+
+
+class TestReplayEquivalence:
+    def test_replay_matches_live_simulation(self, tmp_path):
+        """Capturing then replaying a real encode must produce counter-
+        identical results to the live run."""
+        scene = SyntheticScene(SceneSpec.default(96, 64))
+        frames = [scene.frame(i) for i in range(3)]
+        config = CodecConfig(96, 64, qp=8, gop_size=4, m_distance=1)
+
+        live = SGI_O2.build_hierarchy()
+        capture = TraceCapture()
+        recorder = TraceRecorder([live, capture])
+        VopEncoder(config, recorder).encode_sequence(frames)
+
+        path = tmp_path / "encode.npz"
+        capture.save(path)
+        replayed = SGI_O2.build_hierarchy()
+        n = replay_trace(path, [replayed])
+        assert n == len(capture.batches)
+        assert replayed.total.l1_misses == live.total.l1_misses
+        assert replayed.total.l2_misses == live.total.l2_misses
+        assert replayed.total.graduated_loads == live.total.graduated_loads
+        assert replayed.total.clock.total_cycles == pytest.approx(
+            live.total.clock.total_cycles
+        )
+
+    def test_replay_through_multilevel_engine(self, tmp_path):
+        """A captured two-level trace replays through the N-level engine."""
+        from repro.core.platforms import ITANIUM
+
+        scene = SyntheticScene(SceneSpec.default(96, 64))
+        frames = [scene.frame(i) for i in range(2)]
+        capture = TraceCapture()
+        recorder = TraceRecorder([capture])
+        VopEncoder(
+            CodecConfig(96, 64, qp=8, gop_size=2, m_distance=1), recorder
+        ).encode_sequence(frames)
+        capture.save(tmp_path / "t.npz")
+        stack = ITANIUM.build()
+        replay_trace(tmp_path / "t.npz", [stack])
+        assert stack.counters.accesses > 0
+        assert stack.l1_miss_rate() < 0.05
