@@ -1,0 +1,164 @@
+"""Performance microbenchmark for the simulation engines.
+
+Measures simulated accesses/second of the fast (array + C kernel) engine
+against the reference list engine on the **same** recorded codec event
+stream, plus the end-to-end cost of one multi-machine study cell under
+the seed-style pipeline (reference engine, no trace reuse) vs the
+record-once/replay-many pipeline.  Results go to ``BENCH_simulator.json``
+at the repository root.
+
+Run standalone (writes the JSON unconditionally)::
+
+    PYTHONPATH=src python benchmarks/test_perf_simulator.py
+
+or as a pytest perf smoke (asserts the >= 3x engine-throughput bar)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_simulator.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.machines import L1_GEOMETRY, SGI_O2
+from repro.core.study import Workload, _record_encode, characterize_encode
+from repro.memsim.fastpath import ENGINES, kernel_available
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_simulator.json"
+
+#: The benchmark workload: one-GOP-ish CIF-quarter encode, heavy enough
+#: for stable timing (~10^5 events) yet CI-friendly.
+BENCH_WORKLOAD = Workload(name="bench", width=176, height=144, n_frames=3)
+
+REPEATS = 3
+
+
+def record_stream():
+    """Record the benchmark workload's event stream once."""
+    return _record_encode(BENCH_WORKLOAD, None, None)
+
+
+def time_engine(engine_name: str, batches) -> float:
+    """Best-of-N wall time to push the whole stream through one hierarchy."""
+    best = float("inf")
+    engine = ENGINES[engine_name]
+    for _ in range(REPEATS):
+        hierarchy = engine(
+            L1_GEOMETRY, SGI_O2.l2, SGI_O2.timing, page_scatter=True
+        )
+        start = time.perf_counter()
+        for batch in batches:
+            hierarchy.process(batch)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_study_cell() -> dict:
+    """End-to-end study-cell timings: seed-style vs record/replay."""
+    previous_engine = os.environ.get("REPRO_ENGINE")
+    previous_cache = os.environ.get("REPRO_TRACE_CACHE")
+    cache_dir = tempfile.mkdtemp(prefix="bench-trace-")
+    try:
+        # Seed-style: reference engine, no trace reuse.
+        os.environ["REPRO_ENGINE"] = "reference"
+        os.environ.pop("REPRO_TRACE_CACHE", None)
+        start = time.perf_counter()
+        characterize_encode(BENCH_WORKLOAD)
+        seed_seconds = time.perf_counter() - start
+
+        # Record-once (fast engine, cold cache) then replay-many (warm).
+        os.environ["REPRO_ENGINE"] = "fast" if kernel_available() else "reference"
+        os.environ["REPRO_TRACE_CACHE"] = cache_dir
+        start = time.perf_counter()
+        characterize_encode(BENCH_WORKLOAD)
+        record_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        characterize_encode(BENCH_WORKLOAD)
+        cached_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        for key, value in (("REPRO_ENGINE", previous_engine),
+                           ("REPRO_TRACE_CACHE", previous_cache)):
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return {
+        "seed_style_seconds": round(seed_seconds, 4),
+        "record_once_seconds": round(record_seconds, 4),
+        "cached_replay_seconds": round(cached_seconds, 4),
+        "end_to_end_speedup_vs_seed": round(seed_seconds / cached_seconds, 2),
+    }
+
+
+def run_benchmark() -> dict:
+    recorded = record_stream()
+    batches = recorded.batches
+    n_events = sum(batch.n_events for batch in batches)
+    n_accesses = sum(batch.n_accesses for batch in batches)
+
+    reference_seconds = time_engine("reference", batches)
+    results = {
+        "workload": BENCH_WORKLOAD.label,
+        "machine": SGI_O2.label,
+        "stream": {
+            "batches": len(batches),
+            "events": n_events,
+            "simulated_accesses": n_accesses,
+        },
+        "reference": {
+            "seconds": round(reference_seconds, 4),
+            "accesses_per_second": round(n_accesses / reference_seconds),
+        },
+    }
+    if kernel_available():
+        fast_seconds = time_engine("fast", batches)
+        results["fast"] = {
+            "seconds": round(fast_seconds, 4),
+            "accesses_per_second": round(n_accesses / fast_seconds),
+        }
+        results["engine_speedup"] = round(reference_seconds / fast_seconds, 2)
+    results["study_cell"] = time_study_cell()
+    return results
+
+
+def write_results(results: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def bench_results():
+    results = run_benchmark()
+    write_results(results)
+    return results
+
+
+@pytest.mark.skipif(not kernel_available(), reason="no C compiler for fast engine")
+def test_engine_throughput_bar(bench_results):
+    """The vectorized engine must beat the reference loop by >= 3x."""
+    assert bench_results["engine_speedup"] >= 3.0, bench_results
+
+
+def test_record_replay_end_to_end(bench_results):
+    """A cached study cell must beat the seed-style pipeline end to end."""
+    cell = bench_results["study_cell"]
+    assert cell["cached_replay_seconds"] < cell["seed_style_seconds"], cell
+
+
+def main() -> int:
+    results = run_benchmark()
+    write_results(results)
+    print(json.dumps(results, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

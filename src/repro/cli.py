@@ -36,18 +36,43 @@ def build_parser() -> argparse.ArgumentParser:
         default="default",
         help="tracing effort preset (default: default)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay worker processes per cell (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="simulation engine (default: $REPRO_ENGINE or 'fast')",
+    )
+    parser.add_argument(
+        "--trace-cache",
+        default=None,
+        metavar="DIR",
+        help="persist recorded traces under DIR (default: $REPRO_TRACE_CACHE)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    import os
+
     args = build_parser().parse_args(argv)
+    if args.engine is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
+    if args.trace_cache is not None:
+        os.environ["REPRO_TRACE_CACHE"] = args.trace_cache
     if args.experiment == "list":
         for experiment_id in sorted(EXPERIMENTS):
             doc = (EXPERIMENTS[experiment_id].__doc__ or "").strip().splitlines()
             summary = doc[0] if doc else ""
             print(f"{experiment_id:<8} {summary}")
         return 0
-    runner = StudyRunner(SCALES[args.scale])
+    runner = StudyRunner(SCALES[args.scale], jobs=args.jobs)
     if args.experiment == "all":
         experiment_ids = sorted(EXPERIMENTS)
     elif args.experiment in EXPERIMENTS:

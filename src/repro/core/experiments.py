@@ -83,10 +83,21 @@ class ExperimentResult:
 
 
 class StudyRunner:
-    """Caches (workload -> StudyResult) across experiments."""
+    """Caches (workload -> StudyResult) across experiments.
 
-    def __init__(self, scale: ExperimentScale | None = None) -> None:
+    Each cell records its codec trace once and replays it into every
+    machine (see :mod:`repro.core.study`); ``jobs`` (default: the
+    ``REPRO_JOBS`` environment variable) fans the per-machine replays out
+    over a process pool, and ``REPRO_TRACE_CACHE`` persists recordings
+    across runner processes.  Results are deterministic and identically
+    ordered at any parallelism level.
+    """
+
+    def __init__(
+        self, scale: ExperimentScale | None = None, jobs: int | None = None
+    ) -> None:
         self.scale = scale or current_scale()
+        self.jobs = jobs
         self._encode_runs: dict[tuple, StudyResult] = {}
         self._decode_runs: dict[tuple, StudyResult] = {}
         self._streams: dict[tuple, list] = {}
@@ -105,7 +116,9 @@ class StudyRunner:
         key = (width, height, n_vos, n_layers)
         if key not in self._encode_runs:
             workload = self._workload(*key)
-            result = characterize_encode(workload, STUDY_MACHINES, self.scale.sampling())
+            result = characterize_encode(
+                workload, STUDY_MACHINES, self.scale.sampling(), jobs=self.jobs
+            )
             self._encode_runs[key] = result
             self._streams[key] = result.encoded
         return self._encode_runs[key]
@@ -117,7 +130,11 @@ class StudyRunner:
             if key not in self._streams:
                 self._streams[key] = encode_untraced(workload)
             self._decode_runs[key] = characterize_decode(
-                workload, self._streams[key], STUDY_MACHINES, self.scale.sampling()
+                workload,
+                self._streams[key],
+                STUDY_MACHINES,
+                self.scale.sampling(),
+                jobs=self.jobs,
             )
         return self._decode_runs[key]
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.memsim.cache import CacheGeometry
 from repro.memsim.dram import BusSpec, DramSpec
+from repro.memsim.fastpath import engine_class
 from repro.memsim.hierarchy import MemoryHierarchy
 from repro.memsim.timing import TimingSpec
 
@@ -49,8 +50,12 @@ class MachineSpec:
         return f"{self.cpu[:3]}{self.cpu[3:-3]}K {size_mb}MB"
 
     def build_hierarchy(self) -> MemoryHierarchy:
-        """Fresh simulated memory hierarchy for one run."""
-        return MemoryHierarchy(
+        """Fresh simulated memory hierarchy for one run.
+
+        Uses the vectorized engine unless ``REPRO_ENGINE=reference``
+        selects the list-based oracle; both are counter-identical.
+        """
+        return engine_class()(
             L1_GEOMETRY, self.l2, self.timing, DRAM, BUS, page_scatter=True
         )
 

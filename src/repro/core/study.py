@@ -3,10 +3,19 @@
 A :class:`Workload` describes one cell of the paper's experimental grid:
 resolution x number of VOs x number of VOLs, 30 frames at 30 Hz with a
 38400 bit/s target rate (paper Section 3.1).  :func:`characterize_encode`
-and :func:`characterize_decode` run the instrumented codec over the
-workload with one simulated memory hierarchy per machine attached, and
-return the paper's metrics per machine, plus per-phase breakdowns for the
-Table 8 burstiness experiment.
+and :func:`characterize_decode` return the paper's metrics per machine,
+plus per-phase breakdowns for the Table 8 burstiness experiment.
+
+The pipeline is **record once, replay many**: the instrumented codec runs
+a single time per cell with a :class:`~repro.trace.persistence.TraceCapture`
+sink (traces are machine-independent granule streams), and the captured
+batch stream is then replayed into each machine's simulated hierarchy.
+Replays across machines are independent, so :func:`replay_into_machines`
+fans them out over a process pool when ``REPRO_JOBS`` (or the ``jobs``
+argument) asks for more than one worker; results keep the machine tuple's
+order regardless of completion order.  When ``REPRO_TRACE_CACHE`` names a
+directory, recordings persist across processes keyed by content
+fingerprint -- see :mod:`repro.trace.persistence`.
 
 Multi-VO scenes follow the paper's setup: "the single-object input
 becom[es] a subset of the multiple-object input" -- the 1-VO workload is
@@ -17,6 +26,8 @@ arbitrary-shape VOs in their own (MB-aligned) bounding boxes.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,6 +38,13 @@ from repro.codec.scalability import ScalableDecoder, ScalableEncoded, ScalableEn
 from repro.codec.types import CodecConfig
 from repro.core.machines import STUDY_MACHINES, MachineSpec
 from repro.core.metrics import MetricReport, compute_report
+from repro.trace.persistence import (
+    RecordedTrace,
+    TraceCacheStore,
+    TraceCapture,
+    digest_streams,
+    trace_fingerprint,
+)
 from repro.trace.recorder import BandSampling, TraceRecorder
 from repro.video.synthesis import SceneSpec, SyntheticScene
 from repro.video.yuv import YuvFrame
@@ -34,6 +52,19 @@ from repro.video.yuv import YuvFrame
 #: The paper's target bitrate (bits/s) and frame rate.
 PAPER_BITRATE = 38_400
 PAPER_FRAME_RATE = 30.0
+
+#: Environment variable setting the replay worker count (default 1).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Replay parallelism from ``REPRO_JOBS`` (1 = in-process, sequential)."""
+    raw = os.environ.get(JOBS_ENV, "1")
+    try:
+        jobs = int(raw)
+    except ValueError as error:
+        raise ValueError(f"{JOBS_ENV} must be an integer, got {raw!r}") from error
+    return max(1, jobs)
 
 
 @dataclass(frozen=True)
@@ -180,45 +211,24 @@ def build_workload_inputs(workload: Workload) -> list[VoInput]:
     return inputs
 
 
-def _make_recorder(machines, sampling):
-    hierarchies = {machine.label: machine.build_hierarchy() for machine in machines}
-    recorder = TraceRecorder(list(hierarchies.values()), sampling)
-    return recorder, hierarchies
+def _finish_recording(recorder: TraceRecorder, capture: TraceCapture, encoded) -> RecordedTrace:
+    """Freeze one codec run into a replayable recording.
 
-
-def _collect(workload, direction, recorder, hierarchies, machines, encoded):
-    scale = recorder.scale_factor()
-    reports = {}
-    phase_reports: dict[str, dict[str, MetricReport]] = {}
-    raw_counters = {}
-    for machine in machines:
-        hierarchy = hierarchies[machine.label]
-        reports[machine.label] = compute_report(hierarchy.total, machine, scale)
-        raw_counters[machine.label] = hierarchy.total
-        for phase, counters in hierarchy.phases.items():
-            phase_reports.setdefault(phase, {})[machine.label] = compute_report(
-                counters, machine, scale
-            )
-    return StudyResult(
-        workload=workload,
-        direction=direction,
-        reports=reports,
-        phase_reports=phase_reports,
-        scale=scale,
+    Batches are run-collapsed once here so every machine replay (and every
+    later cache hit) skips that work.
+    """
+    return RecordedTrace(
+        batches=[batch.collapsed() for batch in capture.batches],
+        scale=recorder.scale_factor(),
         footprint_bytes=recorder.space.footprint_bytes,
         encoded=encoded,
-        raw_counters=raw_counters,
     )
 
 
-def characterize_encode(
-    workload: Workload,
-    machines: tuple[MachineSpec, ...] = STUDY_MACHINES,
-    sampling: BandSampling | None = None,
-    inputs: list[VoInput] | None = None,
-) -> StudyResult:
-    """Run the instrumented encoder over a workload; returns per-machine metrics."""
-    recorder, hierarchies = _make_recorder(machines, sampling)
+def _record_encode(workload, sampling, inputs) -> RecordedTrace:
+    """Run the instrumented encoder once, capturing its trace."""
+    capture = TraceCapture()
+    recorder = TraceRecorder([capture], sampling)
     if inputs is None:
         inputs = build_workload_inputs(workload)
     encoded = []
@@ -234,7 +244,124 @@ def characterize_encode(
                 walk_tables=primary,
             )
             encoded.append(encoder.encode_sequence(vo.frames, vo.masks))
-    return _collect(workload, "encode", recorder, hierarchies, machines, encoded)
+    return _finish_recording(recorder, capture, encoded)
+
+
+def _record_decode(workload, encoded, sampling) -> RecordedTrace:
+    """Run the instrumented decoder once, capturing its trace."""
+    capture = TraceCapture()
+    recorder = TraceRecorder([capture], sampling)
+    for vo_index, stream in enumerate(encoded):
+        name = f"dec.vo{vo_index}"
+        primary = vo_index == 0
+        if isinstance(stream, ScalableEncoded):
+            decoder = ScalableDecoder(recorder, name, walk_tables=primary)
+            decoder.decode(stream)
+        elif isinstance(stream, EncodedSequence):
+            decoder = VopDecoder(recorder, f"{name}.vol0", walk_tables=primary)
+            decoder.decode_sequence(stream.data)
+        else:
+            raise TypeError(f"unrecognized encoded stream type {type(stream)!r}")
+    return _finish_recording(recorder, capture, [])
+
+
+# Replay workers receive the batch list through the pool initializer (one
+# pickle per worker, not per task) and machines as the per-task argument.
+_worker_batches: list | None = None
+
+
+def _init_replay_worker(batches) -> None:
+    global _worker_batches
+    _worker_batches = batches
+
+
+def _replay_one_machine(machine: MachineSpec):
+    hierarchy = machine.build_hierarchy()
+    for batch in _worker_batches:
+        hierarchy.process(batch)
+    return hierarchy.total, hierarchy.phases
+
+
+def replay_into_machines(
+    batches,
+    machines: tuple[MachineSpec, ...],
+    jobs: int | None = None,
+):
+    """Replay one recorded batch stream into a fresh hierarchy per machine.
+
+    Returns ``{machine.label: (total_counters, phase_counters)}`` in the
+    order of ``machines``.  With ``jobs > 1`` the per-machine replays run
+    in a process pool; ordering and results are identical either way
+    because each replay is an isolated deterministic simulation.
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    if jobs > 1 and len(machines) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(machines)),
+            initializer=_init_replay_worker,
+            initargs=(batches,),
+        ) as pool:
+            outcomes = list(pool.map(_replay_one_machine, machines))
+    else:
+        _init_replay_worker(batches)
+        outcomes = [_replay_one_machine(machine) for machine in machines]
+    return {
+        machine.label: outcome for machine, outcome in zip(machines, outcomes)
+    }
+
+
+def _collect(workload, direction, recorded: RecordedTrace, machines, encoded, jobs=None):
+    """Replay a recording into every machine and assemble the StudyResult."""
+    replayed = replay_into_machines(recorded.batches, machines, jobs)
+    scale = recorded.scale
+    reports = {}
+    phase_reports: dict[str, dict[str, MetricReport]] = {}
+    raw_counters = {}
+    for machine in machines:
+        total, phases = replayed[machine.label]
+        reports[machine.label] = compute_report(total, machine, scale)
+        raw_counters[machine.label] = total
+        for phase, counters in phases.items():
+            phase_reports.setdefault(phase, {})[machine.label] = compute_report(
+                counters, machine, scale
+            )
+    return StudyResult(
+        workload=workload,
+        direction=direction,
+        reports=reports,
+        phase_reports=phase_reports,
+        scale=scale,
+        footprint_bytes=recorded.footprint_bytes,
+        encoded=encoded,
+        raw_counters=raw_counters,
+    )
+
+
+def characterize_encode(
+    workload: Workload,
+    machines: tuple[MachineSpec, ...] = STUDY_MACHINES,
+    sampling: BandSampling | None = None,
+    inputs: list[VoInput] | None = None,
+    jobs: int | None = None,
+) -> StudyResult:
+    """Characterize a workload's encode side; returns per-machine metrics.
+
+    The codec runs once (or not at all on a trace-cache hit); the captured
+    trace is replayed into each machine's hierarchy.  Custom ``inputs``
+    bypass the on-disk cache because their content is not derivable from
+    the workload fields the fingerprint covers.
+    """
+    store = TraceCacheStore.from_env()
+    key = None
+    recorded = None
+    if store is not None and inputs is None:
+        key = trace_fingerprint(workload, "encode", sampling)
+        recorded = store.load(key)
+    if recorded is None:
+        recorded = _record_encode(workload, sampling, inputs)
+        if key is not None:
+            store.store(key, recorded)
+    return _collect(workload, "encode", recorded, machines, recorded.encoded, jobs)
 
 
 def encode_untraced(workload: Workload, inputs: list[VoInput] | None = None) -> list:
@@ -255,20 +382,24 @@ def characterize_decode(
     encoded: list | None = None,
     machines: tuple[MachineSpec, ...] = STUDY_MACHINES,
     sampling: BandSampling | None = None,
+    jobs: int | None = None,
 ) -> StudyResult:
-    """Run the instrumented decoder over a workload's bitstreams."""
+    """Characterize a workload's decode side over its bitstreams.
+
+    Decode traces depend on the input bitstreams, so the cache key folds
+    in a digest of ``encoded`` -- streams from a traced or untraced encode
+    of the same workload are byte-identical and share an entry.
+    """
     if encoded is None:
         encoded = encode_untraced(workload)
-    recorder, hierarchies = _make_recorder(machines, sampling)
-    for vo_index, stream in enumerate(encoded):
-        name = f"dec.vo{vo_index}"
-        primary = vo_index == 0
-        if isinstance(stream, ScalableEncoded):
-            decoder = ScalableDecoder(recorder, name, walk_tables=primary)
-            decoder.decode(stream)
-        elif isinstance(stream, EncodedSequence):
-            decoder = VopDecoder(recorder, f"{name}.vol0", walk_tables=primary)
-            decoder.decode_sequence(stream.data)
-        else:
-            raise TypeError(f"unrecognized encoded stream type {type(stream)!r}")
-    return _collect(workload, "decode", recorder, hierarchies, machines, encoded)
+    store = TraceCacheStore.from_env()
+    key = None
+    recorded = None
+    if store is not None:
+        key = trace_fingerprint(workload, "decode", sampling, digest_streams(encoded))
+        recorded = store.load(key)
+    if recorded is None:
+        recorded = _record_decode(workload, encoded, sampling)
+        if key is not None:
+            store.store(key, recorded)
+    return _collect(workload, "decode", recorded, machines, encoded, jobs)

@@ -104,6 +104,25 @@ class AccessBatch:
         merged_lines, merged_counts = coalesce_lines(lines, counts)
         return cls(kind, merged_lines, merged_counts, phase=phase, alu_ops=alu_ops)
 
+    def collapsed(self) -> "AccessBatch":
+        """Merge consecutive same-line run events into one event.
+
+        Back-to-back events on one granule are behaviour-identical to a
+        single event with the summed count: after the first access the line
+        is resident and MRU, repeats cannot change cache or TLB state, and
+        every engine counts the remainder of a run as L1 hits.  Batch
+        front-ends call this before the simulation engines so the hot loop
+        sees the minimum number of events.  Returns ``self`` when there is
+        nothing to merge.
+        """
+        lines = self.lines
+        if lines.size < 2 or not (lines[1:] == lines[:-1]).any():
+            return self
+        merged_lines, merged_counts = coalesce_lines(lines, self.counts)
+        return AccessBatch(
+            self.kind, merged_lines, merged_counts, phase=self.phase, alu_ops=self.alu_ops
+        )
+
     @property
     def n_events(self) -> int:
         """Number of run-length line events (cache lookups) in this batch."""

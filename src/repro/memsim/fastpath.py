@@ -1,0 +1,357 @@
+"""High-throughput two-level hierarchy engine (the study's fast path).
+
+:class:`FastMemoryHierarchy` is a drop-in replacement for
+:class:`~repro.memsim.hierarchy.MemoryHierarchy` that keeps cache state in
+NumPy way matrices instead of per-set Python lists:
+
+- ``tags[n_sets, ways]``: resident granule / L2-line index, ``-1`` = empty;
+- ``stamp[n_sets, ways]``: last-touch timestamp from a global monotone
+  counter -- true LRU falls out as the argmin of a set's stamps;
+- ``dirty[n_sets, ways]``: write-back state per way.
+
+Batches are collapsed by the :meth:`AccessBatch.collapsed` front-end and
+then processed whole-array by a small C kernel (``_fastpath_kernel.c``)
+that is an operation-for-operation transcription of
+:meth:`MemoryHierarchy._run_demand` -- eviction by LRU stamp, dirty
+writeback into L2, physically-scattered L2 indexing, inclusion
+back-invalidation of covered L1 granules, and the page-transition-deduped
+fully-associative TLB -- so every counter (hits, misses, writebacks,
+prefetch outcomes, TLB misses) and the derived timing are **bit-identical**
+to the reference engine.  The kernel is compiled once per source digest
+with the system C compiler and cached on disk; when no compiler is
+available :func:`engine_class` falls back to the reference engine.
+
+Why a compiled loop rather than pure-NumPy windowing?  Measured on real
+codec traces, run-length coalescing absorbs nearly all spatial locality
+into event counts, leaving event-level L1 hit rates of only 17-44%; three
+vectorization strategies (adaptive all-hit windows, frozen-state window
+planning with hazard cuts, rank-synchronous set-parallel simulation) all
+bottomed out at or below parity with the list engine once exact inclusion
+back-invalidation was enforced, while the array-state C loop is ~20-60x
+faster.  DESIGN.md's "Performance architecture" section records the
+numbers.
+
+``tests/memsim/test_fastpath_differential.py`` enforces the equivalence on
+randomized read/write/prefetch streams; the list-based engine remains the
+oracle.  Select engines with the ``REPRO_ENGINE`` environment variable
+(``fast``, the default, or ``reference``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sysconfig
+import tempfile
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.memsim.cache import CacheGeometry
+from repro.memsim.dram import BusSpec, DramSpec
+from repro.memsim.events import KIND_PREFETCH, KIND_WRITE, AccessBatch
+from repro.memsim.hierarchy import HierarchyCounters, MemoryHierarchy
+from repro.memsim.timing import TimingSpec
+
+_KERNEL_SOURCE = Path(__file__).with_name("_fastpath_kernel.c")
+
+#: Override the kernel build cache directory (default: a per-user dir under
+#: the system temp directory).
+_CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+_kernel_fn = None
+_kernel_tried = False
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get(_CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / f"repro-fastpath-{os.getuid()}"
+
+
+def _find_compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build_kernel(source: Path, out: Path) -> bool:
+    compiler = _find_compiler()
+    if compiler is None:
+        return False
+    out.parent.mkdir(parents=True, exist_ok=True)
+    # Build to a private name, then publish atomically so concurrent
+    # replay workers never load a half-written library.
+    tmp = out.with_name(f".{out.name}.{os.getpid()}.tmp")
+    cmd = [compiler, "-O2", "-shared", "-fPIC", str(source), "-o", str(tmp)]
+    try:
+        subprocess.run(
+            cmd, check=True, capture_output=True, text=True, timeout=120
+        )
+        os.replace(tmp, out)
+        return True
+    except (subprocess.SubprocessError, OSError):
+        tmp.unlink(missing_ok=True)
+        return False
+
+
+def _load_kernel():
+    """The compiled ``process_batch`` entry point, or ``None``.
+
+    Compiled libraries are cached by source digest, so the build cost is
+    paid once per kernel revision per machine.
+    """
+    global _kernel_fn, _kernel_tried
+    if _kernel_tried:
+        return _kernel_fn
+    _kernel_tried = True
+    try:
+        source_bytes = _KERNEL_SOURCE.read_bytes()
+    except OSError:
+        return None
+    digest = hashlib.sha256(
+        source_bytes + sysconfig.get_platform().encode()
+    ).hexdigest()[:16]
+    so_path = _cache_dir() / f"fastpath-{digest}.so"
+    if not so_path.exists() and not _build_kernel(_KERNEL_SOURCE, so_path):
+        return None
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    fn = lib.process_batch
+    # Pointers cross as raw addresses; all per-hierarchy array bases sit in
+    # one ctx table so a call converts only four arguments.
+    fn.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_int64,
+        ctypes.c_int64,
+        ctypes.c_void_p,
+    ]
+    fn.restype = ctypes.c_int64
+    _kernel_fn = fn
+    return fn
+
+
+def kernel_available() -> bool:
+    """True when the compiled fast-path kernel can be used."""
+    return _load_kernel() is not None
+
+
+class _TlbView:
+    """Array-backed stand-in for :class:`repro.memsim.tlb.Tlb`.
+
+    The fast engine keeps TLB state in flat tag/stamp arrays shared with
+    the C kernel; this adapter preserves the reference TLB's inspection
+    API (``hits``, ``misses``, ``resident``, ``contents``) and its exact
+    access semantics for callers that drive it from Python.
+    """
+
+    def __init__(self, tags: np.ndarray, stamp: np.ndarray, state: np.ndarray):
+        self._tags = tags
+        self._stamp = stamp
+        self._state = state
+        self.entries = int(tags.size)
+
+    @property
+    def hits(self) -> int:
+        return int(self._state[2])
+
+    @property
+    def misses(self) -> int:
+        return int(self._state[3])
+
+    @property
+    def resident(self) -> int:
+        return int((self._tags >= 0).sum())
+
+    def contents(self) -> set[int]:
+        tags = self._tags
+        return set(tags[tags >= 0].tolist())
+
+    def access(self, page: int) -> bool:
+        """Translate one page; returns True on hit (mirrors the kernel)."""
+        tags = self._tags
+        state = self._state
+        hit = np.flatnonzero(tags == page)
+        if hit.size:
+            self._stamp[hit[0]] = state[0]
+            state[0] += 1
+            state[2] += 1
+            return True
+        state[3] += 1
+        empty = np.flatnonzero(tags == -1)
+        slot = int(empty[0]) if empty.size else int(self._stamp.argmin())
+        tags[slot] = page
+        self._stamp[slot] = state[0]
+        state[0] += 1
+        return False
+
+
+class FastMemoryHierarchy(MemoryHierarchy):
+    """Array-based L1 + inclusive L2 + DRAM, counter-identical to the base."""
+
+    def __init__(
+        self,
+        l1: CacheGeometry,
+        l2: CacheGeometry,
+        timing: TimingSpec,
+        dram: DramSpec | None = None,
+        bus: BusSpec | None = None,
+        page_scatter: bool = False,
+        tlb_entries: int = 64,
+    ) -> None:
+        super().__init__(l1, l2, timing, dram, bus, page_scatter, tlb_entries)
+        kernel = _load_kernel()
+        if kernel is None:
+            raise RuntimeError(
+                "the fast engine needs a C compiler (cc/gcc/clang) to build "
+                "its kernel; set REPRO_ENGINE=reference to use the pure-"
+                "Python engine"
+            )
+        self._kernel = kernel
+        # The list-based sets of the parent stay empty; all state lives in
+        # the arrays below, which the kernel mutates in place.
+        self._l1_tags = np.full((l1.n_sets, l1.ways), -1, dtype=np.int64)
+        self._l1_stamp = np.zeros((l1.n_sets, l1.ways), dtype=np.int64)
+        self._l1_dirty_ways = np.zeros((l1.n_sets, l1.ways), dtype=np.uint8)
+        self._l2_tags = np.full((l2.n_sets, l2.ways), -1, dtype=np.int64)
+        self._l2_stamp = np.zeros((l2.n_sets, l2.ways), dtype=np.int64)
+        self._l2_dirty_ways = np.zeros((l2.n_sets, l2.ways), dtype=np.uint8)
+        self._tlb_tags = np.full(tlb_entries, -1, dtype=np.int64)
+        self._tlb_stamp = np.zeros(tlb_entries, dtype=np.int64)
+        # state: [global time, last TLB page, TLB hits, TLB misses]
+        self._state = np.array([1, -1, 0, 0], dtype=np.int64)
+        self._params = np.array(
+            [
+                self._l1_mask,
+                l1.ways,
+                self._l2_mask,
+                l2.ways,
+                self._l2_shift,
+                self._l2_cover,
+                1 if page_scatter else 0,
+                self._page_shift,
+                self._tlb_page_shift,
+                tlb_entries,
+            ],
+            dtype=np.int64,
+        )
+        self._out = np.zeros(4, dtype=np.int64)
+        self.tlb = _TlbView(self._tlb_tags, self._tlb_stamp, self._state)
+        self._ctx = np.array(
+            [
+                self._l1_tags.ctypes.data,
+                self._l1_stamp.ctypes.data,
+                self._l1_dirty_ways.ctypes.data,
+                self._l2_tags.ctypes.data,
+                self._l2_stamp.ctypes.data,
+                self._l2_dirty_ways.ctypes.data,
+                self._tlb_tags.ctypes.data,
+                self._tlb_stamp.ctypes.data,
+                self._params.ctypes.data,
+                self._state.ctypes.data,
+                self._out.ctypes.data,
+            ],
+            dtype=np.int64,
+        )
+        self._ctx_ptr = int(self._ctx.ctypes.data)
+
+    # -- public API ---------------------------------------------------------
+
+    def process(self, batch: AccessBatch) -> None:
+        """Run one batch through both cache levels and the timing model."""
+        batch = batch.collapsed()
+        phase = self.phases.setdefault(batch.phase, HierarchyCounters())
+        if batch.kind == KIND_PREFETCH:
+            self._process_prefetch(batch, phase)
+            return
+        is_write = batch.kind == KIND_WRITE
+        n_accesses = int(batch.counts.sum())
+        tlb_before = int(self._state[3])
+        l1_misses, l2_misses, l1_wb, l2_wb = self._run_kernel(
+            batch.lines, batch.kind
+        )
+        tlb_misses = int(self._state[3]) - tlb_before
+        for scope in (self.total, phase):
+            if is_write:
+                scope.graduated_stores += n_accesses
+            else:
+                scope.graduated_loads += n_accesses
+            scope.l1_misses += l1_misses
+            scope.l1_hits += n_accesses - l1_misses
+            scope.l2_misses += l2_misses
+            scope.l2_hits += l1_misses - l2_misses
+            scope.l1_writebacks += l1_wb
+            scope.l2_writebacks += l2_wb
+            scope.tlb_misses += tlb_misses
+            scope.alu_ops += batch.alu_ops
+        self._charge_time(batch, n_accesses, is_write, l1_misses, l2_misses, phase)
+
+    def l1_contents(self) -> set[int]:
+        tags = self._l1_tags
+        return set(tags[tags >= 0].tolist())
+
+    def l2_contents(self) -> set[int]:
+        tags = self._l2_tags
+        return set(tags[tags >= 0].tolist())
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_kernel(self, lines: np.ndarray, kind: int):
+        """One kernel call over a whole (collapsed) event array."""
+        self._kernel(lines.ctypes.data, lines.size, kind, self._ctx_ptr)
+        out = self._out
+        return int(out[0]), int(out[1]), int(out[2]), int(out[3])
+
+    def _process_prefetch(self, batch: AccessBatch, phase: HierarchyCounters) -> None:
+        """Software prefetches: resident lines are skipped untouched (no LRU
+        promotion, no TLB translation); missing lines run the shared fill
+        path, matching the reference prefetch semantics."""
+        issued = int(batch.counts.sum())
+        pf_l1_misses, l2m, l1_wb, l2_wb = self._run_kernel(
+            batch.lines, KIND_PREFETCH
+        )
+        for scope in (self.total, phase):
+            scope.l1_writebacks += l1_wb
+            scope.l2_writebacks += l2_wb
+            scope.prefetch_l2_misses += l2m
+            scope.prefetch_issued += issued
+            scope.prefetch_l1_misses += pf_l1_misses
+            scope.prefetch_l1_hits += issued - pf_l1_misses
+            scope.alu_ops += batch.alu_ops
+
+
+ENGINES = {
+    "fast": FastMemoryHierarchy,
+    "reference": MemoryHierarchy,
+}
+
+
+def engine_class() -> type[MemoryHierarchy]:
+    """The hierarchy engine selected by ``REPRO_ENGINE`` (default: fast).
+
+    With no usable C compiler the default silently degrades to the
+    reference engine (with a one-time warning); an explicit
+    ``REPRO_ENGINE=fast`` still raises at construction so misconfigured
+    performance runs fail loudly rather than run 50x slow.
+    """
+    name = os.environ.get("REPRO_ENGINE", "fast")
+    if name not in ENGINES:
+        raise ValueError(f"REPRO_ENGINE must be one of {sorted(ENGINES)}, got {name!r}")
+    if name == "fast" and "REPRO_ENGINE" not in os.environ and not kernel_available():
+        warnings.warn(
+            "no C compiler found; falling back to the reference simulation "
+            "engine (set REPRO_ENGINE=reference to silence)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return MemoryHierarchy
+    return ENGINES[name]

@@ -73,19 +73,33 @@ class HierarchyCounters:
         self.clock.add(other.clock)
 
     def scaled(self, factor: float) -> "HierarchyCounters":
-        """Linearly scale every count (used to undo trace sampling)."""
+        """Linearly scale every count (used to undo trace sampling).
+
+        Independent fields are rounded; dependent fields (the hit counts)
+        are derived *after* rounding so the conservation identities
+        ``l1_hits + l1_misses == memory_accesses``,
+        ``l2_hits + l2_misses == l1_misses`` and
+        ``prefetch_l1_hits + prefetch_l1_misses == prefetch_issued``
+        survive scaling exactly.
+        """
+        graduated_loads = round(self.graduated_loads * factor)
+        graduated_stores = round(self.graduated_stores * factor)
+        l1_misses = round(self.l1_misses * factor)
+        l2_misses = round(self.l2_misses * factor)
+        prefetch_issued = round(self.prefetch_issued * factor)
+        prefetch_l1_misses = round(self.prefetch_l1_misses * factor)
         scaled = HierarchyCounters(
-            graduated_loads=round(self.graduated_loads * factor),
-            graduated_stores=round(self.graduated_stores * factor),
-            l1_hits=round(self.l1_hits * factor),
-            l1_misses=round(self.l1_misses * factor),
+            graduated_loads=graduated_loads,
+            graduated_stores=graduated_stores,
+            l1_hits=graduated_loads + graduated_stores - l1_misses,
+            l1_misses=l1_misses,
             l1_writebacks=round(self.l1_writebacks * factor),
-            l2_hits=round(self.l2_hits * factor),
-            l2_misses=round(self.l2_misses * factor),
+            l2_hits=l1_misses - l2_misses,
+            l2_misses=l2_misses,
             l2_writebacks=round(self.l2_writebacks * factor),
-            prefetch_issued=round(self.prefetch_issued * factor),
-            prefetch_l1_hits=round(self.prefetch_l1_hits * factor),
-            prefetch_l1_misses=round(self.prefetch_l1_misses * factor),
+            prefetch_issued=prefetch_issued,
+            prefetch_l1_hits=prefetch_issued - prefetch_l1_misses,
+            prefetch_l1_misses=prefetch_l1_misses,
             prefetch_l2_misses=round(self.prefetch_l2_misses * factor),
             tlb_misses=round(self.tlb_misses * factor),
             alu_ops=round(self.alu_ops * factor),
@@ -226,8 +240,16 @@ class MemoryHierarchy:
 
     # -- internals ----------------------------------------------------------
 
-    def _run_demand(self, lines, counts, is_write: bool):
-        """Hot loop: inlined L1+L2 with inclusion. Returns miss/writeback deltas."""
+    def _run_demand(self, lines, counts, is_write: bool, prefetch: bool = False):
+        """Hot loop: inlined L1+L2 with inclusion. Returns miss/writeback deltas.
+
+        With ``prefetch=True`` the loop applies software-prefetch semantics:
+        lines already resident in L1 are skipped without an LRU promotion or
+        a TLB translation, and ``l1_misses`` counts the prefetch fills.  The
+        miss path (evict, fill, L2 demand, inclusion) is shared verbatim so
+        one batched call replaces the per-line calls the prefetch handler
+        used to issue.
+        """
         l1_sets = self._l1_sets
         l2_sets = self._l2_sets
         l1_mask = self._l1_mask
@@ -249,19 +271,26 @@ class MemoryHierarchy:
         tlb_last = self._tlb_last_page
 
         for line in lines:
-            # TLB translation; consecutive events usually share a page.
-            page = line >> tlb_shift
-            if page != tlb_last:
-                tlb.access(page)
-                tlb_last = page
             s1 = l1_sets[line & l1_mask]
             if line in s1:
+                if prefetch:
+                    # Prefetch to a resident line: wasted, no state change.
+                    continue
+                page = line >> tlb_shift
+                if page != tlb_last:
+                    tlb.access(page)
+                    tlb_last = page
                 if s1[-1] != line:
                     s1.remove(line)
                     s1.append(line)
                 if is_write:
                     l1_dirty.add(line)
                 continue
+            # TLB translation; consecutive events usually share a page.
+            page = line >> tlb_shift
+            if page != tlb_last:
+                tlb.access(page)
+                tlb_last = page
             # L1 miss: evict (write back dirty victim into L2), then fill.
             l1_misses += 1
             if len(s1) >= l1_ways:
@@ -309,32 +338,22 @@ class MemoryHierarchy:
         return l1_misses, l2_misses, l1_wb, l2_wb
 
     def _process_prefetch(self, batch: AccessBatch, phase: HierarchyCounters) -> None:
-        """Software prefetches: fills without stalls, hit/miss bookkeeping."""
-        l1_sets = self._l1_sets
-        l1_mask = self._l1_mask
+        """Software prefetches: fills without stalls, hit/miss bookkeeping.
+
+        Within a run event of ``count`` prefetches to one granule, only the
+        first can miss; the rest hit the line it just fetched.  The whole
+        batch goes through one prefetch-mode demand pass, so lines missing
+        from L1 fill immediately and later prefetches in the batch see
+        up-to-date cache state; they add traffic but never stall.
+        """
         issued = int(batch.counts.sum())
-        pf_l1_misses = 0
-        l2m_total = 0
-        l1_wb_total = 0
-        l2_wb_total = 0
-        # Within a run event of ``count`` prefetches to one granule, only the
-        # first can miss; the rest hit the line it just fetched.  Fills go
-        # through the demand path immediately so later prefetches in the
-        # batch see up-to-date cache state; they add traffic but never stall.
-        for line in batch.lines.tolist():
-            if line in l1_sets[line & l1_mask]:
-                continue
-            pf_l1_misses += 1
-            _, l2m, l1_wb, l2_wb = self._run_demand([line], [1], False)
-            l2m_total += l2m
-            l1_wb_total += l1_wb
-            l2_wb_total += l2_wb
-        if pf_l1_misses:
-            for scope in (self.total, phase):
-                scope.l1_writebacks += l1_wb_total
-                scope.l2_writebacks += l2_wb_total
-                scope.prefetch_l2_misses += l2m_total
+        pf_l1_misses, l2m_total, l1_wb_total, l2_wb_total = self._run_demand(
+            batch.lines.tolist(), None, False, prefetch=True
+        )
         for scope in (self.total, phase):
+            scope.l1_writebacks += l1_wb_total
+            scope.l2_writebacks += l2_wb_total
+            scope.prefetch_l2_misses += l2m_total
             scope.prefetch_issued += issued
             scope.prefetch_l1_misses += pf_l1_misses
             scope.prefetch_l1_hits += issued - pf_l1_misses

@@ -1,8 +1,11 @@
-"""Trace capture and offline replay.
+"""Trace capture, offline replay, and the record-once trace cache.
 
-The study normally streams events straight into simulated hierarchies, but
-for what-if sweeps (new cache geometries, timing models, the platform
-engine) it is cheaper to capture a workload's trace once and replay it:
+The study pipeline runs the instrumented codec **once** per (workload,
+direction, sampling) cell, captures the event stream, and replays it into
+every machine's simulated hierarchy -- the codec is by far the most
+expensive stage, and its trace is machine-independent (granule streams,
+see :mod:`repro.memsim.events`).  Ad-hoc capture/replay is also useful for
+what-if sweeps:
 
 .. code-block:: python
 
@@ -16,10 +19,26 @@ engine) it is cheaper to capture a workload's trace once and replay it:
 The on-disk format is a single compressed ``.npz``: three flat arrays
 (granule, count, and a packed kind/phase/alu stream index) plus the batch
 boundaries and a phase-name table -- compact and portable.
+
+:class:`TraceCacheStore` persists recorded runs across processes.  Entries
+are keyed by a content fingerprint (see :func:`trace_fingerprint`) that
+hashes the workload definition, the direction, the sampling policy, the
+trace format version, and a digest of every source file that can change
+the emitted stream (codec, video synthesis, trace instrumentation, and
+the study driver) -- so editing any instrumented kernel automatically
+invalidates stale traces.  Point ``REPRO_TRACE_CACHE`` at a directory to
+enable it (``repro --trace-cache`` from the CLI).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +46,9 @@ import numpy as np
 from repro.memsim.events import AccessBatch
 
 FORMAT_VERSION = 1
+
+#: Environment variable naming the trace-cache directory (unset = disabled).
+CACHE_ENV = "REPRO_TRACE_CACHE"
 
 
 class TraceCapture:
@@ -108,3 +130,152 @@ def replay_trace(path: str | Path, sinks) -> int:
             sink.process(batch)
         count += 1
     return count
+
+
+# -- record-once / replay-many cache -----------------------------------------
+
+
+@dataclass
+class RecordedTrace:
+    """One recorded characterization run, ready to replay into machines.
+
+    ``scale`` and ``footprint_bytes`` are recorder-side facts fixed at
+    record time; ``encoded`` carries the bitstreams an encode run produced
+    (empty for decode runs, whose input streams the caller already holds).
+    """
+
+    batches: list[AccessBatch]
+    scale: float
+    footprint_bytes: int
+    encoded: list
+
+
+_source_digest_cache: str | None = None
+
+#: Source trees whose content determines the emitted event stream.
+_FINGERPRINTED_SOURCES = ("codec", "video", "trace", "core/study.py")
+
+
+def _source_digest() -> str:
+    """Digest of every source file that can change a recorded trace."""
+    global _source_digest_cache
+    if _source_digest_cache is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for entry in _FINGERPRINTED_SOURCES:
+            path = package_root / entry
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for source in files:
+                digest.update(source.name.encode())
+                digest.update(source.read_bytes())
+        _source_digest_cache = digest.hexdigest()
+    return _source_digest_cache
+
+
+def trace_fingerprint(workload, direction: str, sampling, input_digest: str = "") -> str:
+    """Content key for one (workload, direction, sampling) recording.
+
+    ``workload`` is any dataclass-like object exposing the grid-cell
+    fields; ``sampling`` the BandSampling policy or None; ``input_digest``
+    an extra discriminator for runs whose input is not derived from the
+    workload alone (decode runs keyed on their bitstreams).
+    """
+    descriptor = {
+        "format": FORMAT_VERSION,
+        "sources": _source_digest(),
+        "direction": direction,
+        "workload": {
+            field: getattr(workload, field)
+            for field in (
+                "width", "height", "n_vos", "n_layers", "n_frames",
+                "target_bitrate", "frame_rate", "qp", "gop_size", "m_distance",
+            )
+        },
+        "sampling": None
+        if sampling is None
+        else {
+            "row_fraction": sampling.row_fraction,
+            "max_vops": sampling.max_vops,
+        },
+        "input": input_digest,
+    }
+    blob = json.dumps(descriptor, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:32]
+
+
+def digest_streams(encoded: list) -> str:
+    """Fingerprint encoded bitstreams (decode-trace cache discriminator)."""
+    return hashlib.sha256(pickle.dumps(encoded)).hexdigest()[:32]
+
+
+class TraceCacheStore:
+    """Directory of recorded traces keyed by content fingerprint.
+
+    One entry is a directory ``<root>/<key>/`` holding the trace
+    (``trace.npz``, the :func:`replay_trace` format), recorder metadata
+    (``meta.json``), and the encode run's bitstreams (``streams.pkl``).
+    Entries are published with an atomic rename so concurrent study
+    processes can share a cache without locking; invalidation is purely
+    key-based -- a changed source tree or workload simply hashes to a new
+    key, and stale entries can be deleted at will.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @classmethod
+    def from_env(cls) -> "TraceCacheStore | None":
+        """The cache named by ``REPRO_TRACE_CACHE``, or None when unset."""
+        root = os.environ.get(CACHE_ENV)
+        return cls(root) if root else None
+
+    def entry_path(self, key: str) -> Path:
+        return self.root / key
+
+    def load(self, key: str) -> RecordedTrace | None:
+        """Load one recording, or None on a cache miss or unreadable entry."""
+        entry = self.entry_path(key)
+        try:
+            meta = json.loads((entry / "meta.json").read_text())
+            batches = list(load_trace(entry / "trace.npz"))
+            with open(entry / "streams.pkl", "rb") as handle:
+                encoded = pickle.load(handle)
+        except (OSError, ValueError, KeyError, pickle.UnpicklingError):
+            # Evict unreadable entries so the re-recording can be stored
+            # (store() never overwrites an existing entry).
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        return RecordedTrace(
+            batches=batches,
+            scale=float(meta["scale"]),
+            footprint_bytes=int(meta["footprint_bytes"]),
+            encoded=encoded,
+        )
+
+    def store(self, key: str, recorded: RecordedTrace) -> None:
+        """Persist one recording; loses gracefully to concurrent writers."""
+        entry = self.entry_path(key)
+        if entry.exists():
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        staging = Path(tempfile.mkdtemp(dir=self.root, prefix=f".{key[:8]}-"))
+        try:
+            capture = TraceCapture()
+            capture.batches = recorded.batches
+            capture.save(staging / "trace.npz")
+            (staging / "meta.json").write_text(
+                json.dumps(
+                    {
+                        "scale": recorded.scale,
+                        "footprint_bytes": recorded.footprint_bytes,
+                        "n_batches": len(recorded.batches),
+                        "n_events": capture.n_events,
+                    },
+                    indent=2,
+                )
+            )
+            with open(staging / "streams.pkl", "wb") as handle:
+                pickle.dump(recorded.encoded, handle)
+            os.replace(staging, entry)
+        except OSError:
+            shutil.rmtree(staging, ignore_errors=True)
