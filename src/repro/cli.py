@@ -8,6 +8,8 @@ Regenerates paper artifacts from the shell:
    $ python -m repro fig2 --scale quick     # one figure, fast
    $ python -m repro all --scale paper      # everything, 30-frame runs
    $ python -m repro list                   # what can be regenerated
+   $ python -m repro conformance --check    # golden-vector gate
+   $ python -m repro fuzz --cases 150       # corruption smoke sweep
 """
 
 from __future__ import annotations
@@ -28,7 +30,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (table1..table8, fig2..fig4), 'all', or 'list'",
+        help=(
+            "experiment id (table1..table8, fig2..fig4), 'all', 'list', "
+            "'conformance', or 'fuzz'"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -61,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     import os
 
+    if argv is None:
+        argv = sys.argv[1:]
+    # The conformance tools own their argument grammar; dispatch before
+    # the experiment parser sees (and rejects) their flags.
+    if argv and argv[0] == "conformance":
+        from repro.conformance.cli import conformance_main
+
+        return conformance_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.conformance.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine

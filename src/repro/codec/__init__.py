@@ -20,13 +20,31 @@ encoder's local reconstruction (bit-exact drift-free loop).
 
 from repro.codec.decoder import DecodedSequence, VopDecoder
 from repro.codec.encoder import EncodedSequence, VopEncoder
+from repro.codec.errors import (
+    ArithCoderError,
+    BitstreamError,
+    DecodeBudgetExceededError,
+    HeaderError,
+    MalformedStreamError,
+    ShapeError,
+    TruncatedStreamError,
+    VlcError,
+)
 from repro.codec.types import CodecConfig, SequenceStats, VopStats, VopType, coding_order
 
 __all__ = [
+    "ArithCoderError",
+    "BitstreamError",
     "CodecConfig",
+    "DecodeBudgetExceededError",
     "DecodedSequence",
     "EncodedSequence",
+    "HeaderError",
+    "MalformedStreamError",
     "SequenceStats",
+    "ShapeError",
+    "TruncatedStreamError",
+    "VlcError",
     "VopDecoder",
     "VopEncoder",
     "VopStats",

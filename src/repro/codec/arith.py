@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.codec.errors import ArithCoderError
+
 _PRECISION = 32
 _FULL = (1 << _PRECISION) - 1
 _HALF = 1 << (_PRECISION - 1)
@@ -45,6 +47,8 @@ class AdaptiveBinaryModel:
 
     def p_zero(self, context: int) -> int:
         """Probability of a 0 bit, in 1/65536 units, clamped away from 0/1."""
+        if not 0 <= context < self.n_contexts:
+            raise ArithCoderError(f"context {context} outside model range")
         zeros = int(self._zeros[context])
         total = zeros + int(self._ones[context])
         probability = (zeros * _PROB_ONE) // total

@@ -11,6 +11,8 @@ exactly on the stuffing that precedes the next startcode;
 
 from __future__ import annotations
 
+from repro.codec.errors import MalformedStreamError, TruncatedStreamError
+
 # Startcode suffixes (the ``xx`` of ``00 00 01 xx``), loosely following
 # ISO/IEC 14496-2 value ranges.
 VO_STARTCODE = 0x05
@@ -116,7 +118,10 @@ class BitReader:
         if n_bits < 0:
             raise ValueError("n_bits must be non-negative")
         if n_bits > self.bits_remaining:
-            raise EOFError(f"requested {n_bits} bits, {self.bits_remaining} remain")
+            raise TruncatedStreamError(
+                f"requested {n_bits} bits, {self.bits_remaining} remain",
+                bit_position=self._pos,
+            )
         value = 0
         pos = self._pos
         data = self._data
@@ -143,7 +148,9 @@ class BitReader:
         while self.read_bit() == 0:
             zeros += 1
             if zeros > 64:
-                raise ValueError("malformed Exp-Golomb code")
+                raise MalformedStreamError(
+                    "malformed Exp-Golomb code", bit_position=self._pos
+                )
         value = 1
         for _ in range(zeros):
             value = (value << 1) | self.read_bit()

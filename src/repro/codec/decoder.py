@@ -29,6 +29,12 @@ from repro.codec.bitstream import (
 )
 from repro.codec.dct import inverse_dct
 from repro.codec.encoder import LUMA_BLOCK_OFFSETS
+from repro.codec.errors import (
+    BitstreamError,
+    DecodeBudgetExceededError,
+    HeaderError,
+    MalformedStreamError,
+)
 from repro.codec.framestore import BORDER, FrameStore
 from repro.codec.motion import MotionVector, PredictionMode, ZERO_MV, compensate, median_mv
 from repro.codec.padding import repetitive_pad
@@ -37,6 +43,25 @@ from repro.codec.quant import dequantize_any, events_to_levels, inverse_zigzag_s
 from repro.codec.shape import decode_shape_plane
 from repro.codec.types import VopStats, VopType
 from repro.video.yuv import MB_SIZE, YuvFrame
+
+#: Hard ceilings a VOL header must respect before the decoder allocates
+#: anything.  Far above every workload in the study (the largest cell is
+#: 2048x1024 x 30 frames) but low enough that a corrupt header cannot
+#: drive a multi-gigabyte allocation or an hours-long concealment loop.
+MAX_DIMENSION = 8192
+MAX_VOPS = 4096
+MAX_SEQUENCE_PIXELS = 1 << 30
+
+#: Per-VOP decode budget: generous payload ceiling (a conforming stream
+#: peaks well under 40 bits/pixel even fully escape-coded) plus a floor
+#: for tiny frames.  Exceeding it means the stream is damaged in a way
+#: that keeps producing decodable-looking symbols without terminating.
+VOP_BITS_PER_PIXEL_BUDGET = 64
+VOP_BIT_BUDGET_FLOOR = 1 << 16
+
+#: A single 8x8 block has 64 coefficients, so no conforming block carries
+#: more run-level events than that.
+MAX_EVENTS_PER_BLOCK = 64
 
 
 @dataclass
@@ -102,12 +127,20 @@ class VopDecoder:
             if suffix != VOP_STARTCODE:
                 if tolerate_errors:
                     continue  # skip unexpected sections, keep scanning
-                raise ValueError(f"unexpected startcode 0x{suffix:02x} in VOL stream")
+                raise HeaderError(f"unexpected startcode 0x{suffix:02x} in VOL stream")
             try:
                 frame, mask, vop_stats = self._decode_vop(reader, coded_index)
-            except Exception:
+            except Exception as error:
                 if not tolerate_errors:
-                    raise
+                    if isinstance(error, BitstreamError):
+                        raise
+                    # Corruption that surfaced as a raw exception deeper in
+                    # the pipeline (bad array shape, impossible reference,
+                    # ...) still honours the typed-error contract.
+                    raise MalformedStreamError(
+                        f"corrupt VOP payload: {error!r}",
+                        bit_position=reader.bit_position,
+                    ) from error
                 # The VOP header itself was damaged: drop the whole VOP
                 # (concealed below) and resynchronize at the next section.
                 coded_index += 1
@@ -119,7 +152,9 @@ class VopDecoder:
             coded_index += 1
         if len(frames) != n_frames:
             if not tolerate_errors:
-                raise ValueError(f"expected {n_frames} VOPs, decoded {len(frames)}")
+                raise MalformedStreamError(
+                    f"expected {n_frames} VOPs, decoded {len(frames)}"
+                )
             self._conceal_missing_frames(frames, n_frames)
         return DecodedSequence(
             frames=[frames[i] for i in sorted(frames)],
@@ -148,17 +183,33 @@ class VopDecoder:
 
     def _read_headers(self, reader: BitReader) -> int:
         if reader.next_startcode() != VO_STARTCODE:
-            raise ValueError("missing VO startcode")
+            raise HeaderError("missing VO startcode")
         self.vo_id = reader.read_ue()
         if reader.next_startcode() != VOL_STARTCODE:
-            raise ValueError("missing VOL startcode")
+            raise HeaderError("missing VOL startcode")
         self.vol_id = reader.read_ue()
         self.width = reader.read_ue()
         self.height = reader.read_ue()
+        for axis, value in (("width", self.width), ("height", self.height)):
+            if not 0 < value <= MAX_DIMENSION:
+                raise HeaderError(f"VOL {axis} {value} outside (0, {MAX_DIMENSION}]")
+            if value % MB_SIZE:
+                raise HeaderError(f"VOL {axis} {value} not a multiple of {MB_SIZE}")
         self.arbitrary_shape = bool(reader.read_bit())
         self.quant_method = reader.read_bits(2)
+        if self.quant_method not in (1, 2):
+            raise HeaderError(f"invalid quant_method {self.quant_method}")
         self.resync_markers = bool(reader.read_bit())
-        return reader.read_ue()
+        n_frames = reader.read_ue()
+        if n_frames > MAX_VOPS:
+            raise HeaderError(f"VOP count {n_frames} exceeds {MAX_VOPS}")
+        if n_frames * self.width * self.height > MAX_SEQUENCE_PIXELS:
+            raise HeaderError(
+                f"sequence of {n_frames} VOPs at {self.width}x{self.height} "
+                "exceeds the decode memory budget"
+            )
+        self._n_frames = n_frames
+        return n_frames
 
     def _allocate_stores(self) -> None:
         rec = self._rec
@@ -192,9 +243,19 @@ class VopDecoder:
     def _decode_vop(self, reader: BitReader, coded_index: int):
         rec = self._rec
         bits_before = reader.bit_position
-        vop_type = VopType(reader.read_bits(2))
+        raw_type = reader.read_bits(2)
+        try:
+            vop_type = VopType(raw_type)
+        except ValueError:
+            raise HeaderError(
+                f"invalid VOP type {raw_type}", bit_position=reader.bit_position
+            ) from None
         display = reader.read_ue()
+        if display >= getattr(self, "_n_frames", MAX_VOPS):
+            raise HeaderError(f"display index {display} outside sequence")
         qp = reader.read_bits(5)
+        if qp < 1:
+            raise HeaderError("VOP quantizer must be at least 1")
         vop_stats = VopStats(
             vop_type=vop_type, display_index=display, coded_index=coded_index, qp=qp
         )
@@ -264,11 +325,18 @@ class VopDecoder:
         if vop_type is VopType.I:
             return None, None
         known = [d for d in self._anchor_display if 0 <= d]
-        if vop_type is VopType.P:
+        try:
+            if vop_type is VopType.P:
+                past_display = max(d for d in known if d < display)
+                return self._anchors[self._anchor_display.index(past_display)], None
             past_display = max(d for d in known if d < display)
-            return self._anchors[self._anchor_display.index(past_display)], None
-        past_display = max(d for d in known if d < display)
-        future_display = min(d for d in known if d > display)
+            future_display = min(d for d in known if d > display)
+        except ValueError:
+            # A damaged display index asks for an anchor that was never
+            # decoded; a conforming coded order always provides both.
+            raise MalformedStreamError(
+                f"no reference anchor for {vop_type.name}-VOP at display {display}"
+            ) from None
         return (
             self._anchors[self._anchor_display.index(past_display)],
             self._anchors[self._anchor_display.index(future_display)],
@@ -291,8 +359,19 @@ class VopDecoder:
         mb_cols = self.width // MB_SIZE
         dc_preds = self._make_dc_predictors(vop_type)
         mv_grid = [[ZERO_MV] * mb_cols for _ in range(mb_rows)]
+        bits_start = reader.bit_position
+        bit_budget = max(
+            VOP_BIT_BUDGET_FLOOR, VOP_BITS_PER_PIXEL_BUDGET * self.width * self.height
+        )
+        iteration_budget = 4 * mb_rows + 4
         row = 0
         while row < mb_rows:
+            iteration_budget -= 1
+            if iteration_budget < 0 or reader.bit_position - bits_start > bit_budget:
+                raise DecodeBudgetExceededError(
+                    f"per-VOP decode budget exhausted at row {row}",
+                    bit_position=reader.bit_position,
+                )
             try:
                 if self.resync_markers and row > 0:
                     suffix = reader.next_startcode()
@@ -464,6 +543,11 @@ class VopDecoder:
             events.append((last, run, level))
             if last:
                 return events
+            if len(events) >= MAX_EVENTS_PER_BLOCK:
+                raise MalformedStreamError(
+                    "run-level events never terminated within one block",
+                    bit_position=reader.bit_position,
+                )
 
     def _decode_intra_mb(
         self, reader, qp, mb_y, mb_x, recon_store, dc_preds, row, col, vop_stats,

@@ -1,0 +1,74 @@
+"""Typed error hierarchy for corrupt-bitstream failures.
+
+The decoder's robustness contract (see ``tests/conformance``): feeding it
+*any* byte string either produces a decoded sequence (possibly with
+concealment, in tolerant mode) or raises a :class:`BitstreamError` within
+a bounded amount of work.  Raw ``IndexError``/``ValueError``/``EOFError``
+escapes and unbounded loops are bugs.
+
+The concrete classes double-inherit from the builtin exception the
+pre-hardening code raised (``ValueError`` for syntax damage, ``EOFError``
+for truncation) so existing callers that caught the builtins keep
+working, while new code can catch the single :class:`BitstreamError`
+root.
+
+Every error optionally carries the bit position at which the damage was
+detected, so a failing ``(seed, mutation)`` fuzz case can be mapped back
+to a stream offset.
+"""
+
+from __future__ import annotations
+
+
+class BitstreamError(Exception):
+    """Root of all corrupt-bitstream failures."""
+
+    def __init__(self, message: str, *, bit_position: int | None = None) -> None:
+        if bit_position is not None:
+            message = f"{message} (at bit {bit_position})"
+        super().__init__(message)
+        self.bit_position = bit_position
+
+
+class TruncatedStreamError(BitstreamError, EOFError):
+    """The stream ended before a read completed."""
+
+
+class MalformedStreamError(BitstreamError, ValueError):
+    """The stream's syntax is damaged (bad code, bad field, bad marker)."""
+
+
+class HeaderError(MalformedStreamError):
+    """A VO/VOL/VOP header field is missing, out of range, or inconsistent."""
+
+
+class VlcError(MalformedStreamError):
+    """A variable-length codeword does not decode to any symbol."""
+
+
+class ShapeError(MalformedStreamError):
+    """The binary-alpha shape layer is damaged."""
+
+
+class ArithCoderError(MalformedStreamError):
+    """The arithmetic-coder state or context stream is damaged."""
+
+
+class DecodeBudgetExceededError(MalformedStreamError):
+    """A per-VOP decode budget (bits or iterations) was exhausted.
+
+    Raised instead of letting a damaged stream drive the decoder through
+    unbounded work; a conforming stream never comes near the budget.
+    """
+
+
+__all__ = [
+    "ArithCoderError",
+    "BitstreamError",
+    "DecodeBudgetExceededError",
+    "HeaderError",
+    "MalformedStreamError",
+    "ShapeError",
+    "TruncatedStreamError",
+    "VlcError",
+]

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.codec.arith import AdaptiveBinaryModel, ArithDecoder, ArithEncoder
 from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.errors import ShapeError
 from repro.video.yuv import MB_SIZE
 
 #: (dy, dx) offsets of the ten context pixels, c0 first.
@@ -140,9 +141,20 @@ def decode_shape_plane(reader: BitReader, width: int, height: int) -> np.ndarray
         raise ValueError(f"alpha plane {width}x{height} not multiple of {MB_SIZE}")
     modes: list[BabMode] = []
     for _ in range((height // MB_SIZE) * (width // MB_SIZE)):
-        modes.append(BabMode(reader.read_bits(2)))
+        raw_mode = reader.read_bits(2)
+        try:
+            modes.append(BabMode(raw_mode))
+        except ValueError:
+            raise ShapeError(
+                f"invalid BAB mode {raw_mode}", bit_position=reader.bit_position
+            ) from None
     blob_length = reader.read_ue()
     reader.byte_align()
+    if blob_length * 8 > reader.bits_remaining:
+        raise ShapeError(
+            f"CAE blob length {blob_length} exceeds remaining stream",
+            bit_position=reader.bit_position,
+        )
     blob = bytes(reader.read_bits(8) for _ in range(blob_length))
 
     binary = np.zeros((height, width), dtype=np.uint8)
@@ -163,7 +175,7 @@ def decode_shape_plane(reader: BitReader, width: int, height: int) -> np.ndarray
             if mode is not BabMode.CODED:
                 continue
             if decoder is None:
-                raise ValueError("coded BABs present but CAE blob empty")
+                raise ShapeError("coded BABs present but CAE blob empty")
             for y in range(by, by + MB_SIZE):
                 for x in range(bx, bx + MB_SIZE):
                     binary[y, x] = decoder.decode(_context_at(binary, y, x))

@@ -18,6 +18,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.errors import VlcError
 
 #: Escape marker symbol used by :data:`COEFF_TABLE`.
 ESCAPE = "escape"
@@ -98,7 +99,7 @@ class HuffmanTable:
                 break
             if node[0] == "leaf":
                 return node[1]
-        raise ValueError("invalid VLC codeword")
+        raise VlcError("invalid VLC codeword", bit_position=reader.bit_position)
 
 
 def _coefficient_weights() -> list[tuple[object, float]]:

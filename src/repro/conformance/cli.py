@@ -1,0 +1,108 @@
+"""CLI entry points: ``repro conformance`` and ``repro fuzz``.
+
+.. code-block:: console
+
+   $ python -m repro conformance --check     # verify golden vectors (default)
+   $ python -m repro conformance --update    # re-record after an intentional change
+   $ python -m repro fuzz --cases 120        # bounded corruption smoke sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.codec import CodecConfig, VopEncoder
+from repro.conformance.golden import check_golden, default_golden_path, update_golden
+from repro.conformance.harness import run_corruption_sweep
+from repro.video.synthesis import SceneSpec, SyntheticScene
+
+
+def conformance_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro conformance",
+        description="Verify or regenerate the golden conformance vectors.",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--check", action="store_true",
+        help="verify current outputs against the committed vectors (default)",
+    )
+    group.add_argument(
+        "--update", action="store_true",
+        help="recompute the vectors and rewrite the committed file",
+    )
+    parser.add_argument(
+        "--path", default=None, metavar="FILE",
+        help=f"vector file (default: {default_golden_path()})",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        vectors = update_golden(args.path)
+        target = args.path or default_golden_path()
+        print(f"golden vectors updated: {len(vectors['counters'])} counter cells, "
+              f"{len(vectors['bitstreams'])} bitstreams -> {target}")
+        return 0
+    mismatches = check_golden(args.path)
+    if mismatches:
+        print(f"golden vector check FAILED ({len(mismatches)} mismatches):")
+        for line in mismatches:
+            print(f"  {line}")
+        print("If the change is intentional, run: python -m repro conformance --update")
+        return 1
+    print("golden vector check passed")
+    return 0
+
+
+def _fuzz_corpus(n_frames: int = 3) -> dict[str, bytes]:
+    """Pristine seed streams covering the decoder's major syntax paths."""
+    scene = SyntheticScene(SceneSpec.default(64, 48))
+    frames, masks = [], []
+    for index in range(n_frames):
+        frame, frame_masks = scene.frame_with_masks(index)
+        frames.append(frame)
+        masks.append(frame_masks[0])
+    rect = CodecConfig(64, 48, qp=8, gop_size=3, m_distance=1)
+    shaped = CodecConfig(
+        64, 48, qp=8, gop_size=3, m_distance=1, arbitrary_shape=True
+    )
+    resync = CodecConfig(64, 48, qp=8, gop_size=3, m_distance=1, resync_markers=True)
+    return {
+        "rect": VopEncoder(rect).encode_sequence(frames).data,
+        "shape": VopEncoder(shaped).encode_sequence(frames, masks).data,
+        "resync": VopEncoder(resync).encode_sequence(frames).data,
+    }
+
+
+def fuzz_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description=(
+            "Seeded corruption sweep over encoded reference streams; fails on "
+            "any uncaught exception or hang."
+        ),
+    )
+    parser.add_argument("--cases", type=int, default=150, metavar="N",
+                        help="corruption cases per seed stream (default: 150)")
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default: 0)")
+    parser.add_argument("--time-budget", type=float, default=5.0, metavar="S",
+                        help="per-case wall-clock budget in seconds (default: 5)")
+    parser.add_argument("--tolerant", action="store_true",
+                        help="decode with tolerate_errors=True (concealment path)")
+    args = parser.parse_args(argv)
+    corpus = _fuzz_corpus()
+    failed = False
+    for name, data in corpus.items():
+        report = run_corruption_sweep(
+            data,
+            n_cases=args.cases,
+            master_seed=args.seed,
+            tolerate_errors=args.tolerant,
+            time_budget_s=args.time_budget,
+        )
+        print(f"{name}: {report.summary()}")
+        failed = failed or not report.ok
+    if failed:
+        print("corruption sweep FAILED: replay any case with its (seed, mutation) pair")
+        return 1
+    print("corruption sweep passed")
+    return 0

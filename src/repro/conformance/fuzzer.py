@@ -1,0 +1,200 @@
+"""Seeded bitstream fault injection.
+
+A :class:`BitstreamFuzzer` turns a pristine encoded stream into a
+corrupted one via a taxonomy of mutations modelled on how MPEG-4 streams
+actually break in transit: bit errors (single and burst), truncation,
+startcode/marker damage, header-field mutation, VLC escape abuse inside
+the texture payload, and corruption of the arithmetic-coder state that
+carries binary alpha planes.
+
+Everything is driven by :class:`random.Random` seeded from the case, so
+a failing case is fully described by its ``(seed, mutation)`` pair:
+
+.. code-block:: python
+
+    case = FuzzCase(seed=1234, mutation="burst")
+    broken = case.apply(data)          # byte-identical on every machine
+
+The fuzzer never needs to parse the stream; mutations that target
+structure (startcodes, headers) locate their victims with the same
+byte-pattern scan the decoder uses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.codec.bitstream import STARTCODE_PREFIX
+
+#: The corruption taxonomy, in presentation order.
+MUTATIONS = (
+    "bitflip",       # one random bit inverted
+    "burst",         # a contiguous run of 2..64 inverted bits
+    "truncate",      # stream cut at an arbitrary byte offset
+    "startcode",     # startcode/marker prefix or suffix damaged, or a bogus one injected
+    "header",        # a byte in the VO/VOL header region mutated
+    "vlc_escape",    # payload span overwritten with escape-shaped bit patterns
+    "arith",         # CAE/texture region corruption (arith-coder state drift)
+)
+
+#: Bytes covering the VO/VOL headers of streams our encoder emits.
+_HEADER_REGION = 24
+
+
+def _flip_bit(data: bytearray, bit_index: int) -> None:
+    data[bit_index >> 3] ^= 0x80 >> (bit_index & 7)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One replayable corruption: apply(data) is a pure function."""
+
+    seed: int
+    mutation: str
+
+    def apply(self, data: bytes) -> bytes:
+        if self.mutation not in _APPLIERS:
+            raise ValueError(f"unknown mutation {self.mutation!r}")
+        if not data:
+            return data
+        return _APPLIERS[self.mutation](bytearray(data), random.Random(self.seed))
+
+    def __str__(self) -> str:  # compact replay handle for reports
+        return f"(seed={self.seed}, mutation={self.mutation!r})"
+
+
+def _apply_bitflip(data: bytearray, rng: random.Random) -> bytes:
+    _flip_bit(data, rng.randrange(len(data) * 8))
+    return bytes(data)
+
+
+def _apply_burst(data: bytearray, rng: random.Random) -> bytes:
+    n_bits = len(data) * 8
+    length = rng.randint(2, min(64, n_bits))
+    start = rng.randrange(n_bits - length + 1)
+    for bit in range(start, start + length):
+        _flip_bit(data, bit)
+    return bytes(data)
+
+
+def _apply_truncate(data: bytearray, rng: random.Random) -> bytes:
+    return bytes(data[: rng.randrange(len(data))])
+
+
+def _apply_startcode(data: bytearray, rng: random.Random) -> bytes:
+    prefix = bytes(STARTCODE_PREFIX)
+    positions = []
+    start = 0
+    while True:
+        found = bytes(data).find(prefix, start)
+        if found < 0:
+            break
+        positions.append(found)
+        start = found + 1
+    choice = rng.random()
+    if positions and choice < 0.45:
+        # Damage an existing code: prefix byte or suffix byte.
+        position = rng.choice(positions)
+        offset = position + rng.randrange(4)
+        if offset < len(data):
+            data[offset] ^= rng.randint(1, 255)
+    elif positions and choice < 0.7:
+        # Delete a whole 4-byte code, shifting the payload.
+        position = rng.choice(positions)
+        del data[position : position + 4]
+    else:
+        # Inject a bogus code at a random offset.
+        offset = rng.randrange(len(data) + 1)
+        data[offset:offset] = prefix + bytes([rng.randrange(256)])
+    return bytes(data)
+
+
+def _apply_header(data: bytearray, rng: random.Random) -> bytes:
+    region = min(_HEADER_REGION, len(data))
+    offset = rng.randrange(region)
+    data[offset] ^= rng.randint(1, 255)
+    return bytes(data)
+
+
+def _apply_vlc_escape(data: bytearray, rng: random.Random) -> bytes:
+    # Overwrite a short payload span with escape-shaped content: long
+    # all-ones/all-zeros runs drive the VLC decoder into its rare escape
+    # and max-length code paths.
+    length = rng.randint(2, min(8, len(data)))
+    offset = rng.randrange(len(data) - length + 1)
+    fill = rng.choice((0x00, 0xFF, None))
+    for index in range(offset, offset + length):
+        data[index] = rng.randrange(256) if fill is None else fill
+    return bytes(data)
+
+
+def _apply_arith(data: bytearray, rng: random.Random) -> bytes:
+    # CAE blobs and texture VLC live after the headers; corrupt the back
+    # half so the arithmetic decoder's adaptive state drifts mid-segment.
+    half = len(data) // 2
+    offset = half + rng.randrange(max(1, len(data) - half))
+    if offset >= len(data):
+        offset = len(data) - 1
+    if rng.random() < 0.5:
+        data[offset] ^= rng.randint(1, 255)
+    else:
+        end = min(len(data), offset + rng.randint(1, 16))
+        for index in range(offset, end):
+            data[index] = 0
+    return bytes(data)
+
+
+_APPLIERS = {
+    "bitflip": _apply_bitflip,
+    "burst": _apply_burst,
+    "truncate": _apply_truncate,
+    "startcode": _apply_startcode,
+    "header": _apply_header,
+    "vlc_escape": _apply_vlc_escape,
+    "arith": _apply_arith,
+}
+
+assert set(_APPLIERS) == set(MUTATIONS)
+
+
+class BitstreamFuzzer:
+    """Deterministic generator of :class:`FuzzCase` corruption plans.
+
+    ``master_seed`` fixes the whole case sequence; two fuzzers built with
+    the same seed and taxonomy produce byte-identical corruptions on any
+    platform (`random.Random` is specified cross-version for the methods
+    used here).
+    """
+
+    def __init__(
+        self, master_seed: int = 0, mutations: tuple[str, ...] = MUTATIONS
+    ) -> None:
+        unknown = set(mutations) - set(MUTATIONS)
+        if unknown:
+            raise ValueError(f"unknown mutations: {sorted(unknown)}")
+        if not mutations:
+            raise ValueError("need at least one mutation kind")
+        self.master_seed = master_seed
+        self.mutations = tuple(mutations)
+
+    def cases(self, n_cases: int) -> list[FuzzCase]:
+        """The first ``n_cases`` of this fuzzer's deterministic sequence.
+
+        Mutations round-robin through the taxonomy so every kind appears
+        ``~n/len(taxonomy)`` times; per-case seeds come from a dedicated
+        RNG stream so inserting new mutation kinds never perturbs the
+        seed sequence of existing ones.
+        """
+        seeder = random.Random(self.master_seed)
+        return [
+            FuzzCase(
+                seed=seeder.randrange(1 << 48),
+                mutation=self.mutations[index % len(self.mutations)],
+            )
+            for index in range(n_cases)
+        ]
+
+    def corpus(self, data: bytes, n_cases: int) -> list[tuple[FuzzCase, bytes]]:
+        """``(case, corrupted_bytes)`` pairs for one pristine stream."""
+        return [(case, case.apply(data)) for case in self.cases(n_cases)]

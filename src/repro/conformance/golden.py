@@ -1,0 +1,174 @@
+"""Golden conformance vectors: deterministic digests pinning codec output.
+
+A silent codec regression -- a quantizer off-by-one, a changed scan
+order, a motion-search tweak -- shifts every Table 2-8 number without
+failing a single functional test, because the tables are compared
+against the paper loosely.  The golden vectors pin the exact bits:
+
+- ``bitstreams``: sha256 of the encoded bytes for a rectangular and an
+  arbitrary-shape reference sequence;
+- ``frames``: sha256 of the reconstructed planes (and alpha masks) the
+  decoder produces for those streams;
+- ``counters``: full simulator counter snapshots for one Table-2-shaped
+  cell (encode, 1 VO, 1 layer) and one Table-5-shaped cell (decode,
+  3 VOs, 1 layer) on the R12K/8MB machine.
+
+Everything in the pipeline is deterministic (seeded synthesis, integer
+simulators, canonical Huffman construction), so the digests are stable
+across runs; ``python -m repro conformance --check`` verifies them and
+``--update`` re-records after an intentional change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+from pathlib import Path
+
+from repro.codec import CodecConfig, VopDecoder, VopEncoder
+from repro.core.machines import SGI_ONYX2
+from repro.core.study import Workload, characterize_decode, characterize_encode
+from repro.video.synthesis import SceneSpec, SyntheticScene
+
+GOLDEN_FORMAT = 1
+
+#: Reference sequence geometry: small enough to regenerate in seconds,
+#: large enough to exercise I/P/B coding, motion search, and shape.
+_WIDTH, _HEIGHT, _N_FRAMES = 64, 48, 5
+
+#: The machine whose counters the study snapshots (R12K, 8MB L2).
+_MACHINE = SGI_ONYX2
+
+
+def default_golden_path() -> Path:
+    """The committed vector file, packaged with the module."""
+    return Path(__file__).resolve().parent / "vectors" / "golden.json"
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _frames_digest(frames, masks=None) -> str:
+    digest = hashlib.sha256()
+    for frame in frames:
+        for _, plane in frame.planes():
+            digest.update(plane.tobytes())
+    for mask in masks or ():
+        digest.update(mask.tobytes())
+    return digest.hexdigest()
+
+
+def _reference_scene():
+    scene = SyntheticScene(SceneSpec.default(_WIDTH, _HEIGHT))
+    frames, masks = [], []
+    for index in range(_N_FRAMES):
+        frame, frame_masks = scene.frame_with_masks(index)
+        frames.append(frame)
+        masks.append(frame_masks[0])
+    return frames, masks
+
+
+def _codec_vectors() -> dict:
+    frames, masks = _reference_scene()
+    rect_config = CodecConfig(_WIDTH, _HEIGHT, qp=8, gop_size=4, m_distance=2)
+    rect = VopEncoder(rect_config).encode_sequence(frames)
+    rect_decoded = VopDecoder().decode_sequence(rect.data)
+
+    shape_config = CodecConfig(
+        _WIDTH, _HEIGHT, qp=8, gop_size=4, m_distance=2, arbitrary_shape=True
+    )
+    shaped = VopEncoder(shape_config).encode_sequence(frames, masks)
+    shaped_decoded = VopDecoder().decode_sequence(shaped.data)
+
+    return {
+        "bitstreams": {
+            "rect": _sha256(rect.data),
+            "shape": _sha256(shaped.data),
+        },
+        "frames": {
+            "rect": _frames_digest(rect_decoded.frames),
+            "shape": _frames_digest(shaped_decoded.frames, shaped_decoded.masks),
+        },
+    }
+
+
+def _counter_snapshot(counters) -> dict:
+    """Integer counter fields only: platform-independent exact values."""
+    return {
+        field.name: int(getattr(counters, field.name))
+        for field in fields(counters)
+        if field.name != "clock"
+    }
+
+
+def _counter_vectors() -> dict:
+    table2_cell = Workload(
+        name="golden-table2", width=_WIDTH, height=_HEIGHT,
+        n_vos=1, n_layers=1, n_frames=4,
+    )
+    table5_cell = Workload(
+        name="golden-table5", width=_WIDTH, height=_HEIGHT,
+        n_vos=3, n_layers=1, n_frames=4,
+    )
+    encode_run = characterize_encode(table2_cell, (_MACHINE,))
+    decode_run = characterize_decode(table5_cell, machines=(_MACHINE,))
+    return {
+        "table2_cell": _counter_snapshot(encode_run.raw_counters[_MACHINE.label]),
+        "table5_cell": _counter_snapshot(decode_run.raw_counters[_MACHINE.label]),
+    }
+
+
+def compute_golden() -> dict:
+    """Recompute every golden vector from the current source tree."""
+    return {
+        "format": GOLDEN_FORMAT,
+        "machine": _MACHINE.label,
+        **_codec_vectors(),
+        "counters": _counter_vectors(),
+    }
+
+
+def _flatten(tree: dict, prefix: str = "") -> dict[str, object]:
+    flat: dict[str, object] = {}
+    for key, value in tree.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            flat.update(_flatten(value, path))
+        else:
+            flat[path] = value
+    return flat
+
+
+def check_golden(path: str | Path | None = None) -> list[str]:
+    """Compare current outputs against the committed vectors.
+
+    Returns a list of human-readable mismatch lines; empty means the
+    gate passes.  A missing or unreadable vector file is itself a
+    mismatch (the gate must never pass vacuously).
+    """
+    vector_path = Path(path) if path is not None else default_golden_path()
+    try:
+        committed = json.loads(vector_path.read_text())
+    except (OSError, ValueError) as error:
+        return [f"golden vector file {vector_path} unreadable: {error}"]
+    current = compute_golden()
+    committed_flat = _flatten(committed)
+    current_flat = _flatten(current)
+    mismatches = []
+    for key in sorted(set(committed_flat) | set(current_flat)):
+        expected = committed_flat.get(key, "<missing>")
+        actual = current_flat.get(key, "<missing>")
+        if expected != actual:
+            mismatches.append(f"{key}: committed {expected!r} != current {actual!r}")
+    return mismatches
+
+
+def update_golden(path: str | Path | None = None) -> dict:
+    """Regenerate and rewrite the vector file; returns the new vectors."""
+    vector_path = Path(path) if path is not None else default_golden_path()
+    vectors = compute_golden()
+    vector_path.parent.mkdir(parents=True, exist_ok=True)
+    vector_path.write_text(json.dumps(vectors, indent=2, sort_keys=True) + "\n")
+    return vectors

@@ -31,6 +31,7 @@ from repro.core.paperdata import (
 )
 from repro.core.report import render_series, render_table
 from repro.core.study import (
+    StudyCellError,
     StudyResult,
     Workload,
     characterize_decode,
@@ -80,6 +81,9 @@ class ExperimentResult:
     experiment_id: str
     text: str
     measured: dict = field(default_factory=dict)
+    #: Cells that failed after their retry: label -> error message.  A
+    #: non-empty dict marks a partial artifact.
+    failures: dict = field(default_factory=dict)
 
 
 class StudyRunner:
@@ -112,12 +116,32 @@ class StudyRunner:
             n_frames=self.scale.n_frames,
         )
 
+    def _run_cell(self, workload: Workload, direction: str, characterize):
+        """Run one cell; one retry, then a :class:`StudyCellError`.
+
+        The retry covers transient failures (a concurrently evicted cache
+        entry, a flaky filesystem); a deterministic failure surfaces as
+        ``StudyCellError`` so table drivers can render a partial artifact
+        instead of aborting.
+        """
+        try:
+            return characterize()
+        except Exception:
+            try:
+                return characterize()
+            except Exception as error:
+                raise StudyCellError(workload, direction, error) from error
+
     def encode(self, width: int, height: int, n_vos: int = 1, n_layers: int = 1) -> StudyResult:
         key = (width, height, n_vos, n_layers)
         if key not in self._encode_runs:
             workload = self._workload(*key)
-            result = characterize_encode(
-                workload, STUDY_MACHINES, self.scale.sampling(), jobs=self.jobs
+            result = self._run_cell(
+                workload,
+                "encode",
+                lambda: characterize_encode(
+                    workload, STUDY_MACHINES, self.scale.sampling(), jobs=self.jobs
+                ),
             )
             self._encode_runs[key] = result
             self._streams[key] = result.encoded
@@ -127,16 +151,23 @@ class StudyRunner:
         key = (width, height, n_vos, n_layers)
         if key not in self._decode_runs:
             workload = self._workload(*key)
-            if key not in self._streams:
-                self._streams[key] = encode_untraced(workload)
-            self._decode_runs[key] = characterize_decode(
+            self._decode_runs[key] = self._run_cell(
                 workload,
-                self._streams[key],
-                STUDY_MACHINES,
-                self.scale.sampling(),
-                jobs=self.jobs,
+                "decode",
+                lambda: characterize_decode(
+                    workload,
+                    self._streams_for(key, workload),
+                    STUDY_MACHINES,
+                    self.scale.sampling(),
+                    jobs=self.jobs,
+                ),
             )
         return self._decode_runs[key]
+
+    def _streams_for(self, key: tuple, workload: Workload) -> list:
+        if key not in self._streams:
+            self._streams[key] = encode_untraced(workload)
+        return self._streams[key]
 
     def run(self, direction: str, width: int, height: int, n_vos: int, n_layers: int):
         if direction == "encode":
@@ -147,14 +178,28 @@ class StudyRunner:
 # -- tables -----------------------------------------------------------------
 
 
+def _render_failures(failures: dict[str, str]) -> str:
+    return "\n".join(
+        f"[{label}: cell failed after retry -- {message}]"
+        for label, message in failures.items()
+    )
+
+
 def _metric_table(runner, direction, n_vos, n_layers, paper, title) -> ExperimentResult:
     measured: dict[str, dict[str, MetricReport]] = {}
+    failures: dict[str, str] = {}
     for label, width, height in RESOLUTIONS:
-        run = runner.run(direction, width, height, n_vos, n_layers)
+        try:
+            run = runner.run(direction, width, height, n_vos, n_layers)
+        except StudyCellError as error:
+            failures[label] = str(error)
+            continue
         measured[label] = run.reports
     text = render_table(title, measured, paper)
+    if failures:
+        text += "\n" + _render_failures(failures)
     return ExperimentResult(experiment_id=title.split(" ")[0].lower(), text=text,
-                            measured=measured)
+                            measured=measured, failures=failures)
 
 
 def table1(runner: StudyRunner) -> ExperimentResult:
@@ -215,9 +260,14 @@ def table8(runner: StudyRunner) -> ExperimentResult:
     """
     machine = SGI_ONYX2.label
     rows = {}
+    failures: dict[str, str] = {}
     for direction, phase in (("encode", "vop_encode"), ("decode", "vop_decode")):
         for label, width, height in RESOLUTIONS:
-            run = runner.run(direction, width, height, 1, 1)
+            try:
+                run = runner.run(direction, width, height, 1, 1)
+            except StudyCellError as error:
+                failures[f"{phase} {label}"] = str(error)
+                continue
             whole = run.reports[machine]
             part = run.phase_reports[phase][machine]
             rows[f"{phase} {label}"] = (part, whole)
@@ -236,7 +286,9 @@ def table8(runner: StudyRunner) -> ExperimentResult:
             f"{whole.l1_l2_bw_mb_s:>10.1f} {whole.l2_dram_bw_mb_s:>10.1f}"
         )
         measured[name] = {"phase": part, "whole": whole}
-    return ExperimentResult("table8", "\n".join(lines), measured)
+    if failures:
+        lines.append(_render_failures(failures))
+    return ExperimentResult("table8", "\n".join(lines), measured, failures=failures)
 
 
 # -- figures ------------------------------------------------------------------
@@ -272,15 +324,25 @@ def _vo_layer_series(runner: StudyRunner, metric: str, title: str, fig_id: str):
     for res_label, width, height in RESOLUTIONS:
         for direction in ("encode", "decode"):
             labels.append(f"{direction[:3]} {res_label}")
+    failures: dict[str, str] = {}
     for config_label, n_vos, n_layers in configurations:
         values = []
         for res_label, width, height in RESOLUTIONS:
             for direction in ("encode", "decode"):
-                run = runner.run(direction, width, height, n_vos, n_layers)
+                try:
+                    run = runner.run(direction, width, height, n_vos, n_layers)
+                except StudyCellError as error:
+                    failures[f"{config_label} / {direction} {res_label}"] = str(error)
+                    values.append(float("nan"))
+                    continue
                 values.append(getattr(run.reports[machine], metric))
         series[config_label] = values
     text = render_series(title, series, labels)
-    return ExperimentResult(fig_id, text, {"labels": labels, "series": series})
+    if failures:
+        text += "\n" + _render_failures(failures)
+    return ExperimentResult(
+        fig_id, text, {"labels": labels, "series": series}, failures=failures
+    )
 
 
 def fig3(runner: StudyRunner) -> ExperimentResult:

@@ -57,6 +57,22 @@ PAPER_FRAME_RATE = 30.0
 JOBS_ENV = "REPRO_JOBS"
 
 
+class StudyCellError(RuntimeError):
+    """One cell of the experimental grid failed even after its retry.
+
+    Table drivers catch this to report a partial table instead of
+    aborting the whole artifact; the original failure is chained.
+    """
+
+    def __init__(self, workload: "Workload", direction: str, error: BaseException) -> None:
+        super().__init__(
+            f"{direction} cell '{workload.name}' failed after retry: {error!r}"
+        )
+        self.workload = workload
+        self.direction = direction
+        self.error = error
+
+
 def default_jobs() -> int:
     """Replay parallelism from ``REPRO_JOBS`` (1 = in-process, sequential)."""
     raw = os.environ.get(JOBS_ENV, "1")
@@ -337,6 +353,41 @@ def _collect(workload, direction, recorded: RecordedTrace, machines, encoded, jo
     )
 
 
+def _characterize_with_cache(
+    workload, direction, machines, jobs, store, key, record, encoded
+):
+    """Shared load-or-record-then-replay path with corrupt-cache recovery.
+
+    A cache entry that loads but replays badly (corrupt batches that slip
+    past the digest check, e.g. a stale entry written by a buggy recorder)
+    is evicted and the cell re-recorded once; failures of a fresh
+    recording propagate to the caller, which may retry at cell level.
+    """
+    recorded = None
+    from_cache = False
+    if store is not None and key is not None:
+        recorded = store.load(key)
+        from_cache = recorded is not None
+    if recorded is None:
+        recorded = record()
+        if key is not None:
+            store.store(key, recorded)
+
+    def collect(rec):
+        result_encoded = rec.encoded if encoded is None else encoded
+        return _collect(workload, direction, rec, machines, result_encoded, jobs)
+
+    try:
+        return collect(recorded)
+    except Exception:
+        if not from_cache:
+            raise
+        store.evict(key)
+        recorded = record()
+        store.store(key, recorded)
+        return collect(recorded)
+
+
 def characterize_encode(
     workload: Workload,
     machines: tuple[MachineSpec, ...] = STUDY_MACHINES,
@@ -353,15 +404,13 @@ def characterize_encode(
     """
     store = TraceCacheStore.from_env()
     key = None
-    recorded = None
     if store is not None and inputs is None:
         key = trace_fingerprint(workload, "encode", sampling)
-        recorded = store.load(key)
-    if recorded is None:
-        recorded = _record_encode(workload, sampling, inputs)
-        if key is not None:
-            store.store(key, recorded)
-    return _collect(workload, "encode", recorded, machines, recorded.encoded, jobs)
+    return _characterize_with_cache(
+        workload, "encode", machines, jobs, store, key,
+        lambda: _record_encode(workload, sampling, inputs),
+        encoded=None,
+    )
 
 
 def encode_untraced(workload: Workload, inputs: list[VoInput] | None = None) -> list:
@@ -394,12 +443,10 @@ def characterize_decode(
         encoded = encode_untraced(workload)
     store = TraceCacheStore.from_env()
     key = None
-    recorded = None
     if store is not None:
         key = trace_fingerprint(workload, "decode", sampling, digest_streams(encoded))
-        recorded = store.load(key)
-    if recorded is None:
-        recorded = _record_decode(workload, encoded, sampling)
-        if key is not None:
-            store.store(key, recorded)
-    return _collect(workload, "decode", recorded, machines, encoded, jobs)
+    return _characterize_with_cache(
+        workload, "decode", machines, jobs, store, key,
+        lambda: _record_decode(workload, encoded, sampling),
+        encoded=encoded,
+    )

@@ -134,6 +134,18 @@ def replay_trace(path: str | Path, sinks) -> int:
 
 # -- record-once / replay-many cache -----------------------------------------
 
+#: Cache-entry payload files protected by content digests in meta.json.
+_DIGESTED_FILES = ("trace.npz", "streams.pkl")
+
+
+def _file_digest(path: Path) -> str:
+    """sha256 of one cache payload file."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
 
 @dataclass
 class RecordedTrace:
@@ -232,23 +244,44 @@ class TraceCacheStore:
     def entry_path(self, key: str) -> Path:
         return self.root / key
 
+    def evict(self, key: str) -> None:
+        """Delete one entry (no-op when absent)."""
+        shutil.rmtree(self.entry_path(key), ignore_errors=True)
+
     def load(self, key: str) -> RecordedTrace | None:
-        """Load one recording, or None on a cache miss or unreadable entry."""
+        """Load one recording, or None on a cache miss or unreadable entry.
+
+        Entries whose payload files fail their recorded content digests
+        (bit rot, a torn copy, manual tampering) count as unreadable: the
+        entry is evicted so the caller's re-recording can be stored.
+        """
         entry = self.entry_path(key)
+        if not entry.exists():
+            return None
         try:
             meta = json.loads((entry / "meta.json").read_text())
+            digests = meta["digests"]
+            for name in _DIGESTED_FILES:
+                actual = _file_digest(entry / name)
+                if actual != digests[name]:
+                    raise ValueError(
+                        f"digest mismatch for {name}: {actual} != {digests[name]}"
+                    )
             batches = list(load_trace(entry / "trace.npz"))
             with open(entry / "streams.pkl", "rb") as handle:
                 encoded = pickle.load(handle)
-        except (OSError, ValueError, KeyError, pickle.UnpicklingError):
+            scale = float(meta["scale"])
+            footprint_bytes = int(meta["footprint_bytes"])
+        except (OSError, ValueError, KeyError, TypeError, EOFError,
+                pickle.UnpicklingError):
             # Evict unreadable entries so the re-recording can be stored
             # (store() never overwrites an existing entry).
-            shutil.rmtree(entry, ignore_errors=True)
+            self.evict(key)
             return None
         return RecordedTrace(
             batches=batches,
-            scale=float(meta["scale"]),
-            footprint_bytes=int(meta["footprint_bytes"]),
+            scale=scale,
+            footprint_bytes=footprint_bytes,
             encoded=encoded,
         )
 
@@ -263,6 +296,8 @@ class TraceCacheStore:
             capture = TraceCapture()
             capture.batches = recorded.batches
             capture.save(staging / "trace.npz")
+            with open(staging / "streams.pkl", "wb") as handle:
+                pickle.dump(recorded.encoded, handle)
             (staging / "meta.json").write_text(
                 json.dumps(
                     {
@@ -270,12 +305,14 @@ class TraceCacheStore:
                         "footprint_bytes": recorded.footprint_bytes,
                         "n_batches": len(recorded.batches),
                         "n_events": capture.n_events,
+                        "digests": {
+                            name: _file_digest(staging / name)
+                            for name in _DIGESTED_FILES
+                        },
                     },
                     indent=2,
                 )
             )
-            with open(staging / "streams.pkl", "wb") as handle:
-                pickle.dump(recorded.encoded, handle)
             os.replace(staging, entry)
         except OSError:
             shutil.rmtree(staging, ignore_errors=True)

@@ -37,9 +37,8 @@ class TestMdct:
         with pytest.raises(ValueError):
             imdct_frame(np.zeros(100))
 
-    def test_perfect_reconstruction(self):
+    def test_perfect_reconstruction(self, rng):
         """TDAC: overlap-add of inverse MDCTs reconstructs the signal."""
-        rng = np.random.default_rng(0)
         samples = rng.standard_normal(FRAME_SAMPLES * 6)
         restored = synthesize(analyze(samples), len(samples))
         assert np.allclose(restored, samples, atol=1e-10)

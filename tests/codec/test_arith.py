@@ -72,8 +72,7 @@ class TestRoundTrip:
         assert decoded == bits
         assert len(blob) < 2001 // 8  # far below 1 bit/symbol
 
-    def test_random_stream_does_not_compress_much(self):
-        rng = np.random.default_rng(0)
+    def test_random_stream_does_not_compress_much(self, rng):
         bits = rng.integers(0, 2, size=4000).tolist()
         decoded, blob = roundtrip(bits, [0] * 4000)
         assert decoded == bits
@@ -95,10 +94,9 @@ class TestRoundTrip:
         decoded, _ = roundtrip(bits, contexts)
         assert decoded == bits
 
-    def test_context_modelling_beats_single_context(self):
+    def test_context_modelling_beats_single_context(self, rng):
         """Bits perfectly predictable per context must compress better with
         per-context models than with one shared context."""
-        rng = np.random.default_rng(1)
         contexts = rng.integers(0, 2, size=3000).tolist()
         bits = contexts[:]  # bit == context: deterministic given context
         _, blob_ctx = roundtrip(bits, contexts, n_contexts=2)

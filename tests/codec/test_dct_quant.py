@@ -34,8 +34,7 @@ class TestDct:
         assert coefficients[0, 0] == pytest.approx(800.0)
         assert np.abs(coefficients.ravel()[1:]).max() < 1e-9
 
-    def test_dc_value_is_8x_mean(self):
-        rng = np.random.default_rng(0)
+    def test_dc_value_is_8x_mean(self, rng):
         block = rng.uniform(0, 255, (8, 8))
         assert forward_dct(block)[0, 0] == pytest.approx(8 * block.mean())
 
@@ -45,8 +44,7 @@ class TestDct:
         with pytest.raises(ValueError):
             inverse_dct(np.zeros((8, 4)))
 
-    def test_batched_blocks(self):
-        rng = np.random.default_rng(1)
+    def test_batched_blocks(self, rng):
         blocks = rng.uniform(0, 255, (5, 3, 8, 8))
         coefficients = forward_dct(blocks)
         assert coefficients.shape == blocks.shape
@@ -68,8 +66,7 @@ class TestDct:
 
 
 class TestPlaneTiling:
-    def test_roundtrip(self):
-        rng = np.random.default_rng(2)
+    def test_roundtrip(self, rng):
         plane = rng.integers(0, 256, (32, 48)).astype(np.uint8)
         assert np.array_equal(plane_from_blocks(blocks_from_plane(plane)), plane)
 

@@ -136,11 +136,10 @@ class TestContentEdgeCases:
 
         assert psnr(frames(1, 32, 32)[0].y, encoded.reconstructions[0].y) > 40
 
-    def test_large_motion_uses_full_window(self):
+    def test_large_motion_uses_full_window(self, rng):
         """An object moving faster than the search range still codes fine
         (intra fallback), and the stream round-trips."""
         scene_a = YuvFrame.blank(WIDTH, HEIGHT, luma=60)
-        rng = np.random.default_rng(0)
         scene_b = YuvFrame(
             rng.integers(0, 256, (HEIGHT, WIDTH)).astype(np.uint8),
             rng.integers(0, 256, (HEIGHT // 2, WIDTH // 2)).astype(np.uint8),

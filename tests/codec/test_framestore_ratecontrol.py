@@ -16,9 +16,8 @@ class TestFrameStore:
         assert store.u.shape == (32 + 2 * BORDER, 48 + 2 * BORDER)
         assert store.interior_y.shape == (64, 96)
 
-    def test_load_and_to_frame_roundtrip(self):
+    def test_load_and_to_frame_roundtrip(self, rng):
         store = FrameStore(32, 32)
-        rng = np.random.default_rng(0)
         frame = YuvFrame(
             rng.integers(0, 256, (32, 32)).astype(np.uint8),
             rng.integers(0, 256, (16, 16)).astype(np.uint8),

@@ -1,0 +1,101 @@
+"""Hypothesis roundtrip properties for the low-level coding primitives.
+
+Each property drives a primitive with adversarial inputs well outside
+what the encoder's own traffic exercises: whole run-level event lists
+(not single events), arbitrary coefficient blocks through the zigzag
+scan, and arbitrary alpha masks through the CAE shape coder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.quant import (
+    events_to_levels,
+    inverse_zigzag_scan,
+    run_level_events,
+    zigzag_scan,
+)
+from repro.codec.shape import decode_shape_plane, encode_shape_plane
+from repro.codec.vlc import decode_coefficient_event, encode_coefficient_event
+
+# Sparse-ish 64-coefficient vectors: mostly zero, levels spanning both the
+# Huffman table's dense region and the FLC escape range (|level| < 4096).
+_levels = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=-4095, max_value=4095).filter(lambda v: v != 0),
+    ),
+    max_size=12,
+).map(
+    lambda pairs: _vector_from_pairs(pairs)
+)
+
+
+def _vector_from_pairs(pairs: list[tuple[int, int]]) -> np.ndarray:
+    vector = np.zeros(64, dtype=np.int32)
+    for position, level in pairs:
+        vector[position] = level
+    return vector
+
+
+class TestVlcEventListRoundtrip:
+    @given(vector=_levels)
+    @settings(max_examples=100, deadline=None)
+    def test_event_list_roundtrips_through_bitstream(self, vector):
+        events = run_level_events(vector)
+        writer = BitWriter()
+        for last, run, level in events:
+            encode_coefficient_event(writer, last, run, level)
+        reader = BitReader(writer.getvalue())
+        decoded = [decode_coefficient_event(reader) for _ in events]
+        assert decoded == events
+        assert np.array_equal(events_to_levels(decoded), vector)
+
+    @given(vector=_levels)
+    @settings(max_examples=100, deadline=None)
+    def test_event_representation_roundtrips(self, vector):
+        assert np.array_equal(events_to_levels(run_level_events(vector)), vector)
+
+
+class TestZigzagRoundtrip:
+    @given(block=arrays(np.int32, (8, 8)))
+    @settings(max_examples=100, deadline=None)
+    def test_scan_roundtrips_any_block(self, block):
+        assert np.array_equal(inverse_zigzag_scan(zigzag_scan(block)), block)
+
+    @given(blocks=arrays(np.int16, (3, 2, 8, 8)))
+    @settings(max_examples=50, deadline=None)
+    def test_scan_roundtrips_batched_blocks(self, blocks):
+        assert np.array_equal(inverse_zigzag_scan(zigzag_scan(blocks)), blocks)
+
+    @given(scanned=arrays(np.int32, (64,)))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_then_forward(self, scanned):
+        assert np.array_equal(zigzag_scan(inverse_zigzag_scan(scanned)), scanned)
+
+
+class TestShapePlaneRoundtrip:
+    @given(bits=arrays(np.bool_, (32, 16)))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_mask_roundtrips(self, bits):
+        mask = bits.astype(np.uint8) * 255
+        writer = BitWriter()
+        encode_shape_plane(writer, mask)
+        decoded = decode_shape_plane(BitReader(writer.getvalue()), 16, 32)
+        assert np.array_equal(decoded, mask)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           density=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_random_density_mask_roundtrips(self, seed, density):
+        rng = np.random.default_rng(seed)
+        mask = (rng.random((16, 32)) < density).astype(np.uint8) * 255
+        writer = BitWriter()
+        encode_shape_plane(writer, mask)
+        decoded = decode_shape_plane(BitReader(writer.getvalue()), 32, 16)
+        assert np.array_equal(decoded, mask)

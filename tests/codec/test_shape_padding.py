@@ -122,8 +122,7 @@ class TestRepetitivePadding:
         mask = np.zeros((4, 4), dtype=np.uint8)
         assert (repetitive_pad(plane, mask) == EXTENDED_FILL).all()
 
-    def test_opaque_pixels_never_change(self):
-        rng = np.random.default_rng(0)
+    def test_opaque_pixels_never_change(self, rng):
         plane = rng.integers(0, 256, (32, 32)).astype(np.uint8)
         mask = ellipse_mask(32, 32, 16, 16, 10, 12)
         padded = repetitive_pad(plane, mask)

@@ -1,0 +1,79 @@
+"""``repro conformance`` / ``repro fuzz`` subcommand behaviour."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.conformance.cli import _fuzz_corpus, conformance_main, fuzz_main
+
+
+class TestConformanceCommand:
+    def test_check_against_committed_vectors(self, capsys):
+        assert main(["conformance", "--check"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_check_is_the_default_action(self, capsys):
+        assert main(["conformance"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_update_writes_vectors(self, tmp_path, capsys):
+        path = tmp_path / "golden.json"
+        assert conformance_main(["--update", "--path", str(path)]) == 0
+        assert "updated" in capsys.readouterr().out
+        vectors = json.loads(path.read_text())
+        assert "bitstreams" in vectors and "counters" in vectors
+
+    def test_check_fails_on_stale_vectors(self, tmp_path, capsys):
+        path = tmp_path / "golden.json"
+        assert conformance_main(["--update", "--path", str(path)]) == 0
+        vectors = json.loads(path.read_text())
+        vectors["bitstreams"]["rect"] = "0" * 64
+        path.write_text(json.dumps(vectors))
+        capsys.readouterr()
+        assert conformance_main(["--check", "--path", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "--update" in out  # tells the user the recovery command
+
+    def test_check_and_update_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            conformance_main(["--check", "--update"])
+
+
+class TestFuzzCommand:
+    def test_corpus_covers_syntax_paths(self):
+        corpus = _fuzz_corpus()
+        assert set(corpus) == {"rect", "shape", "resync"}
+        assert all(
+            isinstance(data, bytes) and data for data in corpus.values()
+        )
+
+    @pytest.mark.fuzz
+    def test_small_smoke_sweep_passes(self, capsys):
+        assert main(["fuzz", "--cases", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "passed" in out
+        for name in ("rect", "shape", "resync"):
+            assert name in out
+
+    @pytest.mark.fuzz
+    def test_tolerant_flag_accepted(self, capsys):
+        assert fuzz_main(["--cases", "7", "--tolerant"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_contract_violation_fails_the_run(self, capsys, monkeypatch):
+        from repro.codec import decoder as decoder_module
+
+        def explode(self, data, tolerate_errors=False):
+            raise KeyError("decoder bug")
+
+        monkeypatch.setattr(
+            decoder_module.VopDecoder, "decode_sequence", explode
+        )
+        assert fuzz_main(["--cases", "3"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "uncaught" in out

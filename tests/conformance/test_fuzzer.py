@@ -1,0 +1,91 @@
+"""The fault injector itself: determinism, replayability, coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec import CodecConfig, VopEncoder
+from repro.conformance.fuzzer import MUTATIONS, BitstreamFuzzer, FuzzCase
+from repro.video.synthesis import SceneSpec, SyntheticScene
+
+
+@pytest.fixture(scope="module")
+def pristine() -> bytes:
+    scene = SyntheticScene(SceneSpec.default(48, 32))
+    frames = [scene.frame(index) for index in range(3)]
+    config = CodecConfig(48, 32, qp=10, gop_size=3, m_distance=1)
+    return VopEncoder(config).encode_sequence(frames).data
+
+
+class TestFuzzCase:
+    def test_apply_is_pure_and_deterministic(self, pristine):
+        case = FuzzCase(seed=1234, mutation="burst")
+        first = case.apply(pristine)
+        second = case.apply(pristine)
+        assert first == second
+        assert first != pristine
+
+    @pytest.mark.parametrize("mutation", MUTATIONS)
+    def test_every_mutation_changes_or_shortens(self, pristine, mutation):
+        for seed in range(20):
+            corrupted = FuzzCase(seed=seed, mutation=mutation).apply(pristine)
+            assert corrupted != pristine
+
+    def test_distinct_seeds_give_distinct_corruptions(self, pristine):
+        outputs = {
+            FuzzCase(seed=seed, mutation="bitflip").apply(pristine)
+            for seed in range(32)
+        }
+        assert len(outputs) > 16  # collisions are possible, sameness is not
+
+    def test_unknown_mutation_rejected(self, pristine):
+        with pytest.raises(ValueError):
+            FuzzCase(seed=0, mutation="gamma-ray").apply(pristine)
+
+    def test_empty_input_passes_through(self):
+        assert FuzzCase(seed=0, mutation="bitflip").apply(b"") == b""
+
+    def test_truncate_never_grows(self, pristine):
+        for seed in range(20):
+            corrupted = FuzzCase(seed=seed, mutation="truncate").apply(pristine)
+            assert len(corrupted) < len(pristine)
+
+
+class TestBitstreamFuzzer:
+    def test_case_sequence_is_deterministic(self):
+        first = BitstreamFuzzer(master_seed=7).cases(50)
+        second = BitstreamFuzzer(master_seed=7).cases(50)
+        assert first == second
+
+    def test_master_seed_changes_sequence(self):
+        assert BitstreamFuzzer(0).cases(20) != BitstreamFuzzer(1).cases(20)
+
+    def test_round_robin_covers_taxonomy(self):
+        cases = BitstreamFuzzer(0).cases(len(MUTATIONS) * 3)
+        counts = {mutation: 0 for mutation in MUTATIONS}
+        for case in cases:
+            counts[case.mutation] += 1
+        assert all(count == 3 for count in counts.values())
+
+    def test_prefix_stability(self):
+        """cases(n) is a prefix of cases(m) for n < m: a failing case's
+        index never shifts when the sweep is enlarged."""
+        fuzzer = BitstreamFuzzer(3)
+        assert fuzzer.cases(80)[:30] == fuzzer.cases(30)
+
+    def test_mutation_subset(self):
+        cases = BitstreamFuzzer(0, mutations=("truncate",)).cases(10)
+        assert all(case.mutation == "truncate" for case in cases)
+
+    def test_rejects_bad_taxonomy(self):
+        with pytest.raises(ValueError):
+            BitstreamFuzzer(0, mutations=("cosmic",))
+        with pytest.raises(ValueError):
+            BitstreamFuzzer(0, mutations=())
+
+    def test_corpus_pairs_cases_with_corruptions(self, pristine):
+        corpus = BitstreamFuzzer(0).corpus(pristine, 14)
+        assert len(corpus) == 14
+        for case, corrupted in corpus:
+            assert case.apply(pristine) == corrupted

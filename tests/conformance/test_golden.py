@@ -1,0 +1,127 @@
+"""The golden-vector gate: stability, drift detection, failure honesty."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance import golden as golden_module
+from repro.conformance.golden import (
+    check_golden,
+    compute_golden,
+    default_golden_path,
+    update_golden,
+)
+
+
+@pytest.fixture(scope="module")
+def vectors() -> dict:
+    """Compute once per module; the gate costs ~1 s of codec+sim work."""
+    return compute_golden()
+
+
+class TestComputeGolden:
+    def test_shape_of_the_vector_tree(self, vectors):
+        assert set(vectors["bitstreams"]) == {"rect", "shape"}
+        assert set(vectors["frames"]) == {"rect", "shape"}
+        assert set(vectors["counters"]) == {"table2_cell", "table5_cell"}
+        for digest in (*vectors["bitstreams"].values(), *vectors["frames"].values()):
+            assert len(digest) == 64 and int(digest, 16) >= 0
+
+    def test_counters_are_integers(self, vectors):
+        for cell in vectors["counters"].values():
+            assert cell  # non-empty snapshot
+            assert all(isinstance(value, int) for value in cell.values())
+            assert "clock" not in cell
+
+    def test_recompute_is_stable(self, vectors):
+        """Two computations in one process agree exactly -- the
+        whole pipeline is deterministic."""
+        assert compute_golden() == vectors
+
+
+class TestCheckGolden:
+    def test_committed_vectors_match_current_tree(self):
+        mismatches = check_golden()
+        assert mismatches == []
+
+    def test_missing_file_is_a_mismatch_not_a_pass(self, tmp_path):
+        mismatches = check_golden(tmp_path / "absent.json")
+        assert len(mismatches) == 1
+        assert "unreadable" in mismatches[0]
+
+    def test_corrupt_json_is_a_mismatch(self, tmp_path):
+        path = tmp_path / "golden.json"
+        path.write_text("{ not json")
+        assert check_golden(path)
+
+    def test_update_then_check_roundtrip(self, tmp_path):
+        path = tmp_path / "golden.json"
+        update_golden(path)
+        assert check_golden(path) == []
+
+    def test_stale_vector_reports_its_key(self, tmp_path, vectors):
+        stale = json.loads(json.dumps(vectors))
+        stale["bitstreams"]["rect"] = "0" * 64
+        stale["counters"]["table2_cell"]["alu_ops"] += 1
+        path = tmp_path / "golden.json"
+        path.write_text(json.dumps(stale))
+        mismatches = check_golden(path)
+        assert any("bitstreams.rect" in line for line in mismatches)
+        assert any("counters.table2_cell.alu_ops" in line for line in mismatches)
+
+    def test_extra_committed_key_is_a_mismatch(self, tmp_path, vectors):
+        extended = json.loads(json.dumps(vectors))
+        extended["counters"]["table9_cell"] = {"alu_ops": 1}
+        path = tmp_path / "golden.json"
+        path.write_text(json.dumps(extended))
+        mismatches = check_golden(path)
+        assert any("table9_cell" in line and "<missing>" in line for line in mismatches)
+
+
+class TestDriftDetection:
+    def test_codec_change_fails_the_gate(self, tmp_path, monkeypatch):
+        """The acceptance criterion: a one-line quantizer change must
+        flip the gate to failing."""
+        from repro.codec import encoder as encoder_module
+
+        path = tmp_path / "golden.json"
+        update_golden(path)
+
+        original = encoder_module.quantize_any
+
+        def drifted(coefficients, qp, intra, method):
+            return original(coefficients, qp + 1, intra, method)
+
+        monkeypatch.setattr(encoder_module, "quantize_any", drifted)
+        mismatches = check_golden(path)
+        assert mismatches
+        assert any("bitstreams" in line for line in mismatches)
+
+    def test_counter_drift_alone_is_caught(self, tmp_path, vectors, monkeypatch):
+        """Counter snapshots guard the simulator side independently of
+        the codec digests."""
+        path = tmp_path / "golden.json"
+        path.write_text(json.dumps(vectors))
+
+        drifted = json.loads(json.dumps(vectors))
+        for cell in drifted["counters"].values():
+            for key in cell:
+                cell[key] += 7
+        monkeypatch.setattr(
+            golden_module, "compute_golden", lambda: drifted
+        )
+        mismatches = check_golden(path)
+        assert len(mismatches) == sum(
+            len(cell) for cell in vectors["counters"].values()
+        )
+
+
+class TestDefaultPath:
+    def test_points_at_committed_vectors(self):
+        path = default_golden_path()
+        assert path.name == "golden.json"
+        assert path.exists()
+        committed = json.loads(path.read_text())
+        assert committed["format"] == golden_module.GOLDEN_FORMAT

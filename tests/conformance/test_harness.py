@@ -1,0 +1,195 @@
+"""The sweep harness: outcome classification, budgets, reports.
+
+The tier-1 portion keeps sweeps small; the full 500-case acceptance
+sweep rides in :class:`TestAcceptanceSweep` under ``slow``/``fuzz``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.codec import CodecConfig, VopEncoder
+from repro.codec.errors import MalformedStreamError
+from repro.conformance.fuzzer import FuzzCase
+from repro.conformance.harness import (
+    CaseResult,
+    SweepReport,
+    decode_case,
+    run_corruption_sweep,
+)
+from repro.video.synthesis import SceneSpec, SyntheticScene
+
+
+@pytest.fixture(scope="module")
+def pristine() -> bytes:
+    scene = SyntheticScene(SceneSpec.default(48, 32))
+    frames = [scene.frame(index) for index in range(3)]
+    config = CodecConfig(48, 32, qp=10, gop_size=3, m_distance=1)
+    return VopEncoder(config).encode_sequence(frames).data
+
+
+class _Identity(FuzzCase):
+    """A case whose apply() leaves the stream pristine."""
+
+    def apply(self, data: bytes) -> bytes:
+        return data
+
+
+class _Crafted(FuzzCase):
+    """A case whose apply() substitutes fixed bytes."""
+
+    def __init__(self, payload: bytes):
+        super().__init__(seed=0, mutation="bitflip")
+        object.__setattr__(self, "_payload", payload)
+
+    def apply(self, data: bytes) -> bytes:
+        return self._payload
+
+
+class TestDecodeCase:
+    def test_pristine_stream_decodes(self, pristine):
+        result = decode_case(pristine, _Identity(seed=0, mutation="bitflip"))
+        assert result.outcome == "decoded"
+        assert result.ok
+
+    def test_garbage_is_rejected_with_typed_error(self):
+        result = decode_case(b"\x00", _Crafted(b"not an mpeg-4 stream"))
+        assert result.outcome == "rejected"
+        assert result.ok
+        assert result.detail  # names the BitstreamError subclass
+
+    def test_uncaught_exception_is_a_contract_violation(self, monkeypatch):
+        from repro.codec import decoder as decoder_module
+
+        def explode(self, data, tolerate_errors=False):
+            raise KeyError("decoder bug")
+
+        monkeypatch.setattr(
+            decoder_module.VopDecoder, "decode_sequence", explode
+        )
+        result = decode_case(b"\x00", _Identity(seed=0, mutation="bitflip"))
+        assert result.outcome == "uncaught"
+        assert not result.ok
+        assert "KeyError" in result.detail
+
+    def test_hang_detection_fires(self, monkeypatch):
+        from repro.codec import decoder as decoder_module
+
+        def spin(self, data, tolerate_errors=False):
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                pass
+
+        monkeypatch.setattr(decoder_module.VopDecoder, "decode_sequence", spin)
+        started = time.monotonic()
+        result = decode_case(
+            b"\x00", _Identity(seed=0, mutation="bitflip"), time_budget_s=0.2
+        )
+        assert result.outcome == "hang"
+        assert not result.ok
+        assert time.monotonic() - started < 5
+
+    def test_budget_disarmed_off_main_thread(self, pristine):
+        import threading
+
+        results = []
+
+        def worker():
+            results.append(
+                decode_case(pristine, _Identity(seed=0, mutation="bitflip"))
+            )
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert results[0].outcome == "decoded"
+
+
+class TestSweepReport:
+    def test_counts_and_failures(self):
+        case = FuzzCase(seed=0, mutation="bitflip")
+        report = SweepReport(
+            results=[
+                CaseResult(case, "decoded"),
+                CaseResult(case, "rejected", "VlcError"),
+                CaseResult(case, "hang", "exceeded 5.0s budget"),
+            ]
+        )
+        assert report.counts == {"decoded": 1, "rejected": 1, "hang": 1}
+        assert len(report.failures) == 1
+        assert not report.ok
+        assert "hang" in report.summary()
+
+    def test_empty_report_is_ok(self):
+        assert SweepReport().ok
+
+
+class TestSmallSweep:
+    def test_sweep_is_deterministic_and_clean(self, pristine):
+        first = run_corruption_sweep(pristine, n_cases=35, master_seed=11)
+        second = run_corruption_sweep(pristine, n_cases=35, master_seed=11)
+        assert first.ok, first.summary()
+        assert [r.outcome for r in first.results] == [
+            r.outcome for r in second.results
+        ]
+
+    def test_tolerant_sweep_conceals_more(self, pristine):
+        strict = run_corruption_sweep(pristine, n_cases=42, master_seed=2)
+        tolerant = run_corruption_sweep(
+            pristine, n_cases=42, master_seed=2, tolerate_errors=True
+        )
+        assert strict.ok and tolerant.ok
+        assert (
+            tolerant.counts.get("decoded", 0) >= strict.counts.get("decoded", 0)
+        )
+
+    def test_failures_replay_from_seed_and_mutation(self, pristine, monkeypatch):
+        from repro.codec import decoder as decoder_module
+
+        original = decoder_module.VopDecoder.decode_sequence
+
+        def flaky(self, data, tolerate_errors=False):
+            if len(data) < len(pristine):
+                raise OSError("contract violation")
+            return original(self, data, tolerate_errors=tolerate_errors)
+
+        monkeypatch.setattr(decoder_module.VopDecoder, "decode_sequence", flaky)
+        report = run_corruption_sweep(pristine, n_cases=30, master_seed=4)
+        assert report.failures  # the round-robin includes truncate cases
+        for failure in report.failures:
+            replayed = FuzzCase(
+                seed=failure.case.seed, mutation=failure.case.mutation
+            ).apply(pristine)
+            assert len(replayed) < len(pristine)
+
+
+@pytest.mark.slow
+@pytest.mark.fuzz
+class TestAcceptanceSweep:
+    """The issue's acceptance criterion: 500 seeded cases, zero uncaught
+    exceptions and zero hangs, in strict and tolerant modes."""
+
+    @pytest.mark.parametrize("tolerate_errors", [False, True])
+    def test_500_case_sweep_clean(self, pristine, tolerate_errors):
+        report = run_corruption_sweep(
+            pristine,
+            n_cases=500,
+            master_seed=0,
+            tolerate_errors=tolerate_errors,
+        )
+        assert len(report.results) == 500
+        assert report.ok, report.summary()
+
+
+class TestErrorTyping:
+    def test_rejection_detail_names_error_class(self):
+        result = decode_case(b"\x00", _Crafted(b"\x00" * 64))
+        assert result.outcome == "rejected"
+        try:
+            from repro.codec import VopDecoder
+
+            VopDecoder().decode_sequence(b"\x00" * 64)
+        except MalformedStreamError as error:
+            assert type(error).__name__ == result.detail

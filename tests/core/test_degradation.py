@@ -1,0 +1,160 @@
+"""Graceful degradation of the study pipeline under cell failures.
+
+Covers the recovery ladder the hardened pipeline promises: a corrupt
+trace-cache entry is evicted and re-recorded, a failing cell is retried
+once, and a cell that fails its retry degrades the table to a partial
+artifact instead of aborting the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import study as study_module
+from repro.core.experiments import (
+    RESOLUTIONS,
+    ExperimentScale,
+    StudyRunner,
+    _metric_table,
+)
+from repro.core.machines import SGI_O2
+from repro.core.study import (
+    StudyCellError,
+    Workload,
+    characterize_encode,
+)
+from repro.trace.persistence import TraceCacheStore, trace_fingerprint
+
+
+def tiny_workload(name: str = "cell") -> Workload:
+    return Workload(
+        name=name, width=32, height=32, n_vos=1, n_layers=1, n_frames=2
+    )
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    root = tmp_path / "trace-cache"
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(root))
+    return TraceCacheStore(root)
+
+
+class TestCacheRecovery:
+    def test_cache_hit_reproduces_fresh_counters(self, cache_env):
+        workload = tiny_workload()
+        fresh = characterize_encode(workload, (SGI_O2,))
+        cached = characterize_encode(workload, (SGI_O2,))
+        key = trace_fingerprint(workload, "encode", None)
+        assert cache_env.load(key) is not None
+        assert (
+            cached.raw_counters[SGI_O2.label].graduated_loads
+            == fresh.raw_counters[SGI_O2.label].graduated_loads
+        )
+
+    def test_tampered_entry_is_recovered_from(self, cache_env):
+        workload = tiny_workload()
+        fresh = characterize_encode(workload, (SGI_O2,))
+        key = trace_fingerprint(workload, "encode", None)
+        trace = cache_env.entry_path(key) / "trace.npz"
+        trace.write_bytes(b"\x00" * 100)
+
+        recovered = characterize_encode(workload, (SGI_O2,))
+        assert (
+            recovered.raw_counters[SGI_O2.label].graduated_loads
+            == fresh.raw_counters[SGI_O2.label].graduated_loads
+        )
+        # The entry was evicted and rewritten with a loadable recording.
+        assert cache_env.load(key) is not None
+
+    def test_cached_entry_failing_replay_is_rerecorded(
+        self, cache_env, monkeypatch
+    ):
+        """An entry that loads but blows up during collection is evicted
+        and the cell re-recorded -- one bad entry never kills a cell."""
+        workload = tiny_workload()
+        characterize_encode(workload, (SGI_O2,))
+
+        original_collect = study_module._collect
+        calls = {"n": 0}
+
+        def collect_failing_once(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("corrupt batches slipped past the digest")
+            return original_collect(*args, **kwargs)
+
+        monkeypatch.setattr(study_module, "_collect", collect_failing_once)
+        result = characterize_encode(workload, (SGI_O2,))
+        assert calls["n"] == 2
+        assert result.raw_counters[SGI_O2.label].graduated_loads > 0
+
+    def test_fresh_recording_failure_propagates(self, cache_env, monkeypatch):
+        """Only cached recordings get the evict-and-retry treatment; a
+        deterministic failure of a fresh recording surfaces immediately."""
+        monkeypatch.setattr(
+            study_module,
+            "_collect",
+            lambda *args, **kwargs: (_ for _ in ()).throw(ValueError("boom")),
+        )
+        with pytest.raises(ValueError, match="boom"):
+            characterize_encode(tiny_workload("fresh-fail"), (SGI_O2,))
+
+
+class TestCellRetry:
+    def test_transient_failure_is_retried(self):
+        runner = StudyRunner(ExperimentScale("quick", 2, 0.5))
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise OSError("transient")
+            return "result"
+
+        assert runner._run_cell(tiny_workload(), "encode", flaky) == "result"
+        assert attempts["n"] == 2
+
+    def test_persistent_failure_becomes_study_cell_error(self):
+        runner = StudyRunner(ExperimentScale("quick", 2, 0.5))
+        attempts = {"n": 0}
+
+        def broken():
+            attempts["n"] += 1
+            raise ValueError("deterministic bug")
+
+        with pytest.raises(StudyCellError) as excinfo:
+            runner._run_cell(tiny_workload("bad"), "encode", broken)
+        assert attempts["n"] == 2
+        assert isinstance(excinfo.value.error, ValueError)
+        assert excinfo.value.direction == "encode"
+        assert "bad" in str(excinfo.value)
+
+
+class TestPartialTables:
+    def test_failed_cell_yields_partial_artifact(self):
+        """A table with one dead cell renders the live cells plus a
+        bracketed failure note, and flags itself via ``failures``."""
+        good = StudyRunner(ExperimentScale("quick", 2, 0.5))
+        good_label, good_width, good_height = RESOLUTIONS[0]
+        dead_label = RESOLUTIONS[1][0]
+        reference = good.encode(32, 32)
+
+        class OneDeadCell:
+            def run(self, direction, width, height, n_vos, n_layers):
+                if width == good_width:
+                    return reference
+                raise StudyCellError(
+                    tiny_workload(dead_label),
+                    direction,
+                    ValueError("cell exploded"),
+                )
+
+        result = _metric_table(
+            OneDeadCell(), "encode", 1, 1, {}, "Table2 -- encode"
+        )
+        assert result.failures
+        assert dead_label in result.failures
+        assert "cell failed after retry" in result.text
+        assert "cell exploded" in result.text
+        assert good_label in result.measured
+        assert dead_label not in result.measured

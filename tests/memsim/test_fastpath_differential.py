@@ -146,15 +146,13 @@ class TestDifferentialRandom:
         fast = FastMemoryHierarchy(*args)
         run_both(reference, fast, random_batches(rng, 40, 512))
 
-    def test_write_heavy_dirty_traffic(self):
-        rng = np.random.default_rng(77)
+    def test_write_heavy_dirty_traffic(self, rng):
         reference, fast = make_pair(l1_kb=1, l2_kb=2)
         run_both(
             reference, fast, random_batches(rng, 50, 1024, kinds=(1, 1, 1, 0))
         )
 
-    def test_prefetch_heavy_traffic(self):
-        rng = np.random.default_rng(88)
+    def test_prefetch_heavy_traffic(self, rng):
         reference, fast = make_pair(l1_kb=1, l2_kb=2)
         run_both(
             reference, fast, random_batches(rng, 50, 1024, kinds=(2, 2, 0, 1))
@@ -210,10 +208,9 @@ class TestDifferentialAgainstCacheModel:
 
 
 class TestBatchSlicingInvariance:
-    def test_split_batches_match_one_batch(self):
+    def test_split_batches_match_one_batch(self, rng):
         """Counters must not depend on how a stream is chopped into batches
         (the windowed fast path crosses batch boundaries statefully)."""
-        rng = np.random.default_rng(5)
         lines = rng.integers(0, 2048, size=1200)
         _, fast_one = make_pair()
         _, fast_many = make_pair()
@@ -225,9 +222,8 @@ class TestBatchSlicingInvariance:
         assert fast_many.total.l2_misses == fast_one.total.l2_misses
         assert fast_many.total.tlb_misses == fast_one.total.tlb_misses
 
-    def test_collapsed_batches_are_equivalent(self):
+    def test_collapsed_batches_are_equivalent(self, rng):
         """The run-collapsing front-end must not change any counter."""
-        rng = np.random.default_rng(9)
         raw = np.repeat(rng.integers(0, 256, size=300), rng.integers(1, 4, size=300))
         counts = np.ones_like(raw)
         batch = AccessBatch(KIND_READ, raw, counts)
@@ -262,8 +258,7 @@ class TestScaledInvariants:
     """Satellite: scaled() must preserve the conservation identities."""
 
     @pytest.mark.parametrize("factor", [1.0, 2.0, 3.7, 0.4, 11.0 / 3.0])
-    def test_identities_survive_rounding(self, factor):
-        rng = np.random.default_rng(21)
+    def test_identities_survive_rounding(self, factor, rng):
         reference, fast = make_pair()
         run_both(reference, fast, random_batches(rng, 20, 2048))
         for hier in (reference, fast):

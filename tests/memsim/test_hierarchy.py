@@ -77,9 +77,8 @@ class TestBasics:
         assert hier.total.l2_misses == 1
         assert hier.total.l2_hits == 3
 
-    def test_counter_conservation(self):
+    def test_counter_conservation(self, rng):
         hier = make_hierarchy()
-        rng = np.random.default_rng(7)
         lines = rng.integers(0, 4096, size=3000)
         hier.process(read_batch(lines))
         total = hier.total
@@ -111,9 +110,8 @@ class TestBasics:
 
 
 class TestInclusion:
-    def test_inclusion_invariant_random_stream(self):
+    def test_inclusion_invariant_random_stream(self, rng):
         hier = make_hierarchy(l1_kb=1, l2_kb=2)
-        rng = np.random.default_rng(3)
         for _ in range(20):
             lines = rng.integers(0, 512, size=200)
             hier.process(read_batch(lines))

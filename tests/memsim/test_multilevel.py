@@ -94,7 +94,7 @@ class TestWalk:
         assert stack.traffic_to_memory_bytes() > 0
         assert stack.seconds > 0
 
-    def test_two_level_stack_matches_intuition(self):
+    def test_two_level_stack_matches_intuition(self, rng):
         """A bigger last level must not miss to memory more often."""
         small = MultiLevelHierarchy(
             [CacheGeometry(1 << 10, 32, 2), CacheGeometry(4 << 10, 128, 2)],
@@ -104,7 +104,6 @@ class TestWalk:
             [CacheGeometry(1 << 10, 32, 2), CacheGeometry(64 << 10, 128, 2)],
             [8.0, 100.0],
         )
-        rng = np.random.default_rng(0)
         lines = rng.integers(0, 1024, size=4000)
         for stack in (small, big):
             stack.process(read(lines))

@@ -1,0 +1,177 @@
+"""Failure modes of the on-disk trace cache.
+
+The study pipeline trusts cache entries enough to skip hours of
+re-recording, so an entry that rotted on disk (torn copy, truncation,
+tampering) must be detected by its content digests, evicted, and
+silently re-recordable -- never parsed into a half-wrong trace.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.memsim.events import KIND_READ, AccessBatch
+from repro.trace.persistence import RecordedTrace, TraceCacheStore
+
+
+def make_recorded(n_batches: int = 3) -> RecordedTrace:
+    batches = [
+        AccessBatch(
+            KIND_READ,
+            np.arange(index, index + 5, dtype=np.int64),
+            np.ones(5, dtype=np.int64),
+            phase="me",
+            alu_ops=10 * index,
+        )
+        for index in range(n_batches)
+    ]
+    return RecordedTrace(
+        batches=batches,
+        scale=2.0,
+        footprint_bytes=12345,
+        encoded=[b"stream-a", b"stream-b"],
+    )
+
+
+@pytest.fixture
+def store(tmp_path) -> TraceCacheStore:
+    return TraceCacheStore(tmp_path / "cache")
+
+
+class TestHealthyRoundtrip:
+    def test_store_load(self, store):
+        store.store("k1", make_recorded())
+        loaded = store.load("k1")
+        assert loaded is not None
+        assert loaded.scale == 2.0
+        assert loaded.footprint_bytes == 12345
+        assert loaded.encoded == [b"stream-a", b"stream-b"]
+        assert len(loaded.batches) == 3
+        assert np.array_equal(loaded.batches[1].lines, np.arange(1, 6))
+
+    def test_meta_records_payload_digests(self, store):
+        store.store("k1", make_recorded())
+        meta = json.loads((store.entry_path("k1") / "meta.json").read_text())
+        assert set(meta["digests"]) == {"trace.npz", "streams.pkl"}
+        assert all(len(digest) == 64 for digest in meta["digests"].values())
+
+    def test_missing_entry_is_a_miss(self, store):
+        assert store.load("absent") is None
+        assert not store.entry_path("absent").exists()
+
+
+class TestCorruptEntries:
+    def test_truncated_trace_is_evicted(self, store):
+        store.store("k1", make_recorded())
+        trace = store.entry_path("k1") / "trace.npz"
+        trace.write_bytes(trace.read_bytes()[: trace.stat().st_size // 2])
+        assert store.load("k1") is None
+        assert not store.entry_path("k1").exists()
+
+    def test_single_flipped_byte_fails_the_digest(self, store):
+        store.store("k1", make_recorded())
+        trace = store.entry_path("k1") / "trace.npz"
+        blob = bytearray(trace.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        trace.write_bytes(bytes(blob))
+        assert store.load("k1") is None
+        assert not store.entry_path("k1").exists()
+
+    def test_corrupt_streams_pickle_is_evicted(self, store):
+        store.store("k1", make_recorded())
+        (store.entry_path("k1") / "streams.pkl").write_bytes(b"\x80garbage")
+        assert store.load("k1") is None
+        assert not store.entry_path("k1").exists()
+
+    def test_missing_payload_file_is_evicted(self, store):
+        store.store("k1", make_recorded())
+        (store.entry_path("k1") / "streams.pkl").unlink()
+        assert store.load("k1") is None
+        assert not store.entry_path("k1").exists()
+
+    def test_pre_digest_entry_is_evicted(self, store):
+        """Entries written before digests existed lack the meta key; they
+        must be treated as unreadable, not trusted."""
+        store.store("k1", make_recorded())
+        meta_path = store.entry_path("k1") / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        del meta["digests"]
+        meta_path.write_text(json.dumps(meta))
+        assert store.load("k1") is None
+        assert not store.entry_path("k1").exists()
+
+    def test_meta_missing_field_is_evicted(self, store):
+        """Valid JSON with a mangled field (the digests still pass) must
+        still count as unreadable -- found by corrupting meta.json at the
+        CLI surface, where the KeyError previously escaped load()."""
+        store.store("k1", make_recorded())
+        meta_path = store.entry_path("k1") / "meta.json"
+        meta_path.write_text(
+            meta_path.read_text().replace('"scale"', '"scale_broken"')
+        )
+        assert store.load("k1") is None
+        assert not store.entry_path("k1").exists()
+
+    def test_meta_non_numeric_field_is_evicted(self, store):
+        store.store("k1", make_recorded())
+        meta_path = store.entry_path("k1") / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["scale"] = None
+        meta_path.write_text(json.dumps(meta))
+        assert store.load("k1") is None
+        assert not store.entry_path("k1").exists()
+
+    def test_corrupt_meta_json_is_evicted(self, store):
+        store.store("k1", make_recorded())
+        (store.entry_path("k1") / "meta.json").write_text("{ not json")
+        assert store.load("k1") is None
+        assert not store.entry_path("k1").exists()
+
+    def test_eviction_allows_restore(self, store):
+        store.store("k1", make_recorded())
+        (store.entry_path("k1") / "trace.npz").write_bytes(b"")
+        assert store.load("k1") is None
+        store.store("k1", make_recorded(n_batches=5))
+        reloaded = store.load("k1")
+        assert reloaded is not None
+        assert len(reloaded.batches) == 5
+
+
+class TestConcurrentWriters:
+    def test_second_store_loses_gracefully(self, store):
+        store.store("k1", make_recorded(n_batches=2))
+        store.store("k1", make_recorded(n_batches=9))
+        loaded = store.load("k1")
+        assert loaded is not None
+        assert len(loaded.batches) == 2  # first writer wins, no corruption
+
+    def test_lost_race_leaves_no_staging_litter(self, store, monkeypatch):
+        """A writer that loses the final atomic rename must clean up its
+        staging directory and leave the winner's entry intact."""
+        import repro.trace.persistence as persistence_module
+
+        store.store("k1", make_recorded(n_batches=2))
+        original_replace = persistence_module.os.replace
+
+        def racing_replace(src, dst):
+            raise OSError("simulated lost rename race")
+
+        monkeypatch.setattr(persistence_module.os, "replace", racing_replace)
+        store.store("k2", make_recorded())
+        monkeypatch.setattr(persistence_module.os, "replace", original_replace)
+
+        assert store.load("k2") is None
+        leftovers = [
+            path for path in store.root.iterdir() if path.name.startswith(".")
+        ]
+        assert leftovers == []
+        assert store.load("k1") is not None
+
+    def test_evict_is_idempotent(self, store):
+        store.store("k1", make_recorded())
+        store.evict("k1")
+        store.evict("k1")
+        assert store.load("k1") is None
