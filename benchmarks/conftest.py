@@ -21,6 +21,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.experiments import StudyRunner, current_scale
+from repro.ioutil import atomic_write
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -41,7 +42,7 @@ def results_dir() -> Path:
 def record_artifact(results_dir: Path, experiment_id: str, text: str) -> None:
     """Persist one regenerated table/figure and queue it for the summary."""
     path = results_dir / f"{experiment_id}.txt"
-    path.write_text(text + "\n")
+    atomic_write(path, text + "\n")
     _artifacts.append((experiment_id, text))
 
 

@@ -29,6 +29,7 @@ import pytest
 
 from repro.core.machines import L1_GEOMETRY, SGI_O2
 from repro.core.study import Workload, _record_encode, characterize_encode
+from repro.ioutil import atomic_write
 from repro.memsim.fastpath import ENGINES, kernel_available
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -131,7 +132,7 @@ def run_benchmark() -> dict:
 
 
 def write_results(results: dict) -> None:
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    atomic_write(RESULT_PATH, json.dumps(results, indent=2) + "\n")
 
 
 @pytest.fixture(scope="module")

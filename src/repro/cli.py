@@ -10,6 +10,9 @@ Regenerates paper artifacts from the shell:
    $ python -m repro list                   # what can be regenerated
    $ python -m repro conformance --check    # golden-vector gate
    $ python -m repro fuzz --cases 150       # corruption smoke sweep
+   $ python -m repro study --grid tables    # crash-safe, resumable study
+   $ python -m repro study --resume <id>    # finish a killed run
+   $ python -m repro chaos --cases 100      # seeded fault-injection sweep
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (table1..table8, fig2..fig4), 'all', 'list', "
-            "'conformance', or 'fuzz'"
+            "'conformance', 'fuzz', 'study', or 'chaos'"
         ),
     )
     parser.add_argument(
@@ -78,6 +81,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.conformance.cli import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "study":
+        from repro.core.runner.cli import study_main
+
+        return study_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.core.runner.cli import chaos_main
+
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine

@@ -29,6 +29,7 @@ from pathlib import Path
 from repro.codec import CodecConfig, VopDecoder, VopEncoder
 from repro.core.machines import SGI_ONYX2
 from repro.core.study import Workload, characterize_decode, characterize_encode
+from repro.ioutil import atomic_write
 from repro.video.synthesis import SceneSpec, SyntheticScene
 
 GOLDEN_FORMAT = 1
@@ -169,6 +170,7 @@ def update_golden(path: str | Path | None = None) -> dict:
     """Regenerate and rewrite the vector file; returns the new vectors."""
     vector_path = Path(path) if path is not None else default_golden_path()
     vectors = compute_golden()
-    vector_path.parent.mkdir(parents=True, exist_ok=True)
-    vector_path.write_text(json.dumps(vectors, indent=2, sort_keys=True) + "\n")
+    # Atomic publish: a crash mid-update must never leave a truncated
+    # vector file masquerading as a legitimate (always-failing) gate.
+    atomic_write(vector_path, json.dumps(vectors, indent=2, sort_keys=True) + "\n")
     return vectors

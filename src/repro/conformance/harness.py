@@ -13,51 +13,29 @@ stream into one of four outcomes:
 - ``hang``: the per-case wall-clock budget expired -- a contract
   violation.
 
-Hang detection uses ``SIGALRM`` and therefore only arms on the main
-thread; elsewhere the sweep still runs, it just cannot interrupt a
-runaway case.
+Hang detection uses the shared :func:`repro.core.runner.time_budget`
+utility -- ``SIGALRM`` on the main thread, an async-exception deadline
+everywhere else -- so the sweep interrupts runaway cases even when run
+from worker threads, and shares one timeout implementation with the
+supervised study runner's per-cell watchdog.
 """
 
 from __future__ import annotations
 
-import signal
-import threading
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.codec.decoder import VopDecoder
 from repro.codec.errors import BitstreamError
 from repro.conformance.fuzzer import MUTATIONS, BitstreamFuzzer, FuzzCase
+from repro.core.runner.deadline import BudgetExpired, time_budget
 
 #: Acceptance-criteria default: five seconds of wall clock per case.
 DEFAULT_TIME_BUDGET_S = 5.0
 
-
-class _BudgetExpired(BaseException):
-    """Raised by the SIGALRM handler; BaseException so no handler in the
-    decode path can swallow it."""
-
-
-@contextmanager
-def _time_budget(seconds: float):
-    """Arm a wall-clock budget when possible; yields whether it is armed."""
-    if (
-        seconds <= 0
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        yield False
-        return
-
-    def _on_alarm(signum, frame):
-        raise _BudgetExpired()
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield True
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, previous)
+# Back-compat aliases: the harness's budget machinery moved to
+# repro.core.runner.deadline where the study supervisor shares it.
+_BudgetExpired = BudgetExpired
+_time_budget = time_budget
 
 
 @dataclass(frozen=True)

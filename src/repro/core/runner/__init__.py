@@ -1,0 +1,69 @@
+"""Crash-safe study orchestration: supervision, manifests, chaos.
+
+- :mod:`repro.core.runner.supervisor` -- the supervised worker pool
+  (heartbeats, watchdog budgets, retry/backoff, quarantine);
+- :mod:`repro.core.runner.manifest` -- atomic write-ahead run manifests
+  enabling ``repro study --resume``;
+- :mod:`repro.core.runner.chaos` -- deterministic fault injection
+  (``REPRO_CHAOS=<seed>:<profile>``);
+- :mod:`repro.core.runner.deadline` -- the shared wall-clock budget
+  utility (SIGALRM + portable async-exception fallback);
+- :mod:`repro.core.runner.clock` -- injectable real/fake clocks;
+- :mod:`repro.core.runner.orchestrator` -- ``repro study`` itself
+  (imported explicitly; not re-exported here to keep the dependency
+  graph acyclic with :mod:`repro.core.study`).
+"""
+
+from repro.core.runner.chaos import (
+    CHAOS_ENV,
+    ChaosError,
+    ChaosInjector,
+    ChaosProfile,
+    PROFILES,
+    chaos_from_env,
+    parse_chaos_spec,
+)
+from repro.core.runner.clock import REAL_CLOCK, Clock, FakeClock, RealClock
+from repro.core.runner.deadline import BudgetExpired, time_budget
+from repro.core.runner.manifest import (
+    ManifestError,
+    RunManifest,
+    list_runs,
+    runs_root,
+)
+from repro.core.runner.supervisor import (
+    BackoffScheduler,
+    QuarantinedTaskError,
+    RetryPolicy,
+    SupervisedPool,
+    TaskAttempt,
+    TaskOutcome,
+    WorkerBudget,
+)
+
+__all__ = [
+    "BackoffScheduler",
+    "BudgetExpired",
+    "CHAOS_ENV",
+    "ChaosError",
+    "ChaosInjector",
+    "ChaosProfile",
+    "Clock",
+    "FakeClock",
+    "ManifestError",
+    "PROFILES",
+    "QuarantinedTaskError",
+    "REAL_CLOCK",
+    "RealClock",
+    "RetryPolicy",
+    "RunManifest",
+    "SupervisedPool",
+    "TaskAttempt",
+    "TaskOutcome",
+    "WorkerBudget",
+    "chaos_from_env",
+    "list_runs",
+    "parse_chaos_spec",
+    "runs_root",
+    "time_budget",
+]

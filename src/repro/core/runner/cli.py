@@ -1,0 +1,180 @@
+"""CLI entry points: ``repro study`` and ``repro chaos``.
+
+.. code-block:: console
+
+   $ python -m repro study                         # crash-safe full-table run
+   $ python -m repro study --resume <run-id>       # finish a killed run
+   $ python -m repro study --list-runs             # what's on disk
+   $ python -m repro study --report <run-id>       # failure summary
+   $ python -m repro chaos --cases 100 --seed 0    # seeded chaos sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+
+def study_main(argv: list[str] | None = None) -> int:
+    from repro.core.experiments import SCALES
+    from repro.core.runner.orchestrator import (
+        CELL_BUDGET_ENV,
+        GRIDS,
+        assemble_artifacts,
+        list_runs,
+        run_study,
+    )
+    from repro.core.runner.manifest import ManifestError, RunManifest, runs_root
+    from repro.core.runner.supervisor import RetryPolicy
+
+    parser = argparse.ArgumentParser(
+        prog="repro study",
+        description=(
+            "Crash-safe study orchestration: supervised workers, "
+            "write-ahead manifest, resume."
+        ),
+    )
+    parser.add_argument("--grid", choices=sorted(GRIDS), default="tables",
+                        help="experimental grid to run (default: tables)")
+    parser.add_argument("--scale", choices=sorted(SCALES), default=None,
+                        help="tracing effort preset (default: $REPRO_SCALE)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="supervised cell workers (default: $REPRO_JOBS)")
+    parser.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="runs root (default: $REPRO_RUNS or .repro-runs)")
+    parser.add_argument("--run-id", default=None, metavar="ID",
+                        help="name the new run (default: generated)")
+    parser.add_argument("--resume", default=None, metavar="ID",
+                        help="resume an existing run: completed cells are "
+                             "skipped, failed/missing ones re-execute")
+    parser.add_argument("--list-runs", action="store_true",
+                        help="list runs under the runs root and exit")
+    parser.add_argument("--report", default=None, metavar="ID",
+                        help="print a run's failure summary and exit")
+    parser.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                        help="supervised attempts per cell (default: 3)")
+    parser.add_argument("--cell-budget", type=float, default=None, metavar="S",
+                        help=f"per-cell wall budget in seconds "
+                             f"(default: ${CELL_BUDGET_ENV} or 1800)")
+    parser.add_argument("--no-artifacts", action="store_true",
+                        help="skip rendering tables/figures from the manifest")
+    parser.add_argument("--verify-complete", action="store_true",
+                        help="exit 1 unless every cell reached a terminal "
+                             "state (done or quarantined)")
+    parser.add_argument("--strict", action="store_true",
+                        help="with --verify-complete, also fail on "
+                             "quarantined cells")
+    args = parser.parse_args(argv)
+
+    if args.list_runs:
+        summaries = list_runs(args.runs_dir)
+        if not summaries:
+            print(f"no runs under {runs_root(args.runs_dir)}")
+            return 0
+        print(f"{'run id':<32} {'grid':<8} {'scale':<8} "
+              f"{'done':>5} {'quar':>5} {'pend':>5}  created")
+        for summary in summaries:
+            print(
+                f"{summary['run_id']:<32} {summary['grid']:<8} "
+                f"{summary['scale']:<8} {summary['done']:>5} "
+                f"{summary['quarantined']:>5} {summary['pending']:>5}  "
+                f"{summary['created']}"
+            )
+        return 0
+
+    if args.report:
+        try:
+            manifest = RunManifest.load(runs_root(args.runs_dir), args.report)
+        except ManifestError as error:
+            print(f"error: {error}")
+            return 2
+        summary = manifest.summary()
+        print(
+            f"run {summary['run_id']}: {summary['done']}/{summary['cells']} "
+            f"done, {summary['quarantined']} quarantined, "
+            f"{summary['pending']} pending"
+        )
+        print(manifest.failure_summary())
+        return 0
+
+    if args.cell_budget is not None:
+        os.environ[CELL_BUDGET_ENV] = str(args.cell_budget)
+    try:
+        outcome = run_study(
+            grid=args.grid,
+            scale=args.scale,
+            jobs=args.jobs,
+            runs_dir=args.runs_dir,
+            run_id=args.resume or args.run_id,
+            resume=args.resume is not None,
+            retry=RetryPolicy(max_attempts=max(1, args.max_attempts)),
+        )
+    except (ManifestError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+    manifest = outcome.manifest
+    totals = outcome.telemetry["totals"]
+    verb = "resumed" if outcome.resumed else "ran"
+    print(
+        f"{verb} {manifest.run_id}: {totals['done']}/{totals['cells']} cells "
+        f"done, {totals['quarantined']} quarantined, "
+        f"{totals['pending']} pending "
+        f"({totals['attempts']} attempts, "
+        f"retry overhead {totals['retry_overhead_s']:.1f}s)"
+    )
+    if outcome.skipped_cells:
+        print(f"skipped {len(outcome.skipped_cells)} already-completed "
+              f"cell(s): {', '.join(outcome.skipped_cells)}")
+    if totals["quarantined"] or totals["pending"]:
+        print(manifest.failure_summary())
+    if not args.no_artifacts:
+        results = assemble_artifacts(manifest)
+        if results:
+            print(f"artifacts: {manifest.run_dir / 'artifacts'} "
+                  f"({', '.join(sorted(results))})")
+    print(f"telemetry: {manifest.run_dir / 'telemetry.json'}")
+    if args.verify_complete:
+        if not outcome.complete:
+            print("verify-complete FAILED: cells left pending")
+            return 1
+        if args.strict and not outcome.all_done:
+            print("verify-complete --strict FAILED: quarantined cells remain")
+            return 1
+        print("verify-complete passed: every cell is done or quarantined")
+    return 0
+
+
+def chaos_main(argv: list[str] | None = None) -> int:
+    from repro.core.runner.chaos import PROFILES
+    from repro.core.runner.orchestrator import run_chaos_sweep
+
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Seeded chaos sweep over the supervised runner + manifest: "
+            "every injected fault must be retried to success or end as a "
+            "quarantined cell -- never a crash or a silently wrong result."
+        ),
+    )
+    parser.add_argument("--cases", type=int, default=100, metavar="N",
+                        help="chaos cases (one seed each; default: 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed (case i uses seed+i; default: 0)")
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="heavy",
+                        help="fault profile (default: heavy)")
+    parser.add_argument("--cells", type=int, default=2, metavar="K",
+                        help="probe cells per case (default: 2)")
+    args = parser.parse_args(argv)
+    report = run_chaos_sweep(
+        n_cases=args.cases,
+        master_seed=args.seed,
+        profile=args.profile,
+        n_cells=args.cells,
+    )
+    print(report.summary())
+    if not report.ok:
+        print("chaos sweep FAILED: replay any case with "
+              f"REPRO_CHAOS=<seed>:{args.profile}")
+        return 1
+    print("chaos sweep passed")
+    return 0

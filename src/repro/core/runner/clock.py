@@ -1,0 +1,54 @@
+"""Injectable clocks: real time for production, fake time for tests.
+
+The supervisor's retry/backoff ladder is specified in wall-clock seconds
+but tested in fake time -- a :class:`FakeClock` advances instantly on
+``sleep`` so backoff schedules covering minutes run in microseconds, with
+every delay recorded for assertion.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "RealClock", "FakeClock", "REAL_CLOCK"]
+
+
+class Clock:
+    """Monotonic time plus sleep; the supervisor's only time source."""
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class RealClock(Clock):
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """Deterministic clock: ``sleep`` advances time instantly and logs."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        seconds = max(0.0, seconds)
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+REAL_CLOCK = RealClock()

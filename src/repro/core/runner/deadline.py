@@ -1,0 +1,113 @@
+"""One wall-clock budget utility for every watchdog in the repo.
+
+The conformance corruption sweep (PR 2) and the supervised worker pool's
+per-cell soft deadline both need "run this, but give up after N seconds".
+The historical implementation used ``SIGALRM``, which only arms on the
+main thread of a process; this module keeps that path (it can interrupt
+C-level blocking calls) and adds a portable fallback -- an async-exception
+timer thread -- selected automatically whenever ``SIGALRM`` can't arm:
+worker threads, platforms without ``SIGALRM``, embedded interpreters.
+
+The fallback uses ``PyThreadState_SetAsyncExc``, which delivers
+:class:`BudgetExpired` at the next bytecode boundary of the target
+thread.  That interrupts any pure-Python loop (the decoder and simulator
+hot paths are pure Python) but not a single long C call; the supervised
+pool therefore backs this *soft* deadline with a *hard* process-level
+kill (see :mod:`repro.core.runner.supervisor`).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import signal
+import threading
+from contextlib import contextmanager
+
+__all__ = ["BudgetExpired", "time_budget"]
+
+
+class BudgetExpired(BaseException):
+    """Raised in the budgeted thread when its wall clock runs out.
+
+    ``BaseException`` so no ``except Exception`` handler in the budgeted
+    code can swallow the expiry.
+    """
+
+
+def _sigalrm_available() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _raise_async(thread_id: int, exc_type) -> int:
+    return ctypes.pythonapi.PyThreadState_SetAsyncExc(
+        ctypes.c_ulong(thread_id), ctypes.py_object(exc_type)
+    )
+
+
+def _clear_async(thread_id: int) -> None:
+    ctypes.pythonapi.PyThreadState_SetAsyncExc(ctypes.c_ulong(thread_id), None)
+
+
+@contextmanager
+def _sigalrm_budget(seconds: float):
+    def _on_alarm(signum, frame):
+        raise BudgetExpired()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@contextmanager
+def _async_exc_budget(seconds: float):
+    target = threading.get_ident()
+    fired = threading.Event()
+
+    def _expire():
+        fired.set()
+        _raise_async(target, BudgetExpired)
+
+    timer = threading.Timer(seconds, _expire)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield True
+    finally:
+        timer.cancel()
+        if fired.is_set():
+            # The expiry may still be pending delivery; retract it so it
+            # cannot detonate in code outside the budgeted region.  A
+            # BudgetExpired already in flight propagates normally.
+            _clear_async(target)
+
+
+@contextmanager
+def time_budget(seconds: float):
+    """Arm a wall-clock budget around the body; yields whether it armed.
+
+    ``seconds <= 0`` disarms (yields False).  On the main thread the
+    budget is a ``SIGALRM`` itimer; elsewhere an async-exception timer
+    thread.  Either way expiry raises :class:`BudgetExpired` inside the
+    body.
+    """
+    if seconds <= 0:
+        yield False
+        return
+    if _sigalrm_available():
+        with _sigalrm_budget(seconds) as armed:
+            yield armed
+        return
+    try:
+        ctypes.pythonapi.PyThreadState_SetAsyncExc
+    except (AttributeError, ValueError):  # pragma: no cover - non-CPython
+        yield False
+        return
+    with _async_exc_budget(seconds) as armed:
+        yield armed

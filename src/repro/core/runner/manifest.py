@@ -1,0 +1,415 @@
+"""Atomic write-ahead run manifests: the study's crash-safe ledger.
+
+A study run is a directory under the runs root (``REPRO_RUNS`` or
+``.repro-runs/``)::
+
+    <root>/<run-id>/
+        run.json              run-level metadata: grid, scale, cell ids
+        cells/<cell>.json     per-cell commit record (status, digest, attempts)
+        cells/<cell>.pkl      the cell's pickled result payload
+        telemetry.json        attempt/latency telemetry for the whole run
+
+Every file is published with :func:`repro.ioutil.atomic_write` (tmp +
+fsync + rename).  A cell commits in write-ahead order -- payload first,
+then the record that references it by sha256 -- so the record is the
+commit point: a crash anywhere in between leaves no record and the cell
+simply re-executes on resume.  Reads verify the recorded digest against
+the payload bytes, like the trace cache, so torn or bit-rotted artifacts
+(including deliberately chaos-mangled ones) are detected and re-executed,
+never silently served.
+
+``--resume <run-id>`` is therefore nothing more than "skip every cell
+whose record verifies"; quarantined and missing cells run again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.runner.chaos import POINT_MANIFEST_CELL, POINT_MANIFEST_INDEX
+from repro.ioutil import atomic_write, sha256_hex
+
+MANIFEST_FORMAT = 1
+
+#: Environment variable naming the runs root directory.
+RUNS_ENV = "REPRO_RUNS"
+
+#: Default runs root, relative to the working directory.
+DEFAULT_RUNS_DIR = ".repro-runs"
+
+#: Cell terminal states a record may carry.
+STATUS_DONE = "done"
+STATUS_QUARANTINED = "quarantined"
+
+
+class ManifestError(RuntimeError):
+    """A manifest artifact is missing, unreadable, or fails its digest."""
+
+
+def _self_digest(body: dict) -> str:
+    """Digest over a JSON record's own fields (excluding the digest).
+
+    run.json is the run's root of trust -- a flipped byte in its cell
+    list would send a resume chasing a cell that doesn't exist, and a
+    flipped grid/scale would render artifacts from the wrong recipe.
+    """
+    canonical = {k: v for k, v in body.items() if k != "self_digest"}
+    return hashlib.sha256(
+        json.dumps(canonical, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def runs_root(override: str | Path | None = None) -> Path:
+    """Resolve the runs root: explicit arg > ``REPRO_RUNS`` > default."""
+    if override is not None:
+        return Path(override)
+    return Path(os.environ.get(RUNS_ENV) or DEFAULT_RUNS_DIR)
+
+
+@dataclass
+class CellRecord:
+    """One committed cell: its state, payload digest, and attempt history."""
+
+    cell_id: str
+    status: str
+    digest: str = ""
+    attempts: list[dict] = None  # type: ignore[assignment]
+    telemetry: dict = None  # type: ignore[assignment]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "cell_id": self.cell_id,
+                "status": self.status,
+                "digest": self.digest,
+                "attempts": self.attempts or [],
+                "telemetry": self.telemetry or {},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CellRecord":
+        data = json.loads(text)
+        record = cls(
+            cell_id=str(data["cell_id"]),
+            status=str(data["status"]),
+            digest=str(data.get("digest", "")),
+            attempts=list(data.get("attempts", [])),
+            telemetry=dict(data.get("telemetry", {})),
+        )
+        if record.status not in (STATUS_DONE, STATUS_QUARANTINED):
+            raise ManifestError(
+                f"cell {record.cell_id!r} has unknown status {record.status!r}"
+            )
+        return record
+
+
+class RunManifest:
+    """Handle on one run directory; all writes atomic, all reads verified."""
+
+    def __init__(self, run_dir: str | Path) -> None:
+        self.run_dir = Path(run_dir)
+        self.cells_dir = self.run_dir / "cells"
+
+    # -- creation / loading -------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        run_id: str,
+        *,
+        grid: str,
+        scale: str,
+        cell_ids: list[str],
+        extra: dict | None = None,
+        max_tries: int = 5,
+    ) -> "RunManifest":
+        manifest = cls(Path(root) / run_id)
+        if manifest.run_file.exists():
+            raise ManifestError(
+                f"run {run_id!r} already exists under {root}; "
+                f"use resume or pick a new --run-id"
+            )
+        manifest.run_dir.mkdir(parents=True, exist_ok=True)
+        body = {
+            "format": MANIFEST_FORMAT,
+            "run_id": run_id,
+            "grid": grid,
+            "scale": scale,
+            "cells": list(cell_ids),
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "extra": extra or {},
+        }
+        body["self_digest"] = _self_digest(body)
+        last_error: Exception | None = None
+        for attempt in range(1, max_tries + 1):
+            try:
+                atomic_write(
+                    manifest.run_file,
+                    json.dumps(body, indent=2, sort_keys=True),
+                    chaos_point=POINT_MANIFEST_INDEX,
+                    chaos_key=f"{run_id}/run.json/t{attempt}",
+                )
+                manifest.run_meta()  # read-back verification
+                return manifest
+            except (OSError, ManifestError) as error:
+                last_error = error
+        raise ManifestError(
+            f"run {run_id!r} failed to initialize after {max_tries} tries: "
+            f"{last_error}"
+        ) from last_error
+
+    @classmethod
+    def load(cls, root: str | Path, run_id: str) -> "RunManifest":
+        manifest = cls(Path(root) / run_id)
+        manifest.run_meta()  # validate now, not on first use
+        return manifest
+
+    @property
+    def run_file(self) -> Path:
+        return self.run_dir / "run.json"
+
+    @property
+    def run_id(self) -> str:
+        return self.run_dir.name
+
+    def run_meta(self) -> dict:
+        try:
+            meta = json.loads(self.run_file.read_text())
+        except (OSError, ValueError) as error:
+            raise ManifestError(
+                f"run manifest {self.run_file} unreadable: {error}"
+            ) from error
+        if meta.get("format") != MANIFEST_FORMAT:
+            raise ManifestError(
+                f"run manifest {self.run_file} has unsupported format "
+                f"{meta.get('format')!r}"
+            )
+        if meta.get("self_digest") != _self_digest(meta):
+            raise ManifestError(
+                f"run manifest {self.run_file} fails its self-digest "
+                f"(torn or corrupt write)"
+            )
+        return meta
+
+    # -- cell commit protocol -----------------------------------------------
+
+    def _record_path(self, cell_id: str) -> Path:
+        return self.cells_dir / f"{cell_id}.json"
+
+    def _payload_path(self, cell_id: str) -> Path:
+        return self.cells_dir / f"{cell_id}.pkl"
+
+    def commit_cell(
+        self,
+        cell_id: str,
+        payload: bytes,
+        *,
+        attempts: list[dict],
+        telemetry: dict | None = None,
+        max_tries: int = 3,
+    ) -> None:
+        """Persist one completed cell: payload, then record, then verify.
+
+        Transient I/O errors and torn writes (real or chaos-injected) are
+        retried with fresh write attempts; after ``max_tries`` the last
+        error propagates so the caller can quarantine the cell rather
+        than trust unverified state.
+        """
+        digest = sha256_hex(payload)
+        record = CellRecord(
+            cell_id, STATUS_DONE, digest, list(attempts), dict(telemetry or {})
+        )
+        last_error: Exception | None = None
+        for attempt in range(1, max_tries + 1):
+            try:
+                atomic_write(
+                    self._payload_path(cell_id),
+                    payload,
+                    chaos_point=POINT_MANIFEST_CELL,
+                    chaos_key=f"{cell_id}/payload/t{attempt}",
+                )
+                atomic_write(
+                    self._record_path(cell_id),
+                    record.to_json(),
+                    chaos_point=POINT_MANIFEST_CELL,
+                    chaos_key=f"{cell_id}/record/t{attempt}",
+                )
+                self.load_cell_payload(cell_id)  # read-back verification
+                return
+            except (OSError, ManifestError) as error:
+                last_error = error
+        raise ManifestError(
+            f"cell {cell_id!r} failed to persist after {max_tries} tries: "
+            f"{last_error}"
+        ) from last_error
+
+    def quarantine_cell(
+        self, cell_id: str, attempts: list[dict], max_tries: int = 5
+    ) -> None:
+        """Record a cell that exhausted its attempts (no payload).
+
+        Retried like :meth:`commit_cell`; if even the quarantine record
+        cannot persist, the final error propagates and the cell stays
+        pending -- a resume re-executes it, which is the honest fallback.
+        """
+        record = CellRecord(cell_id, STATUS_QUARANTINED, "", list(attempts), {})
+        last_error: Exception | None = None
+        for attempt in range(1, max_tries + 1):
+            try:
+                atomic_write(
+                    self._record_path(cell_id),
+                    record.to_json(),
+                    chaos_point=POINT_MANIFEST_CELL,
+                    chaos_key=f"{cell_id}/quarantine/t{attempt}",
+                )
+                read_back = self.cell_record(cell_id)
+                if read_back is None or read_back.status != STATUS_QUARANTINED:
+                    raise ManifestError(
+                        f"cell {cell_id!r} quarantine record failed read-back"
+                    )
+                return
+            except (OSError, ManifestError) as error:
+                last_error = error
+        raise ManifestError(
+            f"cell {cell_id!r} failed to quarantine after {max_tries} tries: "
+            f"{last_error}"
+        ) from last_error
+
+    def cell_record(self, cell_id: str) -> CellRecord | None:
+        """The cell's commit record, or None when absent/unreadable."""
+        path = self._record_path(cell_id)
+        try:
+            return CellRecord.from_json(path.read_text())
+        except (OSError, ValueError, KeyError, ManifestError):
+            return None
+
+    def load_cell_payload(self, cell_id: str) -> bytes:
+        """The committed payload bytes, digest-verified against the record."""
+        record = self.cell_record(cell_id)
+        if record is None or record.status != STATUS_DONE:
+            raise ManifestError(f"cell {cell_id!r} has no committed result")
+        try:
+            payload = self._payload_path(cell_id).read_bytes()
+        except OSError as error:
+            raise ManifestError(
+                f"cell {cell_id!r} payload unreadable: {error}"
+            ) from error
+        actual = sha256_hex(payload)
+        if actual != record.digest:
+            raise ManifestError(
+                f"cell {cell_id!r} payload digest mismatch: "
+                f"{actual} != {record.digest} (torn or corrupt write)"
+            )
+        return payload
+
+    def cell_is_complete(self, cell_id: str) -> bool:
+        """True when the cell committed and its payload verifies."""
+        try:
+            self.load_cell_payload(cell_id)
+        except ManifestError:
+            return False
+        return True
+
+    # -- run-level state ----------------------------------------------------
+
+    def statuses(self) -> dict[str, str]:
+        """Every declared cell's state: done / quarantined / pending.
+
+        A committed-but-unverifiable cell (torn payload) reports pending:
+        it must re-execute, exactly as if it never committed.
+        """
+        out: dict[str, str] = {}
+        for cell_id in self.run_meta().get("cells", []):
+            record = self.cell_record(cell_id)
+            if record is None:
+                out[cell_id] = "pending"
+            elif record.status == STATUS_QUARANTINED:
+                out[cell_id] = STATUS_QUARANTINED
+            elif self.cell_is_complete(cell_id):
+                out[cell_id] = STATUS_DONE
+            else:
+                out[cell_id] = "pending"
+        return out
+
+    def incomplete_cells(self) -> list[str]:
+        """Cells a resume must (re-)execute, in declaration order."""
+        return [
+            cell_id
+            for cell_id, status in self.statuses().items()
+            if status != STATUS_DONE
+        ]
+
+    def write_telemetry(self, telemetry: dict) -> None:
+        atomic_write(
+            self.run_dir / "telemetry.json",
+            json.dumps(telemetry, indent=2, sort_keys=True) + "\n",
+            chaos_point=POINT_MANIFEST_INDEX,
+            chaos_key=f"{self.run_id}/telemetry",
+        )
+
+    def summary(self) -> dict:
+        statuses = self.statuses()
+        meta = self.run_meta()
+        return {
+            "run_id": self.run_id,
+            "grid": meta.get("grid", "?"),
+            "scale": meta.get("scale", "?"),
+            "created": meta.get("created", "?"),
+            "cells": len(statuses),
+            "done": sum(1 for s in statuses.values() if s == STATUS_DONE),
+            "quarantined": sum(
+                1 for s in statuses.values() if s == STATUS_QUARANTINED
+            ),
+            "pending": sum(1 for s in statuses.values() if s == "pending"),
+        }
+
+    def failure_summary(self) -> str:
+        """Human-readable report of every non-done cell's attempt history."""
+        lines = []
+        statuses = self.statuses()
+        for cell_id, status in statuses.items():
+            if status == STATUS_DONE:
+                continue
+            record = self.cell_record(cell_id)
+            lines.append(f"{cell_id}: {status}")
+            for attempt in (record.attempts if record else []) or []:
+                error = attempt.get("error", "").strip().splitlines()
+                detail = f" -- {error[-1]}" if error else ""
+                lines.append(
+                    f"  attempt {attempt.get('index')}: "
+                    f"{attempt.get('outcome')} "
+                    f"({attempt.get('duration_s', 0):.2f}s){detail}"
+                )
+        if not lines:
+            return "all cells complete"
+        return "\n".join(lines)
+
+
+def list_runs(root: str | Path | None = None) -> list[dict]:
+    """Summaries of every run under the root, newest directory first."""
+    base = runs_root(root)
+    if not base.is_dir():
+        return []
+    summaries = []
+    for entry in sorted(base.iterdir()):
+        if not (entry / "run.json").is_file():
+            continue
+        try:
+            summaries.append(RunManifest(entry).summary())
+        except ManifestError:
+            summaries.append(
+                {"run_id": entry.name, "grid": "?", "scale": "?",
+                 "created": "?", "cells": 0, "done": 0, "quarantined": 0,
+                 "pending": 0, "unreadable": True}
+            )
+    summaries.sort(key=lambda s: str(s.get("created", "")), reverse=True)
+    return summaries

@@ -1,0 +1,646 @@
+"""Crash-safe study orchestration: grids, resume, telemetry, chaos sweeps.
+
+This module is the conductor above :mod:`repro.core.study`: it maps the
+paper's experimental grid onto supervised worker-pool tasks, commits
+every finished ``(workload, direction)`` cell through the write-ahead run
+manifest, and reassembles the paper artifacts *from the manifest* -- so a
+run killed halfway resumes with ``repro study --resume <run-id>`` and
+produces tables bit-identical to an uninterrupted run, because both paths
+render from the same digest-verified payloads.
+
+Quarantined cells surface through the existing ``StudyCellError`` ->
+partial-table degradation path, now carrying the supervisor's full
+attempt history.
+
+:func:`run_chaos_sweep` closes the loop: seeded chaos cases (worker
+kills, freezes, spins, I/O errors, torn writes) over a micro-grid of
+probe cells, asserting that every injected fault is either retried to
+success or reported as a quarantined cell -- never a silently wrong
+result.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.core.experiments import EXPERIMENTS, SCALES, current_scale
+from repro.core.machines import STUDY_MACHINES
+from repro.core.runner.chaos import CHAOS_ENV
+from repro.core.runner.manifest import (
+    ManifestError,
+    RunManifest,
+    list_runs,
+    runs_root,
+)
+from repro.core.runner.supervisor import (
+    RetryPolicy,
+    SupervisedPool,
+    TaskOutcome,
+    WorkerBudget,
+)
+from repro.core.study import (
+    StudyCellError,
+    Workload,
+    characterize_decode,
+    characterize_encode,
+    default_jobs,
+)
+from repro.ioutil import atomic_write
+
+#: Environment variable for the per-cell wall-clock budget (seconds).
+CELL_BUDGET_ENV = "REPRO_CELL_BUDGET"
+DEFAULT_CELL_BUDGET_S = 1800.0
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One orchestrated cell of the grid: a (workload, direction) pair."""
+
+    direction: str  # "encode" | "decode"
+    width: int
+    height: int
+    n_vos: int = 1
+    n_layers: int = 1
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"{self.direction}-{self.width}x{self.height}"
+            f"-{self.n_vos}vo-{self.n_layers}l"
+        )
+
+    def workload(self, n_frames: int) -> Workload:
+        return Workload(
+            name=f"{self.width}x{self.height}-{self.n_vos}vo-{self.n_layers}l",
+            width=self.width,
+            height=self.height,
+            n_vos=self.n_vos,
+            n_layers=self.n_layers,
+            n_frames=n_frames,
+        )
+
+
+def _table_cells() -> tuple[CellSpec, ...]:
+    from repro.core.experiments import RESOLUTIONS
+
+    cells = []
+    for _, width, height in RESOLUTIONS:
+        for n_vos, n_layers in ((1, 1), (3, 1), (3, 2)):
+            for direction in ("encode", "decode"):
+                cells.append(CellSpec(direction, width, height, n_vos, n_layers))
+    return tuple(cells)
+
+
+def _full_cells() -> tuple[CellSpec, ...]:
+    from repro.core.experiments import HUGE_RESOLUTION
+
+    _, width, height = HUGE_RESOLUTION
+    return _table_cells() + (CellSpec("decode", width, height, 1, 1),)
+
+
+GRIDS: dict[str, tuple[CellSpec, ...]] = {
+    # Tables 2-8 plus Figures 3/4: the 12-cell core grid.
+    "tables": _table_cells(),
+    # The core grid plus Figure 2's "extremely large frames" decode point.
+    "full": _full_cells(),
+    # A minimal 2-cell grid for smoke tests and chaos drills.
+    "tiny": (
+        CellSpec("encode", 32, 32, 1, 1),
+        CellSpec("decode", 32, 32, 1, 1),
+    ),
+}
+
+#: Which paper artifacts each grid can regenerate from its cells.
+GRID_EXPERIMENTS: dict[str, tuple[str, ...]] = {
+    "tables": ("table1", "table2", "table3", "table4", "table5", "table6",
+               "table7", "table8", "fig3", "fig4"),
+    "full": tuple(sorted(EXPERIMENTS)),
+    "tiny": (),
+}
+
+
+def cell_budget_from_env() -> float:
+    raw = os.environ.get(CELL_BUDGET_ENV)
+    if raw is None:
+        return DEFAULT_CELL_BUDGET_S
+    try:
+        return float(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"{CELL_BUDGET_ENV} must be a number of seconds, got {raw!r}"
+        ) from error
+
+
+def execute_cell(cell_fields: dict, scale_name: str):
+    """Worker-side entry point: characterize one cell of the grid.
+
+    Module-level (picklable) by design.  Replay parallelism inside the
+    cell is pinned to 1 -- the orchestrator parallelizes across cells,
+    and nested pools would fight over the same cores.  The encoded
+    bitstreams are dropped from the returned payload: decode cells derive
+    their own inputs deterministically, and tables never read them.
+    """
+    cell = CellSpec(**cell_fields)
+    scale = SCALES[scale_name]
+    workload = cell.workload(scale.n_frames)
+    if cell.direction == "encode":
+        result = characterize_encode(
+            workload, STUDY_MACHINES, scale.sampling(), jobs=1
+        )
+    else:
+        result = characterize_decode(
+            workload, None, STUDY_MACHINES, scale.sampling(), jobs=1
+        )
+    result.encoded = []
+    return result
+
+
+# -- run orchestration -------------------------------------------------------
+
+
+@dataclass
+class StudyRunOutcome:
+    """What one ``run_study`` invocation left behind."""
+
+    manifest: RunManifest
+    statuses: dict[str, str]
+    telemetry: dict
+    resumed: bool = False
+    skipped_cells: list[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Every cell reached a terminal state (done or quarantined)."""
+        return all(status != "pending" for status in self.statuses.values())
+
+    @property
+    def all_done(self) -> bool:
+        return all(status == "done" for status in self.statuses.values())
+
+
+def _generate_run_id(grid: str, scale_name: str, root) -> str:
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    base = f"{stamp}-{grid}-{scale_name}"
+    run_id = base
+    counter = 1
+    while (root / run_id / "run.json").exists():
+        run_id = f"{base}.{counter}"
+        counter += 1
+    return run_id
+
+
+def _cell_telemetry(outcome: TaskOutcome) -> dict:
+    total = sum(a.duration_s for a in outcome.attempts)
+    final = outcome.attempts[-1].duration_s if outcome.attempts else 0.0
+    return {
+        "attempts": len(outcome.attempts),
+        "outcome": "done" if outcome.ok else "quarantined",
+        "total_s": round(total, 4),
+        "final_attempt_s": round(final, 4),
+        "retry_overhead_s": round(total - (final if outcome.ok else 0.0), 4),
+        "attempt_outcomes": [a.outcome for a in outcome.attempts],
+        "rss_peak_bytes": max(
+            (a.rss_peak_bytes for a in outcome.attempts), default=0
+        ),
+    }
+
+
+def _quarantine_loudly(manifest: RunManifest, cell_id: str, attempts) -> None:
+    """Quarantine a cell, degrading to pending-with-warning if even the
+    quarantine record cannot persist -- a resume re-executes the cell,
+    which is always sound; silently dropping the failure would not be."""
+    import sys
+
+    try:
+        manifest.quarantine_cell(cell_id, attempts)
+    except ManifestError as error:
+        print(
+            f"warning: {cell_id} could not be quarantined ({error}); "
+            f"left pending for resume",
+            file=sys.stderr,
+        )
+
+
+def run_study(
+    grid: str = "tables",
+    scale: str | None = None,
+    jobs: int | None = None,
+    runs_dir=None,
+    run_id: str | None = None,
+    resume: bool = False,
+    retry: RetryPolicy | None = None,
+    budget: WorkerBudget | None = None,
+) -> StudyRunOutcome:
+    """Run (or resume) one crash-safe study over a named grid.
+
+    Fresh runs record their grid and scale in ``run.json``; a resume
+    reuses the recorded values (ignoring the arguments) so the completed
+    run is always internally consistent -- the precondition for
+    bit-identical resume artifacts.
+    """
+    root = runs_root(runs_dir)
+    if resume:
+        if not run_id:
+            raise ValueError("resume requires a run id")
+        manifest = RunManifest.load(root, run_id)
+        meta = manifest.run_meta()
+        grid = meta["grid"]
+        scale_name = meta["scale"]
+    else:
+        scale_name = scale or current_scale().name
+        if scale_name not in SCALES:
+            raise ValueError(f"unknown scale {scale_name!r}")
+        if grid not in GRIDS:
+            raise ValueError(f"unknown grid {grid!r}; known: {sorted(GRIDS)}")
+        run_id = run_id or _generate_run_id(grid, scale_name, root)
+        manifest = RunManifest.create(
+            root, run_id, grid=grid, scale=scale_name,
+            cell_ids=[cell.cell_id for cell in GRIDS[grid]],
+        )
+    if grid not in GRIDS:
+        raise ManifestError(f"run {run_id!r} names unknown grid {grid!r}")
+    cells = {cell.cell_id: cell for cell in GRIDS[grid]}
+    todo = manifest.incomplete_cells()
+    skipped = [cell_id for cell_id in cells if cell_id not in todo]
+
+    telemetry_cells: dict[str, dict] = {
+        cell_id: {"attempts": 0, "outcome": "cached", "total_s": 0.0,
+                  "final_attempt_s": 0.0, "retry_overhead_s": 0.0,
+                  "attempt_outcomes": [], "rss_peak_bytes": 0}
+        for cell_id in skipped
+    }
+    wall_start = time.monotonic()
+    if todo:
+        pool = SupervisedPool(
+            max_workers=jobs if jobs is not None else default_jobs(),
+            budget=budget
+            if budget is not None
+            else WorkerBudget(wall_s=cell_budget_from_env(), heartbeat_s=30.0),
+            retry=retry if retry is not None else RetryPolicy(),
+        )
+        outcomes = pool.run(
+            [
+                (cell_id, execute_cell, (asdict(cells[cell_id]), scale_name))
+                for cell_id in todo
+            ]
+        )
+        for cell_id, outcome in outcomes.items():
+            attempts = [asdict(a) for a in outcome.attempts]
+            telemetry_cells[cell_id] = _cell_telemetry(outcome)
+            if not outcome.ok:
+                _quarantine_loudly(manifest, cell_id, attempts)
+                continue
+            payload = pickle.dumps(outcome.result, protocol=4)
+            try:
+                manifest.commit_cell(
+                    cell_id, payload,
+                    attempts=attempts,
+                    telemetry=telemetry_cells[cell_id],
+                )
+            except ManifestError as error:
+                attempts.append(
+                    {"index": len(attempts) + 1, "outcome": "persist-failure",
+                     "error": str(error), "duration_s": 0.0,
+                     "rss_peak_bytes": 0, "worker_pid": 0}
+                )
+                telemetry_cells[cell_id]["outcome"] = "quarantined"
+                _quarantine_loudly(manifest, cell_id, attempts)
+
+    statuses = manifest.statuses()
+    telemetry = {
+        "run_id": manifest.run_id,
+        "grid": grid,
+        "scale": scale_name,
+        "wall_s": round(time.monotonic() - wall_start, 4),
+        "cells": telemetry_cells,
+        "totals": {
+            "cells": len(statuses),
+            "done": sum(1 for s in statuses.values() if s == "done"),
+            "quarantined": sum(
+                1 for s in statuses.values() if s == "quarantined"
+            ),
+            "pending": sum(1 for s in statuses.values() if s == "pending"),
+            "attempts": sum(
+                cell["attempts"] for cell in telemetry_cells.values()
+            ),
+            "retry_overhead_s": round(
+                sum(
+                    cell["retry_overhead_s"]
+                    for cell in telemetry_cells.values()
+                ),
+                4,
+            ),
+        },
+    }
+    try:
+        manifest.write_telemetry(telemetry)
+    except OSError:
+        pass  # telemetry is advisory; the manifest records are the truth
+    return StudyRunOutcome(
+        manifest=manifest,
+        statuses=statuses,
+        telemetry=telemetry,
+        resumed=resume,
+        skipped_cells=skipped,
+    )
+
+
+# -- artifact assembly from the manifest -------------------------------------
+
+
+class ManifestRunner:
+    """Duck-types :class:`repro.core.experiments.StudyRunner` over a
+    manifest: experiments render from committed, digest-verified payloads.
+
+    A quarantined or missing cell raises :class:`StudyCellError` carrying
+    the recorded attempt history, so the experiment registry's existing
+    partial-table degradation applies unchanged.
+    """
+
+    def __init__(self, manifest: RunManifest) -> None:
+        self.manifest = manifest
+        self._cache: dict[str, object] = {}
+
+    def run(self, direction, width, height, n_vos, n_layers):
+        cell = CellSpec(direction, width, height, n_vos, n_layers)
+        cell_id = cell.cell_id
+        if cell_id not in self._cache:
+            try:
+                payload = self.manifest.load_cell_payload(cell_id)
+            except ManifestError as error:
+                record = self.manifest.cell_record(cell_id)
+                history = ""
+                if record is not None and record.attempts:
+                    history = "; ".join(
+                        f"attempt {a.get('index')}: {a.get('outcome')}"
+                        for a in record.attempts
+                    )
+                raise StudyCellError(
+                    cell.workload(1), direction,
+                    RuntimeError(
+                        f"{error}" + (f" [{history}]" if history else "")
+                    ),
+                ) from error
+            self._cache[cell_id] = pickle.loads(payload)
+        return self._cache[cell_id]
+
+    def encode(self, width, height, n_vos=1, n_layers=1):
+        return self.run("encode", width, height, n_vos, n_layers)
+
+    def decode(self, width, height, n_vos=1, n_layers=1):
+        return self.run("decode", width, height, n_vos, n_layers)
+
+
+def assemble_artifacts(
+    manifest: RunManifest, experiment_ids: tuple[str, ...] | None = None
+) -> dict:
+    """Render paper artifacts from a run's committed cells.
+
+    Artifacts land under ``<run>/artifacts/<id>.txt`` (atomic writes).
+    Returns ``{experiment_id: ExperimentResult}``; partial tables carry
+    their failure notes exactly as in the in-process pipeline.
+    """
+    meta = manifest.run_meta()
+    if experiment_ids is None:
+        experiment_ids = GRID_EXPERIMENTS.get(meta.get("grid", ""), ())
+    runner = ManifestRunner(manifest)
+    results = {}
+    for experiment_id in experiment_ids:
+        result = EXPERIMENTS[experiment_id](runner)
+        results[experiment_id] = result
+        atomic_write(
+            manifest.run_dir / "artifacts" / f"{experiment_id}.txt",
+            result.text + "\n",
+        )
+    return results
+
+
+# -- seeded chaos sweep ------------------------------------------------------
+
+
+def probe_cell(cell_index: int, seed: int) -> dict:
+    """A trivial, deterministic 'cell': its correct payload is computable
+    from its inputs alone, which is what lets the sweep detect a silently
+    wrong result (as opposed to a loud failure)."""
+    return {"cell": cell_index, "seed": seed, "value": (cell_index + 1) * 7919}
+
+
+def _expected_probe_payload(cell_index: int, seed: int) -> dict:
+    return probe_cell(cell_index, seed)
+
+
+@dataclass
+class ChaosCaseResult:
+    seed: int
+    statuses: dict[str, str]
+    violations: list[str] = field(default_factory=list)
+    #: Typed, surfaced failures (ManifestError at create/quarantine):
+    #: the runner said loudly that it could not proceed -- sound behavior
+    #: under fault injection, so not a contract violation.
+    loud_errors: list[str] = field(default_factory=list)
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class ChaosSweepReport:
+    profile: str
+    cases: list[ChaosCaseResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    @property
+    def violations(self) -> list[str]:
+        return [
+            f"seed {case.seed}: {violation}"
+            for case in self.cases
+            for violation in case.violations
+        ]
+
+    def summary(self) -> str:
+        done = sum(
+            1
+            for case in self.cases
+            for status in case.statuses.values()
+            if status == "done"
+        )
+        quarantined = sum(
+            1
+            for case in self.cases
+            for status in case.statuses.values()
+            if status == "quarantined"
+        )
+        attempts = sum(case.attempts for case in self.cases)
+        loud = sum(len(case.loud_errors) for case in self.cases)
+        lines = [
+            f"{len(self.cases)} chaos cases (profile={self.profile}): "
+            f"{done} cells done, {quarantined} quarantined, "
+            f"{attempts} attempts, {loud} loud persistence failures, "
+            f"{len(self.violations)} violations"
+        ]
+        lines.extend(f"  VIOLATION {line}" for line in self.violations)
+        return "\n".join(lines)
+
+
+def _run_chaos_case(
+    seed: int, profile: str, n_cells: int, root, retry, budget
+) -> ChaosCaseResult:
+    run_id = f"chaos-{seed}"
+    cell_ids = [f"probe-{index}" for index in range(n_cells)]
+    violations: list[str] = []
+    loud_errors: list[str] = []
+    statuses: dict[str, str] = {}
+    attempts_total = 0
+    previous = os.environ.get(CHAOS_ENV)
+    os.environ[CHAOS_ENV] = f"{seed}:{profile}"
+    try:
+        try:
+            manifest = RunManifest.create(
+                root, run_id, grid="chaos-probe", scale="n/a",
+                cell_ids=cell_ids,
+            )
+        except ManifestError as error:
+            # A typed, surfaced refusal before any work ran: nothing is
+            # silently wrong, so the case records a loud error, not a
+            # violation.
+            loud_errors.append(f"run creation failed loudly: {error}")
+            return ChaosCaseResult(
+                seed=seed, statuses={}, violations=[],
+                loud_errors=loud_errors,
+            )
+        pool = SupervisedPool(max_workers=2, budget=budget, retry=retry)
+        outcomes = pool.run(
+            [
+                (cell_ids[index], probe_cell, (index, seed))
+                for index in range(n_cells)
+            ]
+        )
+        unpersisted: set[str] = set()
+
+        def quarantine(cell_id: str, attempts: list[dict]) -> None:
+            try:
+                manifest.quarantine_cell(cell_id, attempts)
+            except ManifestError as error:
+                loud_errors.append(f"{cell_id}: {error}")
+                unpersisted.add(cell_id)
+
+        for index, cell_id in enumerate(cell_ids):
+            outcome = outcomes[cell_id]
+            attempts_total += len(outcome.attempts)
+            if outcome.ok:
+                payload = pickle.dumps(outcome.result, protocol=4)
+                try:
+                    manifest.commit_cell(
+                        cell_id, payload,
+                        attempts=[asdict(a) for a in outcome.attempts],
+                    )
+                except ManifestError:
+                    quarantine(cell_id, [asdict(a) for a in outcome.attempts])
+            else:
+                if not outcome.attempts:
+                    violations.append(
+                        f"{cell_id} quarantined with empty attempt history"
+                    )
+                quarantine(cell_id, [asdict(a) for a in outcome.attempts])
+        # -- invariants: every cell terminal, every payload correct --------
+        statuses = {
+            cell_id: status
+            for cell_id, status in manifest.statuses().items()
+        }
+        for index, cell_id in enumerate(cell_ids):
+            status = statuses.get(cell_id)
+            if status == "done":
+                payload = pickle.loads(manifest.load_cell_payload(cell_id))
+                if payload != _expected_probe_payload(index, seed):
+                    violations.append(
+                        f"{cell_id} committed a WRONG payload: {payload!r}"
+                    )
+            elif status != "quarantined" and cell_id not in unpersisted:
+                violations.append(
+                    f"{cell_id} ended non-terminal: {status!r}"
+                )
+        strays = list(manifest.run_dir.rglob("*.tmp"))
+        if strays:
+            violations.append(
+                f"temporary files leaked: {[s.name for s in strays]}"
+            )
+    except Exception as error:  # noqa: BLE001 -- the uncaught-crash invariant
+        violations.append(
+            f"uncaught {type(error).__name__} escaped the orchestration: "
+            f"{error}"
+        )
+    finally:
+        if previous is None:
+            os.environ.pop(CHAOS_ENV, None)
+        else:
+            os.environ[CHAOS_ENV] = previous
+    return ChaosCaseResult(
+        seed=seed, statuses=statuses, violations=violations,
+        loud_errors=loud_errors, attempts=attempts_total,
+    )
+
+
+def run_chaos_sweep(
+    n_cases: int = 100,
+    master_seed: int = 0,
+    profile: str = "heavy",
+    n_cells: int = 2,
+    runs_dir=None,
+) -> ChaosSweepReport:
+    """Seeded chaos sweep: every case replayable from its seed alone.
+
+    Each case arms ``REPRO_CHAOS`` with a distinct seed and pushes probe
+    cells through the real supervised pool and manifest.  The contract
+    checked is the runner's whole reason to exist: injected faults are
+    retried to success or reported as quarantined cells with history --
+    no uncaught crash, no non-terminal cell, no silently wrong payload,
+    no leaked temporary file.
+    """
+    retry = RetryPolicy(
+        max_attempts=3, base_delay_s=0.01, max_delay_s=0.05, jitter=0.25
+    )
+    budget = WorkerBudget(wall_s=0.5, heartbeat_s=0.6, hard_margin_s=0.2)
+    report = ChaosSweepReport(profile=profile)
+    keep_dir = runs_dir is not None
+    root = runs_dir if keep_dir else tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        from pathlib import Path
+
+        for case_index in range(n_cases):
+            report.cases.append(
+                _run_chaos_case(
+                    master_seed + case_index, profile, n_cells,
+                    Path(root), retry, budget,
+                )
+            )
+    finally:
+        if not keep_dir:
+            shutil.rmtree(root, ignore_errors=True)
+    return report
+
+
+__all__ = [
+    "CELL_BUDGET_ENV",
+    "CellSpec",
+    "ChaosSweepReport",
+    "GRIDS",
+    "GRID_EXPERIMENTS",
+    "ManifestRunner",
+    "StudyRunOutcome",
+    "assemble_artifacts",
+    "cell_budget_from_env",
+    "execute_cell",
+    "list_runs",
+    "run_chaos_sweep",
+    "run_study",
+]

@@ -1,0 +1,557 @@
+"""Supervised worker pool: the crash-safe replacement for bare executors.
+
+``ProcessPoolExecutor`` dies whole-study when one worker is OOM-killed,
+wedges forever when one hangs, and reports nothing about either.  The
+paper's measurement campaign is exactly the workload that punishes this:
+many long ``(workload x machine x direction)`` cells where one poisoned
+cell must not take down hours of finished work.  :class:`SupervisedPool`
+runs picklable tasks in dedicated worker processes under active
+supervision:
+
+- **heartbeats** -- each worker pumps a shared timestamp from a daemon
+  thread; a stale heartbeat means a frozen process (SIGSTOP, swap death),
+  which is killed and its task retried;
+- **watchdog budgets** -- per-task wall-clock (soft in-worker deadline
+  via :mod:`repro.core.runner.deadline`, hard kill from the supervisor)
+  and optional RSS ceilings read from ``/proc``;
+- **retry with exponential backoff + jitter** -- bounded attempts, seeded
+  jitter, fake-clock-testable scheduling (:class:`BackoffScheduler`);
+- **quarantine** -- a task that exhausts its attempts is reported with
+  its full attempt history instead of poisoning the pool; callers map
+  this onto the existing ``StudyCellError`` partial-table degradation.
+
+Workers draw chaos faults (see :mod:`repro.core.runner.chaos`) at the
+``runner.worker.cell`` injection point keyed by ``<task>/a<attempt>``,
+which is how the whole ladder is proven end-to-end in CI.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import random
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.runner.chaos import POINT_WORKER_CELL, strike_from_env
+from repro.core.runner.clock import REAL_CLOCK, Clock
+from repro.core.runner.deadline import BudgetExpired, time_budget
+
+__all__ = [
+    "BackoffScheduler",
+    "QuarantinedTaskError",
+    "RetryPolicy",
+    "SupervisedPool",
+    "TaskAttempt",
+    "TaskOutcome",
+    "WorkerBudget",
+]
+
+_SENTINEL = "__supervisor-shutdown__"
+
+#: Seconds of parent-side grace on top of the worker's soft deadline.
+_HARD_DEADLINE_MARGIN_S = 1.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with exponential backoff and seeded jitter."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.25  # +/- fraction of the raw delay
+
+    def delay_before_attempt(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before attempt ``attempt`` (the first retry is 2)."""
+        exponent = max(0, attempt - 2)
+        raw = min(self.base_delay_s * self.multiplier**exponent, self.max_delay_s)
+        if self.jitter <= 0:
+            return raw
+        return max(0.0, raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0)))
+
+
+@dataclass(frozen=True)
+class WorkerBudget:
+    """Per-attempt watchdog limits (None disables a given check).
+
+    ``wall_s`` arms both the in-worker soft deadline and, padded by 25%
+    plus ``hard_margin_s``, the supervisor's hard kill.
+    """
+
+    wall_s: float | None = None
+    heartbeat_s: float | None = 15.0
+    rss_bytes: int | None = None
+    hard_margin_s: float = _HARD_DEADLINE_MARGIN_S
+
+    def hard_deadline_s(self) -> float | None:
+        if self.wall_s is None:
+            return None
+        return self.wall_s * 1.25 + self.hard_margin_s
+
+
+@dataclass
+class TaskAttempt:
+    """What one execution attempt did; quarantine reports carry these."""
+
+    index: int
+    outcome: str  # "ok" | "error" | "timeout" | "worker-death" | "stalled" | "rss"
+    error: str = ""
+    duration_s: float = 0.0
+    rss_peak_bytes: int = 0
+    worker_pid: int = 0
+
+    def describe(self) -> str:
+        extra = f" -- {self.error}" if self.error else ""
+        return (
+            f"attempt {self.index}: {self.outcome} "
+            f"({self.duration_s:.2f}s, pid {self.worker_pid}){extra}"
+        )
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one task: a result, or quarantine with history."""
+
+    task_id: str
+    ok: bool
+    result: object = None
+    attempts: list[TaskAttempt] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> bool:
+        return not self.ok
+
+    def history(self) -> str:
+        return "; ".join(attempt.describe() for attempt in self.attempts)
+
+
+class QuarantinedTaskError(RuntimeError):
+    """A task exhausted its attempt budget; carries the full history."""
+
+    def __init__(self, outcome: TaskOutcome) -> None:
+        super().__init__(
+            f"task '{outcome.task_id}' quarantined after "
+            f"{len(outcome.attempts)} attempt(s): {outcome.history()}"
+        )
+        self.outcome = outcome
+
+
+class BackoffScheduler:
+    """Clock-driven retry queue: pure logic, fake-clock testable.
+
+    The pool owns one; tests drive it directly with a :class:`FakeClock`
+    so backoff schedules spanning minutes assert in microseconds without
+    a single real sleep.
+    """
+
+    def __init__(self, policy: RetryPolicy, clock: Clock, seed: int = 0) -> None:
+        self.policy = policy
+        self.clock = clock
+        self._rng = random.Random(seed)
+        self._delayed: list[tuple[float, int, str]] = []
+        self._sequence = 0
+        self.attempts: dict[str, int] = {}
+
+    def next_attempt(self, task_id: str) -> int:
+        """Attempt index the task's next execution will carry (1-based)."""
+        return self.attempts.get(task_id, 0) + 1
+
+    def record_start(self, task_id: str) -> int:
+        self.attempts[task_id] = self.next_attempt(task_id)
+        return self.attempts[task_id]
+
+    def schedule_retry(self, task_id: str) -> float | None:
+        """Queue a retry after backoff; None when attempts are exhausted."""
+        if self.attempts.get(task_id, 0) >= self.policy.max_attempts:
+            return None
+        delay = self.policy.delay_before_attempt(
+            self.next_attempt(task_id), self._rng
+        )
+        self._sequence += 1
+        heapq.heappush(
+            self._delayed, (self.clock.monotonic() + delay, self._sequence, task_id)
+        )
+        return delay
+
+    def pop_ready(self) -> list[str]:
+        """Tasks whose backoff has elapsed, in schedule order."""
+        now = self.clock.monotonic()
+        ready = []
+        while self._delayed and self._delayed[0][0] <= now:
+            ready.append(heapq.heappop(self._delayed)[2])
+        return ready
+
+    def seconds_until_ready(self) -> float | None:
+        """Delay until the earliest queued retry matures (None when empty)."""
+        if not self._delayed:
+            return None
+        return max(0.0, self._delayed[0][0] - self.clock.monotonic())
+
+    @property
+    def delayed_count(self) -> int:
+        return len(self._delayed)
+
+
+# -- worker process ----------------------------------------------------------
+
+
+def _heartbeat_pump(value, interval_s: float) -> None:
+    while True:
+        value.value = time.monotonic()
+        time.sleep(interval_s)
+
+
+def _worker_main(conn, heartbeat, initializer, initargs) -> None:
+    """Worker loop: receive one task at a time, execute, reply.
+
+    The heartbeat daemon thread keeps pumping even while the main thread
+    computes or sleeps; only a genuinely frozen process (SIGSTOP, kernel
+    stall) lets the timestamp go stale -- which is exactly the condition
+    the supervisor's heartbeat check exists to catch.
+    """
+    pump = threading.Thread(
+        target=_heartbeat_pump, args=(heartbeat, 0.05), daemon=True
+    )
+    pump.start()
+    if initializer is not None:
+        initializer(*initargs)
+    while True:
+        message = conn.recv()
+        if message == _SENTINEL:
+            return
+        task_id, attempt, fn, args, kwargs, wall_s, chaos_key = message
+        strike_from_env(POINT_WORKER_CELL, chaos_key)
+        start = time.monotonic()
+        try:
+            with time_budget(wall_s if wall_s is not None else 0.0):
+                result = fn(*args, **kwargs)
+        except BudgetExpired:
+            duration = time.monotonic() - start
+            conn.send(
+                (task_id, attempt, "timeout",
+                 f"soft deadline of {wall_s:.1f}s expired in worker", None, duration)
+            )
+            continue
+        except BaseException:
+            duration = time.monotonic() - start
+            conn.send(
+                (task_id, attempt, "error", traceback.format_exc(limit=20),
+                 None, duration)
+            )
+            continue
+        duration = time.monotonic() - start
+        try:
+            conn.send((task_id, attempt, "ok", "", result, duration))
+        except Exception:
+            # The result itself failed to pickle; report instead of dying.
+            conn.send(
+                (task_id, attempt, "error",
+                 f"result of {task_id!r} is not picklable:\n"
+                 + traceback.format_exc(limit=5),
+                 None, duration)
+            )
+
+
+def _read_rss_bytes(pid: int) -> int | None:
+    """Resident set size from /proc (None where that isn't available)."""
+    try:
+        with open(f"/proc/{pid}/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+class _Worker:
+    """Supervisor-side handle on one worker process."""
+
+    def __init__(self, context, initializer, initargs) -> None:
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.heartbeat = context.Value("d", time.monotonic())
+        self.process = context.Process(
+            target=_worker_main,
+            args=(child_conn, self.heartbeat, initializer, initargs),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.task_id: str | None = None
+        self.attempt = 0
+        self.started_at = 0.0
+        self.rss_peak = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.task_id is not None
+
+    def assign(self, task_id, attempt, fn, args, kwargs, wall_s, chaos_key) -> None:
+        self.task_id = task_id
+        self.attempt = attempt
+        self.started_at = time.monotonic()
+        self.rss_peak = 0
+        self.conn.send((task_id, attempt, fn, args, kwargs, wall_s, chaos_key))
+
+    def clear(self) -> None:
+        self.task_id = None
+        self.attempt = 0
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(_SENTINEL)
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class SupervisedPool:
+    """Run picklable tasks under heartbeat/watchdog/retry supervision.
+
+    ``clock`` paces only the supervisor's own waiting (poll sleeps); the
+    health checks compare worker-produced ``time.monotonic()`` heartbeats
+    and so always use real time.  Inject a fake clock only into
+    :class:`BackoffScheduler` unit tests, not a live pool.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        *,
+        budget: WorkerBudget | None = None,
+        retry: RetryPolicy | None = None,
+        clock: Clock = REAL_CLOCK,
+        initializer=None,
+        initargs: tuple = (),
+        poll_interval_s: float = 0.02,
+        backoff_seed: int = 0,
+        mp_context: str | None = None,
+    ) -> None:
+        self.max_workers = max(1, max_workers)
+        self.budget = budget if budget is not None else WorkerBudget()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.clock = clock
+        self.initializer = initializer
+        self.initargs = initargs
+        self.poll_interval_s = poll_interval_s
+        self.backoff_seed = backoff_seed
+        method = mp_context or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        self._context = multiprocessing.get_context(method)
+
+    # -- supervision loop ---------------------------------------------------
+
+    def run(self, tasks) -> dict[str, TaskOutcome]:
+        """Execute ``tasks`` -- an iterable of ``(task_id, fn, args)`` or
+        ``(task_id, fn, args, kwargs)`` -- returning outcomes in task order.
+
+        Never raises for task failures: a task that exhausts its attempts
+        yields a quarantined :class:`TaskOutcome` carrying every attempt.
+        """
+        specs: dict[str, tuple] = {}
+        for entry in tasks:
+            task_id, fn, args = entry[0], entry[1], entry[2]
+            kwargs = entry[3] if len(entry) > 3 else {}
+            if task_id in specs:
+                raise ValueError(f"duplicate task id {task_id!r}")
+            specs[task_id] = (fn, tuple(args), dict(kwargs))
+        outcomes: dict[str, TaskOutcome | None] = {tid: None for tid in specs}
+        if not specs:
+            return {}
+        attempts: dict[str, list[TaskAttempt]] = {tid: [] for tid in specs}
+        scheduler = BackoffScheduler(self.retry, self.clock, self.backoff_seed)
+        pending = deque(specs)
+        workers = [
+            self._spawn() for _ in range(min(self.max_workers, len(specs)))
+        ]
+        try:
+            while any(outcome is None for outcome in outcomes.values()):
+                pending.extend(scheduler.pop_ready())
+                self._dispatch(workers, pending, specs, scheduler)
+                progressed = self._collect_results(
+                    workers, outcomes, attempts, scheduler, pending
+                )
+                progressed |= self._police_health(
+                    workers, outcomes, attempts, scheduler, pending
+                )
+                if not progressed and any(
+                    outcome is None for outcome in outcomes.values()
+                ):
+                    self.clock.sleep(self._idle_wait(scheduler))
+        finally:
+            for worker in workers:
+                worker.shutdown()
+        return {tid: outcomes[tid] for tid in specs}
+
+    def results_or_raise(self, tasks) -> dict[str, object]:
+        """Like :meth:`run` but unwraps results, raising on any quarantine."""
+        outcomes = self.run(tasks)
+        for outcome in outcomes.values():
+            if outcome.quarantined:
+                raise QuarantinedTaskError(outcome)
+        return {tid: outcome.result for tid, outcome in outcomes.items()}
+
+    # -- internals ----------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        return _Worker(self._context, self.initializer, self.initargs)
+
+    def _idle_wait(self, scheduler: BackoffScheduler) -> float:
+        wait = self.poll_interval_s
+        until_retry = scheduler.seconds_until_ready()
+        if until_retry is not None:
+            wait = min(wait, max(until_retry, 0.001))
+        return wait
+
+    def _dispatch(self, workers, pending, specs, scheduler) -> None:
+        for index, worker in enumerate(workers):
+            if not pending:
+                return
+            if worker.busy:
+                continue
+            if not worker.process.is_alive():
+                workers[index] = worker = self._replace(worker)
+            task_id = pending.popleft()
+            fn, args, kwargs = specs[task_id]
+            attempt = scheduler.record_start(task_id)
+            worker.assign(
+                task_id, attempt, fn, args, kwargs,
+                self.budget.wall_s, f"{task_id}/a{attempt}",
+            )
+
+    def _replace(self, worker: _Worker) -> _Worker:
+        worker.kill()
+        return self._spawn()
+
+    def _collect_results(
+        self, workers, outcomes, attempts, scheduler, pending
+    ) -> bool:
+        progressed = False
+        for worker in workers:
+            if not worker.busy:
+                continue
+            try:
+                if not worker.conn.poll(0):
+                    continue
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                continue  # the death is handled by _police_health
+            task_id, attempt, status, error, result, duration = message
+            progressed = True
+            record = TaskAttempt(
+                index=attempt,
+                outcome=status,
+                error=error if status != "ok" else "",
+                duration_s=duration,
+                rss_peak_bytes=worker.rss_peak,
+                worker_pid=worker.process.pid or 0,
+            )
+            attempts[task_id].append(record)
+            worker.clear()
+            if status == "ok":
+                outcomes[task_id] = TaskOutcome(
+                    task_id, True, result, attempts[task_id]
+                )
+            else:
+                self._retry_or_quarantine(
+                    task_id, outcomes, attempts, scheduler, pending
+                )
+        return progressed
+
+    def _police_health(
+        self, workers, outcomes, attempts, scheduler, pending
+    ) -> bool:
+        progressed = False
+        now = time.monotonic()
+        hard_deadline = self.budget.hard_deadline_s()
+        for index, worker in enumerate(workers):
+            if not worker.busy:
+                if worker.process.exitcode is not None:
+                    workers[index] = self._replace(worker)
+                continue
+            verdict = None
+            if worker.process.exitcode is not None:
+                verdict = (
+                    "worker-death",
+                    f"worker pid {worker.process.pid} exited "
+                    f"{worker.process.exitcode} mid-task",
+                )
+            elif (
+                hard_deadline is not None
+                and now - worker.started_at > hard_deadline
+            ):
+                verdict = (
+                    "timeout",
+                    f"hard wall-clock deadline ({hard_deadline:.1f}s) "
+                    f"exceeded; worker killed",
+                )
+            elif (
+                self.budget.heartbeat_s is not None
+                and now - worker.heartbeat.value > self.budget.heartbeat_s
+            ):
+                verdict = (
+                    "stalled",
+                    f"no heartbeat for {now - worker.heartbeat.value:.1f}s "
+                    f"(budget {self.budget.heartbeat_s:.1f}s); worker killed",
+                )
+            elif self.budget.rss_bytes is not None:
+                rss = _read_rss_bytes(worker.process.pid)
+                if rss is not None:
+                    worker.rss_peak = max(worker.rss_peak, rss)
+                    if rss > self.budget.rss_bytes:
+                        verdict = (
+                            "rss",
+                            f"RSS {rss} bytes over budget "
+                            f"{self.budget.rss_bytes}; worker killed",
+                        )
+            if verdict is None:
+                continue
+            progressed = True
+            outcome_kind, detail = verdict
+            task_id = worker.task_id
+            attempts[task_id].append(
+                TaskAttempt(
+                    index=worker.attempt,
+                    outcome=outcome_kind,
+                    error=detail,
+                    duration_s=now - worker.started_at,
+                    rss_peak_bytes=worker.rss_peak,
+                    worker_pid=worker.process.pid or 0,
+                )
+            )
+            workers[index] = self._replace(worker)
+            self._retry_or_quarantine(
+                task_id, outcomes, attempts, scheduler, pending
+            )
+        return progressed
+
+    def _retry_or_quarantine(
+        self, task_id, outcomes, attempts, scheduler, pending
+    ) -> None:
+        if scheduler.schedule_retry(task_id) is None:
+            outcomes[task_id] = TaskOutcome(
+                task_id, False, None, attempts[task_id]
+            )

@@ -27,7 +27,6 @@ arbitrary-shape VOs in their own (MB-aligned) bounding boxes.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +37,7 @@ from repro.codec.scalability import ScalableDecoder, ScalableEncoded, ScalableEn
 from repro.codec.types import CodecConfig
 from repro.core.machines import STUDY_MACHINES, MachineSpec
 from repro.core.metrics import MetricReport, compute_report
+from repro.core.runner.supervisor import RetryPolicy, SupervisedPool, WorkerBudget
 from repro.trace.persistence import (
     RecordedTrace,
     TraceCacheStore,
@@ -55,6 +55,23 @@ PAPER_FRAME_RATE = 30.0
 
 #: Environment variable setting the replay worker count (default 1).
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable for the per-replay wall-clock budget (seconds).
+REPLAY_BUDGET_ENV = "REPRO_REPLAY_BUDGET"
+DEFAULT_REPLAY_BUDGET_S = 900.0
+
+
+def replay_budget() -> float:
+    """Per-machine replay wall budget from ``REPRO_REPLAY_BUDGET``."""
+    raw = os.environ.get(REPLAY_BUDGET_ENV)
+    if raw is None:
+        return DEFAULT_REPLAY_BUDGET_S
+    try:
+        return float(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"{REPLAY_BUDGET_ENV} must be a number of seconds, got {raw!r}"
+        ) from error
 
 
 class StudyCellError(RuntimeError):
@@ -307,17 +324,34 @@ def replay_into_machines(
 
     Returns ``{machine.label: (total_counters, phase_counters)}`` in the
     order of ``machines``.  With ``jobs > 1`` the per-machine replays run
-    in a process pool; ordering and results are identical either way
-    because each replay is an isolated deterministic simulation.
+    under a :class:`~repro.core.runner.supervisor.SupervisedPool` --
+    heartbeat-monitored workers with a wall-clock watchdog
+    (``REPRO_REPLAY_BUDGET``), one retry for transient deaths, and a
+    :class:`~repro.core.runner.supervisor.QuarantinedTaskError` (carrying
+    the attempt history) when a replay is unrecoverable, which the
+    cell-level retry ladder turns into a ``StudyCellError``.  Ordering
+    and results are identical at any parallelism level because each
+    replay is an isolated deterministic simulation.
     """
     jobs = default_jobs() if jobs is None else max(1, jobs)
     if jobs > 1 and len(machines) > 1:
-        with ProcessPoolExecutor(
+        pool = SupervisedPool(
             max_workers=min(jobs, len(machines)),
             initializer=_init_replay_worker,
             initargs=(batches,),
-        ) as pool:
-            outcomes = list(pool.map(_replay_one_machine, machines))
+            budget=WorkerBudget(wall_s=replay_budget(), heartbeat_s=30.0),
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.1, max_delay_s=1.0),
+        )
+        results = pool.results_or_raise(
+            [
+                (f"{index}:{machine.label}", _replay_one_machine, (machine,))
+                for index, machine in enumerate(machines)
+            ]
+        )
+        outcomes = [
+            results[f"{index}:{machine.label}"]
+            for index, machine in enumerate(machines)
+        ]
     else:
         _init_replay_worker(batches)
         outcomes = [_replay_one_machine(machine) for machine in machines]

@@ -43,6 +43,12 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.runner.chaos import (
+    POINT_TRACE_LOAD,
+    POINT_TRACE_STORE,
+    chaos_from_env,
+)
+from repro.ioutil import atomic_write
 from repro.memsim.events import AccessBatch
 
 FORMAT_VERSION = 1
@@ -145,6 +151,19 @@ def _file_digest(path: Path) -> str:
         for chunk in iter(lambda: handle.read(1 << 20), b""):
             digest.update(chunk)
     return digest.hexdigest()
+
+
+def _meta_self_digest(body: dict) -> str:
+    """Digest over the record's own fields (excluding the digest itself).
+
+    The payload digests protect trace.npz/streams.pkl, but a bit flip in
+    ``scale`` or ``footprint_bytes`` would otherwise still parse -- and
+    silently skew every metric replayed from the entry.
+    """
+    canonical = {k: v for k, v in body.items() if k != "self_digest"}
+    return hashlib.sha256(
+        json.dumps(canonical, sort_keys=True).encode()
+    ).hexdigest()
 
 
 @dataclass
@@ -259,7 +278,17 @@ class TraceCacheStore:
         if not entry.exists():
             return None
         try:
+            injector = chaos_from_env()
+            if injector is not None:
+                # Chaos: a transient read failure takes the same eviction
+                # path a real flaky filesystem would.
+                injector.maybe_io_error(POINT_TRACE_LOAD, key)
             meta = json.loads((entry / "meta.json").read_text())
+            recorded_self = meta.get("self_digest")
+            if recorded_self != _meta_self_digest(meta):
+                raise ValueError(
+                    f"meta.json self-digest mismatch (torn or corrupt record)"
+                )
             digests = meta["digests"]
             for name in _DIGESTED_FILES:
                 actual = _file_digest(entry / name)
@@ -293,25 +322,35 @@ class TraceCacheStore:
         self.root.mkdir(parents=True, exist_ok=True)
         staging = Path(tempfile.mkdtemp(dir=self.root, prefix=f".{key[:8]}-"))
         try:
+            injector = chaos_from_env()
+            if injector is not None:
+                injector.maybe_io_error(POINT_TRACE_STORE, key)
             capture = TraceCapture()
             capture.batches = recorded.batches
             capture.save(staging / "trace.npz")
             with open(staging / "streams.pkl", "wb") as handle:
                 pickle.dump(recorded.encoded, handle)
-            (staging / "meta.json").write_text(
-                json.dumps(
-                    {
-                        "scale": recorded.scale,
-                        "footprint_bytes": recorded.footprint_bytes,
-                        "n_batches": len(recorded.batches),
-                        "n_events": capture.n_events,
-                        "digests": {
-                            name: _file_digest(staging / name)
-                            for name in _DIGESTED_FILES
-                        },
-                    },
-                    indent=2,
-                )
+            # meta.json is the entry's commit record (it carries the
+            # payload digests), so it gets the atomic-write treatment and
+            # is the torn-write injection point for the cache: a mangled
+            # record fails to parse or fails its digests at load, evicts,
+            # and the cell re-records -- never a silently wrong replay.
+            body = {
+                "scale": recorded.scale,
+                "footprint_bytes": recorded.footprint_bytes,
+                "n_batches": len(recorded.batches),
+                "n_events": capture.n_events,
+                "digests": {
+                    name: _file_digest(staging / name)
+                    for name in _DIGESTED_FILES
+                },
+            }
+            body["self_digest"] = _meta_self_digest(body)
+            atomic_write(
+                staging / "meta.json",
+                json.dumps(body, indent=2),
+                chaos_point=POINT_TRACE_STORE,
+                chaos_key=f"{key}/meta",
             )
             os.replace(staging, entry)
         except OSError:

@@ -91,7 +91,39 @@ class TestDecodeCase:
         assert not result.ok
         assert time.monotonic() - started < 5
 
-    def test_budget_disarmed_off_main_thread(self, pristine):
+    def test_budget_armed_off_main_thread(self, pristine, monkeypatch):
+        # The shared deadline utility falls back to an async-exception
+        # timer off the main thread, so hang detection works from worker
+        # threads too (SIGALRM would be main-thread-only).
+        import threading
+
+        from repro.codec import decoder as decoder_module
+
+        def spin(self, data, tolerate_errors=False):
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                pass
+
+        monkeypatch.setattr(decoder_module.VopDecoder, "decode_sequence", spin)
+        results = []
+
+        def worker():
+            results.append(
+                decode_case(
+                    b"\x00",
+                    _Identity(seed=0, mutation="bitflip"),
+                    time_budget_s=0.2,
+                )
+            )
+
+        started = time.monotonic()
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert results[0].outcome == "hang"
+        assert time.monotonic() - started < 10
+
+    def test_pristine_decode_off_main_thread(self, pristine):
         import threading
 
         results = []

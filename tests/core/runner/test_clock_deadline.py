@@ -1,0 +1,108 @@
+"""The injectable clocks and the shared wall-clock budget utility."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.runner.clock import FakeClock, RealClock
+from repro.core.runner.deadline import BudgetExpired, time_budget
+
+
+class TestFakeClock:
+    def test_sleep_advances_instantly_and_records(self):
+        clock = FakeClock(start=100.0)
+        clock.sleep(5.0)
+        clock.sleep(0.25)
+        assert clock.monotonic() == 105.25
+        assert clock.sleeps == [5.0, 0.25]
+
+    def test_negative_sleep_clamps_to_zero(self):
+        clock = FakeClock()
+        clock.sleep(-3.0)
+        assert clock.monotonic() == 0.0
+        assert clock.sleeps == [0.0]
+
+    def test_advance_moves_time_without_a_sleep(self):
+        clock = FakeClock()
+        clock.advance(7.0)
+        assert clock.monotonic() == 7.0
+        assert clock.sleeps == []
+
+
+class TestRealClock:
+    def test_monotonic_tracks_time(self):
+        clock = RealClock()
+        first = clock.monotonic()
+        clock.sleep(0.01)
+        assert clock.monotonic() > first
+
+    def test_nonpositive_sleep_returns_immediately(self):
+        started = time.monotonic()
+        RealClock().sleep(-1.0)
+        assert time.monotonic() - started < 0.5
+
+
+class TestTimeBudget:
+    def test_nonpositive_budget_disarms(self):
+        with time_budget(0.0) as armed:
+            assert armed is False
+        with time_budget(-1.0) as armed:
+            assert armed is False
+
+    def test_expiry_on_main_thread(self):
+        started = time.monotonic()
+        try:
+            with time_budget(0.2) as armed:
+                assert armed
+                while True:
+                    time.sleep(0.01)
+        except BudgetExpired:
+            pass
+        else:  # pragma: no cover - the failure we guard against
+            raise AssertionError("budget never fired")
+        assert time.monotonic() - started < 5
+
+    def test_fast_body_is_untouched(self):
+        with time_budget(10.0) as armed:
+            assert armed
+            value = 1 + 1
+        assert value == 2
+
+    def test_expiry_off_main_thread(self):
+        # No SIGALRM here: the async-exception fallback must interrupt a
+        # pure-Python loop running in a worker thread.
+        outcomes = []
+
+        def worker():
+            try:
+                with time_budget(0.2) as armed:
+                    deadline = time.monotonic() + 30
+                    while time.monotonic() < deadline:
+                        pass
+                outcomes.append(("no-expiry", armed))
+            except BudgetExpired:
+                outcomes.append(("expired", True))
+
+        thread = threading.Thread(target=worker)
+        started = time.monotonic()
+        thread.start()
+        thread.join(timeout=20)
+        assert outcomes == [("expired", True)]
+        assert time.monotonic() - started < 15
+
+    def test_off_main_thread_fast_body_not_poisoned(self):
+        # A budget that never fires must not leave a pending async
+        # exception behind to detonate in later code.
+        outcomes = []
+
+        def worker():
+            with time_budget(30.0):
+                pass
+            time.sleep(0.05)
+            outcomes.append("clean")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=10)
+        assert outcomes == ["clean"]

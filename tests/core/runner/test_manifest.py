@@ -1,0 +1,190 @@
+"""The write-ahead run manifest: commit protocol, verification, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.runner.chaos import POINT_MANIFEST_CELL, ChaosInjector, PROFILES
+from repro.core.runner.manifest import (
+    ManifestError,
+    RunManifest,
+    list_runs,
+    runs_root,
+)
+
+_ATTEMPTS = [{"index": 1, "outcome": "ok", "duration_s": 0.1}]
+
+
+def _make(tmp_path, run_id="run-a", cells=("cell-1", "cell-2")):
+    return RunManifest.create(
+        tmp_path, run_id, grid="tables", scale="quick", cell_ids=list(cells)
+    )
+
+
+class TestRunsRoot:
+    def test_explicit_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS", "/elsewhere")
+        assert runs_root(tmp_path) == tmp_path
+
+    def test_env_then_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS", "/from-env")
+        assert str(runs_root()) == "/from-env"
+        monkeypatch.delenv("REPRO_RUNS")
+        assert str(runs_root()) == ".repro-runs"
+
+
+class TestCreateAndLoad:
+    def test_round_trip(self, tmp_path):
+        _make(tmp_path)
+        manifest = RunManifest.load(tmp_path, "run-a")
+        meta = manifest.run_meta()
+        assert meta["grid"] == "tables"
+        assert meta["scale"] == "quick"
+        assert meta["cells"] == ["cell-1", "cell-2"]
+        assert manifest.statuses() == {
+            "cell-1": "pending", "cell-2": "pending"
+        }
+
+    def test_create_refuses_to_clobber(self, tmp_path):
+        _make(tmp_path)
+        with pytest.raises(ManifestError, match="already exists"):
+            _make(tmp_path)
+
+    def test_load_missing_run_fails(self, tmp_path):
+        with pytest.raises(ManifestError, match="unreadable"):
+            RunManifest.load(tmp_path, "no-such-run")
+
+    def test_torn_run_record_detected_by_self_digest(self, tmp_path):
+        manifest = _make(tmp_path)
+        body = json.loads(manifest.run_file.read_text())
+        body["cells"][0] = "cell-X"  # a flipped byte in the cell list
+        manifest.run_file.write_text(json.dumps(body))
+        with pytest.raises(ManifestError, match="self-digest"):
+            RunManifest.load(tmp_path, "run-a")
+
+
+class TestCommitProtocol:
+    def test_commit_then_verified_load(self, tmp_path):
+        manifest = _make(tmp_path)
+        payload = b"the cell result bytes"
+        manifest.commit_cell("cell-1", payload, attempts=_ATTEMPTS)
+        assert manifest.load_cell_payload("cell-1") == payload
+        assert manifest.statuses()["cell-1"] == "done"
+        record = manifest.cell_record("cell-1")
+        assert record.attempts == _ATTEMPTS
+
+    def test_uncommitted_cell_has_no_payload(self, tmp_path):
+        manifest = _make(tmp_path)
+        with pytest.raises(ManifestError, match="no committed result"):
+            manifest.load_cell_payload("cell-1")
+
+    def test_torn_payload_reports_pending_not_done(self, tmp_path):
+        # The resume contract: a cell whose payload fails its digest must
+        # re-execute, exactly as if it never committed.
+        manifest = _make(tmp_path)
+        manifest.commit_cell("cell-1", b"good bytes", attempts=_ATTEMPTS)
+        (manifest.cells_dir / "cell-1.pkl").write_bytes(b"torn byt")
+        with pytest.raises(ManifestError, match="digest mismatch"):
+            manifest.load_cell_payload("cell-1")
+        assert manifest.statuses()["cell-1"] == "pending"
+        assert "cell-1" in manifest.incomplete_cells()
+
+    def test_quarantine_records_history(self, tmp_path):
+        manifest = _make(tmp_path)
+        attempts = [
+            {"index": 1, "outcome": "worker-death", "duration_s": 1.0,
+             "error": "exited -9"},
+            {"index": 2, "outcome": "timeout", "duration_s": 2.0,
+             "error": "deadline"},
+        ]
+        manifest.quarantine_cell("cell-2", attempts)
+        assert manifest.statuses()["cell-2"] == "quarantined"
+        summary = manifest.failure_summary()
+        assert "cell-2: quarantined" in summary
+        assert "worker-death" in summary and "timeout" in summary
+
+    def test_incomplete_cells_drive_resume(self, tmp_path):
+        manifest = _make(tmp_path, cells=("a", "b", "c"))
+        manifest.commit_cell("b", b"done", attempts=_ATTEMPTS)
+        manifest.quarantine_cell("c", _ATTEMPTS)
+        # Pending AND quarantined cells re-execute; done cells are skipped.
+        assert manifest.incomplete_cells() == ["a", "c"]
+
+    def test_commit_retries_through_transient_chaos(self, tmp_path, monkeypatch):
+        # Find a cell name whose first write attempt draws a fault but
+        # whose retries run clean -- commit must succeed and verify.
+        injector = ChaosInjector(5, PROFILES["io"])
+
+        def draws(cell_id):
+            return [
+                injector.fault_at(
+                    POINT_MANIFEST_CELL, f"{cell_id}/{part}/t{attempt}"
+                )
+                for attempt in (1, 2, 3)
+                for part in ("payload", "record")
+            ]
+
+        cell_id = next(
+            f"cell-{i}" for i in range(5000)
+            if draws(f"cell-{i}")[0] is not None
+            and all(fault is None for fault in draws(f"cell-{i}")[2:])
+        )
+        manifest = RunManifest.create(
+            tmp_path, "chaotic", grid="g", scale="s", cell_ids=[cell_id]
+        )
+        monkeypatch.setenv("REPRO_CHAOS", "5:io")
+        manifest.commit_cell(cell_id, b"payload bytes", attempts=_ATTEMPTS)
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert manifest.load_cell_payload(cell_id) == b"payload bytes"
+
+    def test_commit_exhaustion_raises_not_lies(self, tmp_path, monkeypatch):
+        # Every write attempt faulted: commit must raise, and the cell
+        # must still read as pending -- never as done with bad bytes.
+        injector = ChaosInjector(5, PROFILES["io"])
+
+        def all_faulted(cell_id, tries):
+            return all(
+                injector.fault_at(
+                    POINT_MANIFEST_CELL, f"{cell_id}/payload/t{attempt}"
+                )
+                is not None
+                for attempt in range(1, tries + 1)
+            )
+
+        cell_id = next(
+            f"cell-{i}" for i in range(100000) if all_faulted(f"cell-{i}", 2)
+        )
+        manifest = RunManifest.create(
+            tmp_path, "doomed", grid="g", scale="s", cell_ids=[cell_id]
+        )
+        monkeypatch.setenv("REPRO_CHAOS", "5:io")
+        with pytest.raises(ManifestError, match="failed to persist"):
+            manifest.commit_cell(
+                cell_id, b"payload", attempts=_ATTEMPTS, max_tries=2
+            )
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert manifest.statuses()[cell_id] == "pending"
+
+
+class TestListRuns:
+    def test_lists_and_sorts(self, tmp_path):
+        _make(tmp_path, run_id="run-a")
+        second = _make(tmp_path, run_id="run-b", cells=("x",))
+        second.commit_cell("x", b"p", attempts=_ATTEMPTS)
+        summaries = list_runs(tmp_path)
+        assert {s["run_id"] for s in summaries} == {"run-a", "run-b"}
+        by_id = {s["run_id"]: s for s in summaries}
+        assert by_id["run-b"]["done"] == 1
+        assert by_id["run-a"]["pending"] == 2
+
+    def test_empty_root(self, tmp_path):
+        assert list_runs(tmp_path / "nowhere") == []
+
+    def test_unreadable_run_is_reported_not_fatal(self, tmp_path):
+        manifest = _make(tmp_path)
+        manifest.run_file.write_text("{ torn json")
+        summaries = list_runs(tmp_path)
+        assert summaries[0]["run_id"] == "run-a"
+        assert summaries[0].get("unreadable") is True

@@ -1,0 +1,291 @@
+"""The orchestration layer: grids, resume, artifacts, telemetry, chaos.
+
+The fast tests drive the real pool + manifest over a stubbed probe grid;
+one integration test runs the genuine ``tiny`` grid end to end (the
+32x32 cells cost ~0.1s each at ``quick`` scale) and proves the headline
+contract: a chaos-killed run, resumed without chaos, produces payloads
+bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.experiments import EXPERIMENTS
+from repro.core.runner import orchestrator as orch
+from repro.core.runner.chaos import POINT_WORKER_CELL, ChaosInjector, PROFILES
+from repro.core.runner.manifest import RunManifest
+from repro.core.runner.orchestrator import (
+    CellSpec,
+    GRID_EXPERIMENTS,
+    GRIDS,
+    ManifestRunner,
+    assemble_artifacts,
+    cell_budget_from_env,
+    run_chaos_sweep,
+    run_study,
+)
+from repro.core.runner.supervisor import RetryPolicy, WorkerBudget
+from repro.core.study import StudyCellError
+
+
+class TestGrids:
+    def test_tables_grid_covers_both_resolutions_and_directions(self):
+        cells = GRIDS["tables"]
+        assert len(cells) == 12
+        assert {c.direction for c in cells} == {"encode", "decode"}
+        assert {(c.n_vos, c.n_layers) for c in cells} == {
+            (1, 1), (3, 1), (3, 2)
+        }
+
+    def test_full_grid_adds_the_huge_decode_point(self):
+        extra = set(GRIDS["full"]) - set(GRIDS["tables"])
+        assert len(extra) == 1
+        assert next(iter(extra)).direction == "decode"
+
+    def test_cell_ids_are_unique_per_grid(self):
+        for cells in GRIDS.values():
+            ids = [c.cell_id for c in cells]
+            assert len(ids) == len(set(ids))
+
+    def test_grid_experiments_are_registered(self):
+        for experiment_ids in GRID_EXPERIMENTS.values():
+            assert all(e in EXPERIMENTS for e in experiment_ids)
+
+
+class TestCellBudget:
+    def test_default_and_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CELL_BUDGET", raising=False)
+        assert cell_budget_from_env() == 1800.0
+        monkeypatch.setenv("REPRO_CELL_BUDGET", "42.5")
+        assert cell_budget_from_env() == 42.5
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_BUDGET", "forever")
+        with pytest.raises(ValueError, match="REPRO_CELL_BUDGET"):
+            cell_budget_from_env()
+
+
+def _probe_execute_cell(cell_fields: dict, scale_name: str) -> dict:
+    """A deterministic, instant stand-in for the real characterization."""
+    return {"cell": dict(cell_fields), "scale": scale_name, "token": 7919}
+
+
+_PROBE_GRID = (
+    CellSpec("encode", 8, 8, 1, 1),
+    CellSpec("decode", 8, 8, 1, 1),
+    CellSpec("encode", 8, 8, 3, 1),
+)
+
+
+@pytest.fixture
+def probe_grid(monkeypatch):
+    monkeypatch.setitem(GRIDS, "probe", _PROBE_GRID)
+    monkeypatch.setitem(GRID_EXPERIMENTS, "probe", ())
+    monkeypatch.setattr(orch, "execute_cell", _probe_execute_cell)
+    return "probe"
+
+
+class TestRunStudy:
+    def test_fresh_run_commits_every_cell(self, tmp_path, probe_grid):
+        outcome = run_study(
+            grid=probe_grid, scale="quick", jobs=2, runs_dir=tmp_path,
+            run_id="fresh",
+        )
+        assert outcome.complete and outcome.all_done
+        assert not outcome.resumed and outcome.skipped_cells == []
+        for cell in _PROBE_GRID:
+            payload = pickle.loads(
+                outcome.manifest.load_cell_payload(cell.cell_id)
+            )
+            assert payload["token"] == 7919
+        totals = outcome.telemetry["totals"]
+        assert totals["done"] == 3 and totals["attempts"] == 3
+        assert (outcome.manifest.run_dir / "telemetry.json").exists()
+
+    def test_resume_skips_completed_cells(self, tmp_path, probe_grid):
+        run_study(
+            grid=probe_grid, scale="quick", jobs=1, runs_dir=tmp_path,
+            run_id="r",
+        )
+        before = {
+            cell.cell_id: (tmp_path / "r" / "cells" / f"{cell.cell_id}.pkl"
+                           ).read_bytes()
+            for cell in _PROBE_GRID
+        }
+        resumed = run_study(runs_dir=tmp_path, run_id="r", resume=True)
+        assert resumed.resumed
+        assert sorted(resumed.skipped_cells) == sorted(
+            cell.cell_id for cell in _PROBE_GRID
+        )
+        assert resumed.telemetry["totals"]["attempts"] == 0
+        after = {
+            cell_id: (tmp_path / "r" / "cells" / f"{cell_id}.pkl").read_bytes()
+            for cell_id in before
+        }
+        assert after == before  # completed cells were not re-executed
+
+    def test_resume_reexecutes_torn_cells(self, tmp_path, probe_grid):
+        run_study(
+            grid=probe_grid, scale="quick", jobs=1, runs_dir=tmp_path,
+            run_id="torn",
+        )
+        victim = _PROBE_GRID[0].cell_id
+        (tmp_path / "torn" / "cells" / f"{victim}.pkl").write_bytes(b"torn")
+        resumed = run_study(runs_dir=tmp_path, run_id="torn", resume=True)
+        assert resumed.complete and resumed.all_done
+        assert victim not in resumed.skipped_cells
+        assert len(resumed.skipped_cells) == len(_PROBE_GRID) - 1
+        payload = pickle.loads(
+            resumed.manifest.load_cell_payload(victim)
+        )
+        assert payload["token"] == 7919
+
+    def test_resume_requires_run_id(self, tmp_path):
+        with pytest.raises(ValueError, match="resume requires"):
+            run_study(runs_dir=tmp_path, resume=True)
+
+    def test_unknown_grid_and_scale_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown grid"):
+            run_study(grid="nope", scale="quick", runs_dir=tmp_path)
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_study(grid="tiny", scale="warp", runs_dir=tmp_path)
+
+
+class TestManifestRunner:
+    def test_renders_from_committed_payload(self, tmp_path):
+        manifest = RunManifest.create(
+            tmp_path, "r", grid="g", scale="s",
+            cell_ids=["encode-32x32-1vo-1l"],
+        )
+        manifest.commit_cell(
+            "encode-32x32-1vo-1l",
+            pickle.dumps({"fake": "result"}),
+            attempts=[{"index": 1, "outcome": "ok"}],
+        )
+        runner = ManifestRunner(manifest)
+        assert runner.encode(32, 32) == {"fake": "result"}
+        assert runner.run("encode", 32, 32, 1, 1) == {"fake": "result"}
+
+    def test_quarantined_cell_raises_study_cell_error_with_history(
+        self, tmp_path
+    ):
+        manifest = RunManifest.create(
+            tmp_path, "r", grid="g", scale="s",
+            cell_ids=["decode-32x32-1vo-1l"],
+        )
+        manifest.quarantine_cell(
+            "decode-32x32-1vo-1l",
+            [{"index": 1, "outcome": "worker-death"},
+             {"index": 2, "outcome": "timeout"}],
+        )
+        runner = ManifestRunner(manifest)
+        with pytest.raises(StudyCellError) as excinfo:
+            runner.decode(32, 32)
+        message = str(excinfo.value)
+        assert "worker-death" in message and "timeout" in message
+
+
+class TestChaosSweep:
+    def test_seeded_sweep_holds_the_contract(self, tmp_path):
+        report = run_chaos_sweep(
+            n_cases=20, master_seed=0, profile="heavy", n_cells=2,
+            runs_dir=tmp_path,
+        )
+        assert len(report.cases) == 20
+        assert report.ok, report.summary()
+        terminal = [
+            status
+            for case in report.cases
+            for status in case.statuses.values()
+        ]
+        assert terminal and set(terminal) <= {"done", "quarantined"}
+        # Heavy chaos must actually have bitten: retries happened.
+        assert sum(case.attempts for case in report.cases) > 2 * 20
+
+    def test_sweep_is_replayable_per_seed(self, tmp_path):
+        kwargs = dict(n_cases=4, master_seed=3, profile="kills", n_cells=2)
+        first = run_chaos_sweep(**kwargs)
+        second = run_chaos_sweep(**kwargs)
+        assert [c.statuses for c in first.cases] == [
+            c.statuses for c in second.cases
+        ]
+        assert [c.attempts for c in first.cases] == [
+            c.attempts for c in second.cases
+        ]
+
+
+def _seed_that_kills_first_attempt(cell_id: str) -> int:
+    for seed in range(200):
+        injector = ChaosInjector(seed, PROFILES["kills"])
+        if injector.fault_at(POINT_WORKER_CELL, f"{cell_id}/a1") == "kill":
+            return seed
+    raise AssertionError("no killing seed in range")
+
+
+class TestTinyGridIntegration:
+    """The acceptance contract on the real pipeline: a chaos-killed run,
+    resumed cleanly, is bit-identical to an uninterrupted run."""
+
+    def test_killed_run_resumes_bit_identical(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        clean = run_study(
+            grid="tiny", scale="quick", jobs=1, runs_dir=tmp_path,
+            run_id="clean",
+        )
+        assert clean.all_done
+
+        # Interrupted run: the encode cell's only attempt is chaos-killed.
+        victim = "encode-32x32-1vo-1l"
+        seed = _seed_that_kills_first_attempt(victim)
+        monkeypatch.setenv("REPRO_CHAOS", f"{seed}:kills")
+        interrupted = run_study(
+            grid="tiny", scale="quick", jobs=1, runs_dir=tmp_path,
+            run_id="interrupted",
+            retry=RetryPolicy(max_attempts=1),
+            budget=WorkerBudget(wall_s=60.0, heartbeat_s=10.0),
+        )
+        assert interrupted.statuses[victim] == "quarantined"
+        record = interrupted.manifest.cell_record(victim)
+        assert record.attempts[0]["outcome"] == "worker-death"
+
+        # Resume without chaos: only unfinished cells re-execute, and the
+        # completed run matches the clean one byte for byte.
+        monkeypatch.delenv("REPRO_CHAOS")
+        resumed = run_study(runs_dir=tmp_path, run_id="interrupted",
+                            resume=True)
+        assert resumed.all_done
+        assert victim not in resumed.skipped_cells
+        for cell in GRIDS["tiny"]:
+            clean_bytes = clean.manifest.load_cell_payload(cell.cell_id)
+            resumed_bytes = resumed.manifest.load_cell_payload(cell.cell_id)
+            assert clean_bytes == resumed_bytes, cell.cell_id
+
+
+class TestAssembleArtifacts:
+    def test_artifacts_render_from_manifest(self, tmp_path, probe_grid,
+                                            monkeypatch):
+        outcome = run_study(
+            grid=probe_grid, scale="quick", jobs=1, runs_dir=tmp_path,
+            run_id="art",
+        )
+
+        def fake_experiment(runner):
+            from repro.core.experiments import ExperimentResult
+
+            payload = runner.run("encode", 8, 8, 1, 1)
+            return ExperimentResult(
+                "probe-exp", f"token={payload['token']}"
+            )
+
+        monkeypatch.setitem(EXPERIMENTS, "probe-exp", fake_experiment)
+        results = assemble_artifacts(
+            outcome.manifest, experiment_ids=("probe-exp",)
+        )
+        assert set(results) == {"probe-exp"}
+        rendered = (
+            outcome.manifest.run_dir / "artifacts" / "probe-exp.txt"
+        ).read_text()
+        assert rendered == "token=7919\n"
