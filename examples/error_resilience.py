@@ -1,54 +1,129 @@
 #!/usr/bin/env python3
-"""Error resilience: video packets, corruption recovery, concealment.
+"""Error resilience: streaming a bitstream over a lossy burst channel.
 
 MPEG-4 targets "mobile multimedia" (paper Section 1), where bitstreams
-arrive damaged.  This example codes a sequence with one video packet per
-macroblock row, smashes bytes in the middle of the stream, and decodes it
-in error-tolerant mode: the decoder re-synchronizes at the next marker and
-conceals lost rows from the reference frame.
+arrive damaged.  This example encodes the same sequence twice -- once
+plain, once with the full resilience ladder (resync markers, data
+partitioning, reversible VLC) -- then pushes both through a seeded 5%
+Gilbert-Elliott burst-loss channel.  The resilient stream additionally
+rides XOR-parity FEC with packet interleaving, so single losses per
+parity group are repaired before the decoder ever sees them; residual
+losses are confined to individual video packets by the resync markers.
+
+A second act corrupts texture bytes in place (the cellular-radio bit
+-error case) to show the partitioned syntax at work: the motion marker
+keeps motion vectors intact and the reversible VLC salvages coefficient
+blocks backward from the far end of the damaged partition.
 
 Run:  python examples/error_resilience.py
 """
 
 from repro.codec import CodecConfig, VopDecoder, VopEncoder
+from repro.transport import TransportConfig, transmit_stream
 from repro.video import SceneSpec, SyntheticScene, psnr
+
+WIDTH, HEIGHT, N_FRAMES = 176, 144, 6
+LOSS_RATE, CHANNEL_SEED = 0.05, 21
+
+
+def encode(frames, resilient: bool):
+    config = CodecConfig(
+        WIDTH, HEIGHT, qp=8, gop_size=6, m_distance=1,
+        resync_markers=resilient,
+        data_partitioning=resilient,
+        reversible_vlc=resilient,
+    )
+    return VopEncoder(config).encode_sequence(frames)
+
+
+def transmit(stream: bytes, resilient: bool):
+    config = TransportConfig(
+        max_payload=128,
+        loss_rate=LOSS_RATE,
+        seed=CHANNEL_SEED,
+        fec_group=4 if resilient else 0,
+        interleave_depth=4 if resilient else 1,
+    )
+    return transmit_stream(stream, config)
+
+
+def mean_luma_psnr(sources, outputs) -> float:
+    values = [psnr(src.y, out.y) for src, out in zip(sources, outputs)]
+    return sum(min(v, 99.0) for v in values) / len(values)
+
+
+def lossy_channel_act(frames) -> None:
+    print(f"[1] {N_FRAMES} frames at {WIDTH}x{HEIGHT} through a "
+          f"Gilbert-Elliott channel at {LOSS_RATE:.0%} loss "
+          f"(seed {CHANNEL_SEED})\n")
+    rows = []
+    for label, resilient in (("plain", False), ("dp+rvlc+fec", True)):
+        encoded = encode(frames, resilient)
+        result = transmit(encoded.data, resilient)
+        decoded = VopDecoder().decode_sequence(
+            result.stream, tolerate_errors=True
+        )
+        rows.append({
+            "label": label,
+            "bytes": len(encoded.data),
+            "sent": result.n_sent_packets,
+            "dropped": result.n_dropped,
+            "recovered": result.n_recovered,
+            "lost_packets": sum(v.lost_packets for v in decoded.vop_stats),
+            "psnr": mean_luma_psnr(frames, decoded.frames),
+        })
+
+    header = (f"{'config':<14}{'bytes':>8}{'pkts':>6}{'drop':>6}"
+              f"{'fec-fix':>9}{'vp-lost':>9}{'PSNR':>10}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['label']:<14}{row['bytes']:>8,}{row['sent']:>6}"
+              f"{row['dropped']:>6}{row['recovered']:>9}"
+              f"{row['lost_packets']:>9}{row['psnr']:>8.2f}dB")
+
+    plain, resilient = rows
+    print(f"\nplain: the burst takes out {plain['dropped']} packet(s) and the "
+          f"damage spreads until the next VOP startcode.")
+    print(f"resilient: FEC repaired {resilient['recovered']}/"
+          f"{resilient['dropped']} drop(s) before decoding; resync markers "
+          f"confined the rest to {resilient['lost_packets']} video "
+          f"packet(s), concealed from the reference frame.")
+    gain = resilient["psnr"] - plain["psnr"]
+    print(f"net effect at {LOSS_RATE:.0%} loss: {gain:+.2f} dB mean luma "
+          f"PSNR for {resilient['bytes'] - plain['bytes']:+,} bytes of "
+          f"overhead.")
+
+
+def bit_corruption_act(frames) -> None:
+    print(f"\n[2] same resilient stream with texture bytes zeroed in place "
+          f"(bit errors, not packet loss)\n")
+    encoded = encode(frames, resilient=True)
+    data = bytearray(encoded.data)
+    marker = bytes([0, 0, 1, 0xB8])  # the motion marker
+    markers = [
+        i for i in range(len(data) - 3) if data[i:i + 4] == marker
+    ]
+    for position in markers[1:4]:  # damage three texture partitions
+        for k in range(6, 9):
+            data[position + 4 + k] = 0
+    decoded = VopDecoder().decode_sequence(bytes(data), tolerate_errors=True)
+    concealed = sum(v.texture_concealed_mbs for v in decoded.vop_stats)
+    salvaged = sum(v.rvlc_salvaged_blocks for v in decoded.vop_stats)
+    print(f"zeroed 3 bytes inside 3 texture partitions: all "
+          f"{len(decoded.frames)} frames decoded, motion vectors survived.")
+    print(f"{concealed} macroblock(s) fell back to motion-compensated "
+          f"concealment; the reversible VLC salvaged {salvaged} coefficient "
+          f"block(s) by decoding backward from the end of each partition.")
+    print(f"mean luma PSNR after damage: "
+          f"{mean_luma_psnr(frames, decoded.frames):.2f} dB")
 
 
 def main() -> None:
-    width, height, n_frames = 176, 144, 6
-    scene = SyntheticScene(SceneSpec.default(width, height, n_objects=1))
-    frames = [scene.frame(i) for i in range(n_frames)]
-
-    config = CodecConfig(width, height, qp=8, gop_size=6, m_distance=1,
-                         resync_markers=True)
-    encoded = VopEncoder(config).encode_sequence(frames)
-    print(f"encoded {n_frames} frames with resync markers: "
-          f"{len(encoded.data):,} bytes")
-
-    # Vandalize a stretch of the stream.
-    broken = bytearray(encoded.data)
-    start = len(broken) // 2
-    for index in range(start, min(start + 40, len(broken))):
-        broken[index] = 0xA5 ^ (index & 0x5A)
-    print(f"corrupted 40 bytes at offset {start:,}")
-
-    decoder = VopDecoder()
-    decoded = decoder.decode_sequence(bytes(broken), tolerate_errors=True)
-    lost = sum(v.lost_packets for v in decoded.vop_stats)
-    total_packets = n_frames * (height // 16)
-    print(f"decoded all {len(decoded.frames)} frames; lost "
-          f"{lost}/{total_packets} video packets to the corruption")
-
-    print("\nper-frame luma PSNR vs the clean source:")
-    for index, (source, output) in enumerate(zip(frames, decoded.frames)):
-        marker = ""
-        stats = next(v for v in decoded.vop_stats if v.display_index == index)
-        if stats.lost_packets:
-            marker = f"   <- {stats.lost_packets} packet(s) concealed"
-        print(f"  frame {index}: {psnr(source.y, output.y):5.1f} dB{marker}")
-
-    print("\nwithout markers the same damage would cost the rest of the VOP;")
-    print("with them, loss is confined to the damaged packets.")
+    scene = SyntheticScene(SceneSpec.default(WIDTH, HEIGHT, n_objects=1))
+    frames = [scene.frame(i) for i in range(N_FRAMES)]
+    lossy_channel_act(frames)
+    bit_corruption_act(frames)
 
 
 if __name__ == "__main__":

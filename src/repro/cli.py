@@ -13,6 +13,7 @@ Regenerates paper artifacts from the shell:
    $ python -m repro study --grid tables    # crash-safe, resumable study
    $ python -m repro study --resume <id>    # finish a killed run
    $ python -m repro chaos --cases 100      # seeded fault-injection sweep
+   $ python -m repro resilience --smoke     # PSNR-vs-loss transport study
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (table1..table8, fig2..fig4), 'all', 'list', "
-            "'conformance', 'fuzz', 'study', or 'chaos'"
+            "'conformance', 'fuzz', 'study', 'chaos', or 'resilience'"
         ),
     )
     parser.add_argument(
@@ -89,6 +90,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core.runner.cli import chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "resilience":
+        from repro.transport.cli import resilience_main
+
+        return resilience_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine

@@ -22,6 +22,9 @@ USER_DATA_STARTCODE = 0xB2
 SEQUENCE_END_CODE = 0xB1
 #: Video-packet resync marker (error-resilience tool).
 RESYNC_STARTCODE = 0xB7
+#: Motion marker: separates the motion/DC partition from the texture
+#: partition inside one data-partitioned video packet.
+MOTION_MARKER_STARTCODE = 0xB8
 
 STARTCODE_PREFIX = (0x00, 0x00, 0x01)
 
@@ -79,6 +82,14 @@ class BitWriter:
             self._bytes.append(byte)
         self._bytes.append(suffix & 0xFF)
 
+    def extend(self, other: "BitWriter") -> None:
+        """Append every bit written to ``other`` (used to splice the
+        texture partition after the motion marker)."""
+        for byte in other._bytes:
+            self.write_bits(byte, 8)
+        if other._bit_count:
+            self.write_bits(other._bit_buffer, other._bit_count)
+
     def getvalue(self) -> bytes:
         """Finished byte string; flushes any partial byte with stuffing."""
         if self._bit_count:
@@ -105,6 +116,11 @@ class BitReader:
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._pos = 0  # bit position
+
+    @property
+    def data(self) -> bytes:
+        """The underlying byte string (shared with backward readers)."""
+        return self._data
 
     @property
     def bit_position(self) -> int:
@@ -194,6 +210,23 @@ class BitReader:
         self._pos = len(data) * 8
         return None
 
+    def find_startcode_prefix(self) -> int:
+        """Bit position of the next startcode prefix at or after the
+        current (rounded-up-to-byte) position, without consuming anything.
+
+        Returns the total bit length of the stream when no further prefix
+        exists.  Used by the data-partitioned decoder to bound the texture
+        partition before parsing it.
+        """
+        data = self._data
+        byte_pos = (self._pos + 7) // 8
+        end = len(data) - 2
+        while byte_pos < end:
+            if data[byte_pos] == 0 and data[byte_pos + 1] == 0 and data[byte_pos + 2] == 1:
+                return byte_pos * 8
+            byte_pos += 1
+        return len(data) * 8
+
     def at_startcode(self) -> bool:
         """True if the (aligned) position sits exactly on a startcode prefix."""
         if self._pos % 8:
@@ -206,3 +239,50 @@ class BitReader:
         if not 0 <= bit_position <= len(self._data) * 8:
             raise ValueError(f"bit position {bit_position} outside stream")
         self._pos = bit_position
+
+
+class ReverseBitReader:
+    """Reads bits backward through ``data[start_bit:end_bit)``.
+
+    The reversible-VLC salvage path decodes the tail of a damaged texture
+    partition from its end (the bit just before the next startcode's
+    stuffing) back toward the point where forward decoding failed.  The
+    ``start_bit`` bound keeps the backward parse from re-reading bits the
+    forward parse already consumed.
+    """
+
+    def __init__(self, data: bytes, start_bit: int, end_bit: int) -> None:
+        total = len(data) * 8
+        if not 0 <= start_bit <= end_bit <= total:
+            raise ValueError(
+                f"reverse window [{start_bit}, {end_bit}) outside stream of {total} bits"
+            )
+        self._data = data
+        self._start = start_bit
+        self._pos = end_bit  # next read returns the bit at _pos - 1
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._pos - self._start
+
+    def read_bit(self) -> int:
+        if self._pos <= self._start:
+            raise TruncatedStreamError(
+                "backward read crossed the partition start", bit_position=self._pos
+            )
+        self._pos -= 1
+        byte = self._data[self._pos >> 3]
+        return (byte >> (7 - (self._pos & 7))) & 1
+
+    def peek_bit(self) -> int:
+        """The bit a ``read_bit`` would return, without consuming it."""
+        if self._pos <= self._start:
+            raise TruncatedStreamError(
+                "backward peek crossed the partition start", bit_position=self._pos
+            )
+        byte = self._data[(self._pos - 1) >> 3]
+        return (byte >> (7 - ((self._pos - 1) & 7))) & 1

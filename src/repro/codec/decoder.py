@@ -20,12 +20,14 @@ import numpy as np
 
 from repro.codec import vlc
 from repro.codec.bitstream import (
+    MOTION_MARKER_STARTCODE,
     RESYNC_STARTCODE,
     SEQUENCE_END_CODE,
     VO_STARTCODE,
     VOL_STARTCODE,
     VOP_STARTCODE,
     BitReader,
+    ReverseBitReader,
 )
 from repro.codec.dct import inverse_dct
 from repro.codec.encoder import LUMA_BLOCK_OFFSETS
@@ -34,6 +36,7 @@ from repro.codec.errors import (
     DecodeBudgetExceededError,
     HeaderError,
     MalformedStreamError,
+    PartitionError,
 )
 from repro.codec.framestore import BORDER, FrameStore
 from repro.codec.motion import MotionVector, PredictionMode, ZERO_MV, compensate, median_mv
@@ -73,6 +76,35 @@ class DecodedSequence:
     vop_stats: list[VopStats] = field(default_factory=list)  # coded order
     width: int = 0
     height: int = 0
+    #: Whole frames repeated/blanked because their VOP never decoded.
+    concealed_frames: int = 0
+
+    @property
+    def concealment_events(self) -> int:
+        """Total concealment actions taken during the decode: concealed
+        frames, lost video packets, and texture-concealed macroblocks."""
+        return self.concealed_frames + sum(
+            stats.lost_packets + stats.texture_concealed_mbs
+            for stats in self.vop_stats
+        )
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no concealment of any kind happened."""
+        return self.concealment_events == 0
+
+
+@dataclass
+class _MbRecord:
+    """Partition-1 state for one macroblock of a data-partitioned packet."""
+
+    kind: str  # "skip" | "intra" | "inter" | "b"
+    cbp: int = 0
+    dcs: list[int] | None = None  # six resolved DC levels (intra)
+    mv: MotionVector = ZERO_MV  # inter (P)
+    mode: PredictionMode | None = None  # B prediction mode
+    mv_f: MotionVector | None = None
+    mv_b: MotionVector | None = None
 
 
 class VopDecoder:
@@ -150,11 +182,13 @@ class VopDecoder:
                 masks[vop_stats.display_index] = mask
             stats.append(vop_stats)
             coded_index += 1
+        concealed_frames = 0
         if len(frames) != n_frames:
             if not tolerate_errors:
                 raise MalformedStreamError(
                     f"expected {n_frames} VOPs, decoded {len(frames)}"
                 )
+            concealed_frames = n_frames - len(frames)
             self._conceal_missing_frames(frames, n_frames)
         return DecodedSequence(
             frames=[frames[i] for i in sorted(frames)],
@@ -162,6 +196,7 @@ class VopDecoder:
             vop_stats=stats,
             width=self.width,
             height=self.height,
+            concealed_frames=concealed_frames,
         )
 
     def _conceal_missing_frames(self, frames: dict, n_frames: int) -> None:
@@ -200,6 +235,17 @@ class VopDecoder:
         if self.quant_method not in (1, 2):
             raise HeaderError(f"invalid quant_method {self.quant_method}")
         self.resync_markers = bool(reader.read_bit())
+        self.data_partitioning = False
+        self.reversible_vlc = False
+        if self.resync_markers:
+            self.data_partitioning = bool(reader.read_bit())
+            self.reversible_vlc = bool(reader.read_bit())
+            if self.reversible_vlc and not self.data_partitioning:
+                raise HeaderError("reversible VLC requires data partitioning")
+            if self.data_partitioning and self.arbitrary_shape:
+                raise HeaderError(
+                    "data partitioning not supported with arbitrary shape"
+                )
         n_frames = reader.read_ue()
         if n_frames > MAX_VOPS:
             raise HeaderError(f"VOP count {n_frames} exceeds {MAX_VOPS}")
@@ -389,10 +435,16 @@ class VopDecoder:
                         dc_preds = self._make_dc_predictors(vop_type)
                 if self._rec is not None:
                     self._rec.begin_mb_row(row)
-                self._decode_mb_row(
-                    reader, vop_type, qp, mask, past, future, recon_store,
-                    vop_stats, dc_preds, mv_grid, row,
-                )
+                if self.data_partitioning:
+                    self._decode_row_partitioned(
+                        reader, vop_type, qp, past, future, recon_store,
+                        vop_stats, dc_preds, mv_grid, row,
+                    )
+                else:
+                    self._decode_mb_row(
+                        reader, vop_type, qp, mask, past, future, recon_store,
+                        vop_stats, dc_preds, mv_grid, row,
+                    )
             except Exception:
                 if not getattr(self, "_tolerate_errors", False):
                     raise
@@ -444,12 +496,350 @@ class VopDecoder:
                     pred_fwd, pred_bwd, vop_stats,
                 )
 
+    # -- data-partitioned packets ---------------------------------------------
+
+    def _decode_row_partitioned(
+        self, reader, vop_type, qp, past, future, recon_store,
+        vop_stats, dc_preds, mv_grid, row,
+    ) -> None:
+        """Decode one data-partitioned video packet (one macroblock row).
+
+        Partition 1 (headers, motion vectors, intra DCs) and the motion
+        marker must parse cleanly -- any damage there invalidates the
+        whole packet and propagates to the row-concealment handler.
+        Damage inside the texture partition is absorbed here in tolerant
+        mode: macroblocks keep their motion/DC reconstruction and only
+        the texture residual is dropped (or salvaged backward via RVLC).
+        """
+        records = self._parse_motion_partition(reader, vop_type, dc_preds, mv_grid, row)
+
+        marker_pos = reader.bit_position
+        suffix = reader.next_startcode()
+        if suffix != MOTION_MARKER_STARTCODE:
+            # Leave the reader where partition 1 ended so the resync scan
+            # does not skip over whatever startcode we just consumed.
+            reader.seek_bits(marker_pos)
+            raise PartitionError(
+                f"missing motion marker in row {row} packet",
+                bit_position=marker_pos,
+            )
+
+        tex_start = reader.bit_position
+        tex_end = reader.find_startcode_prefix()
+        coded = [
+            (col, index)
+            for col, record in enumerate(records)
+            for index in range(6)
+            if record.cbp & (1 << (5 - index))
+        ]
+        events_store: dict[tuple[int, int], list] = {}
+        forward_ends: list[int] = []
+        failed_at = None
+        for ci, key in enumerate(coded):
+            try:
+                events = self._read_texture_events(reader)
+                if reader.bit_position > tex_end:
+                    raise PartitionError(
+                        "texture events overran the partition",
+                        bit_position=reader.bit_position,
+                    )
+            except Exception:
+                if not getattr(self, "_tolerate_errors", False):
+                    raise
+                failed_at = ci
+                break
+            events_store[key] = events
+            forward_ends.append(reader.bit_position)
+
+        if failed_at is not None and self.reversible_vlc:
+            # Annex-E style two-pass arbitration: decode the whole
+            # texture partition backward from the (undamaged) resync end
+            # and anchor the recovered blocks to the tail of the coded
+            # list.  A corrupt stream can make the forward pass decode
+            # garbage as structurally valid events, so forward and
+            # backward claims are reconciled by *bit span*, not by the
+            # forward failure index: a forward block that consumed bits
+            # the backward pass assigns to a later block was misaligned
+            # and loses to the anchored backward decode.
+            salvaged = self._rvlc_salvage(reader.data, tex_start, tex_end)
+            applied_low = tex_end
+            for offset, (events, low_bit) in enumerate(salvaged):
+                ci = len(coded) - 1 - offset
+                if ci < 0:
+                    break
+                if ci < failed_at and forward_ends[ci] <= low_bit:
+                    # Both passes decoded disjoint bits yet claim the
+                    # same block index: the counts disagree, and deeper
+                    # backward blocks are even less trustworthy.
+                    break
+                col, _ = coded[ci]
+                capacity = 63 if records[col].kind == "intra" else 64
+                if not self._events_fit(events, capacity):
+                    continue
+                events_store[coded[ci]] = events
+                applied_low = min(applied_low, low_bit)
+                vop_stats.rvlc_salvaged_blocks += 1
+            # Discard forward blocks that overran into bits the backward
+            # pass assigned to salvaged blocks -- they were decoded out
+            # of alignment past the corruption point.
+            for ci in range(min(failed_at, len(forward_ends))):
+                if forward_ends[ci] > applied_low:
+                    events_store.pop(coded[ci], None)
+        if failed_at is not None:
+            reader.seek_bits(tex_end)
+
+        self._reconstruct_partitioned_row(
+            records, events_store, vop_type, qp, past, future,
+            recon_store, vop_stats, row,
+        )
+
+    def _parse_motion_partition(self, reader, vop_type, dc_preds, mv_grid, row):
+        """Partition 1: per-macroblock headers, motion vectors, intra DCs."""
+        mb_cols = self.width // MB_SIZE
+        records: list[_MbRecord] = []
+        pred_fwd = ZERO_MV
+        pred_bwd = ZERO_MV
+        for col in range(mb_cols):
+            if vop_type is VopType.I:
+                header = vlc.decode_macroblock_header(reader, inter_allowed=False)
+                if not header.is_intra:
+                    raise PartitionError(
+                        "inter macroblock header in an I-VOP partition",
+                        bit_position=reader.bit_position,
+                    )
+                dcs = self._read_partition_dcs(reader, dc_preds, row, col)
+                records.append(_MbRecord("intra", cbp=header.cbp, dcs=dcs))
+                continue
+            header = vlc.decode_macroblock_header(reader, inter_allowed=True)
+            if header.is_skipped:
+                records.append(_MbRecord("skip"))
+                mv_grid[row][col] = ZERO_MV
+                continue
+            if header.is_intra:
+                dcs = self._read_partition_dcs(reader, None, row, col)
+                records.append(_MbRecord("intra", cbp=header.cbp, dcs=dcs))
+                mv_grid[row][col] = ZERO_MV
+                continue
+            if vop_type is VopType.P:
+                predictor = self._mv_predictor(mv_grid, row, col, cross_row=False)
+                dx = vlc.decode_mv_component(reader)
+                dy = vlc.decode_mv_component(reader)
+                mv = MotionVector(predictor.dx + dx, predictor.dy + dy)
+                mv_grid[row][col] = mv
+                records.append(_MbRecord("inter", cbp=header.cbp, mv=mv))
+                continue
+            mode = PredictionMode(reader.read_bits(2))
+            mv_f = mv_b = None
+            if mode in (PredictionMode.FORWARD, PredictionMode.BIDIRECTIONAL):
+                dx = vlc.decode_mv_component(reader)
+                dy = vlc.decode_mv_component(reader)
+                mv_f = MotionVector(pred_fwd.dx + dx, pred_fwd.dy + dy)
+                pred_fwd = mv_f
+            if mode in (PredictionMode.BACKWARD, PredictionMode.BIDIRECTIONAL):
+                dx = vlc.decode_mv_component(reader)
+                dy = vlc.decode_mv_component(reader)
+                mv_b = MotionVector(pred_bwd.dx + dx, pred_bwd.dy + dy)
+                pred_bwd = mv_b
+            records.append(
+                _MbRecord("b", cbp=header.cbp, mode=mode, mv_f=mv_f, mv_b=mv_b)
+            )
+        return records
+
+    def _read_partition_dcs(self, reader, dc_preds, row, col) -> list[int]:
+        """Six DC levels of one intra macroblock, resolved via prediction.
+
+        AC prediction is disabled in partitioned streams (its lines live
+        in the texture partition), so only the DC gradients are stored.
+        """
+        dcs = []
+        for index in range(6):
+            dc_diff = reader.read_se()
+            grid = self._block_grid(dc_preds, index, row, col)
+            if grid is None:
+                predicted = DEFAULT_DC
+                predictor = None
+            else:
+                predictor, block_row, block_col = grid
+                predicted, _ = predictor.predict_with_direction(block_row, block_col)
+            dc = predicted + dc_diff
+            if predictor is not None:
+                predictor.store(block_row, block_col, dc)
+            dcs.append(dc)
+        return dcs
+
+    def _read_texture_events(self, reader) -> list[tuple[int, int, int]]:
+        """Run-level events for one texture block, in the stream's VLC."""
+        decode = (
+            vlc.decode_coefficient_event_rvlc
+            if self.reversible_vlc
+            else vlc.decode_coefficient_event
+        )
+        events = []
+        while True:
+            last, run, level = decode(reader)
+            events.append((last, run, level))
+            if last:
+                return events
+            if len(events) >= MAX_EVENTS_PER_BLOCK:
+                raise MalformedStreamError(
+                    "run-level events never terminated within one block",
+                    bit_position=reader.bit_position,
+                )
+
+    @staticmethod
+    def _rvlc_salvage(data: bytes, start_bit: int, end_bit: int):
+        """Backward-decode complete texture blocks from a damaged partition.
+
+        Returns ``(events, low_bit)`` pairs in tail-first order: the
+        first entry is the partition's final coded block (with the bit
+        position where its first event starts), the second the block
+        before it, and so on.  A block is only returned once its
+        LAST-flagged opening event (read backward) has been seen, so
+        partial tails are never reported.
+        """
+        try:
+            reader = ReverseBitReader(data, start_bit, end_bit)
+        except ValueError:
+            return []
+        # Strip the byte-align stuffing before the next startcode: the
+        # writer emits a 0 then 1s, so backward we consume 1s then one 0.
+        try:
+            while reader.bits_remaining and reader.peek_bit() == 1:
+                reader.read_bit()
+            if not reader.bits_remaining or reader.read_bit() != 0:
+                return []
+        except BitstreamError:
+            return []
+        blocks: list[tuple[list[tuple[int, int, int]], int]] = []
+        current: list[tuple[int, int, int]] | None = None
+        current_low = reader.bit_position
+        while True:
+            try:
+                last, run, level = vlc.decode_coefficient_event_rvlc_backward(reader)
+            except BitstreamError:
+                break
+            if last:
+                if current is not None:
+                    blocks.append((current[::-1], current_low))
+                current = [(last, run, level)]
+            else:
+                if current is None or len(current) >= MAX_EVENTS_PER_BLOCK:
+                    break
+                current.append((last, run, level))
+            current_low = reader.bit_position
+        return blocks
+
+    @staticmethod
+    def _events_fit(events, capacity: int) -> bool:
+        """True when an event list indexes a legal coefficient vector."""
+        total = 0
+        for last, run, level in events:
+            if run < 0 or level == 0:
+                return False
+            total += run + 1
+            if total > capacity:
+                return False
+        return bool(events)
+
+    def _texture_levels(self, events, length: int):
+        """Scanned coefficient vector for one block, or None when lost."""
+        if events is None:
+            return None
+        try:
+            return events_to_levels(events, length=length)
+        except (ValueError, IndexError) as error:
+            if not getattr(self, "_tolerate_errors", False):
+                raise MalformedStreamError(f"invalid texture events: {error}") from error
+            return None
+
+    def _reconstruct_partitioned_row(
+        self, records, events_store, vop_type, qp, past, future,
+        recon_store, vop_stats, row,
+    ) -> None:
+        """Rebuild one packet's macroblocks from partition-1 state plus
+        whatever texture survived; texture-less coded blocks fall back to
+        motion-compensated (inter) or DC-only (intra) reconstruction."""
+        for col, record in enumerate(records):
+            mb_y = row * MB_SIZE
+            mb_x = col * MB_SIZE
+            if record.kind == "skip":
+                if vop_type is VopType.P:
+                    prediction = self._predict_mb(past, mb_y, mb_x, ZERO_MV)
+                else:
+                    prediction_f = self._predict_mb(past, mb_y, mb_x, ZERO_MV)
+                    prediction_b = self._predict_mb(future, mb_y, mb_x, ZERO_MV)
+                    prediction = (prediction_f + prediction_b + 1.0) // 2
+                self._scatter_mb(recon_store, mb_y, mb_x, prediction)
+                vop_stats.skipped_mbs += 1
+                continue
+            lost_blocks = 0
+            n_events = 0
+            levels = np.zeros((6, 8, 8), dtype=np.int32)
+            if record.kind == "intra":
+                for index in range(6):
+                    scanned = np.zeros(64, dtype=np.int32)
+                    if record.cbp & (1 << (5 - index)):
+                        events = events_store.get((col, index))
+                        ac = self._texture_levels(events, 63)
+                        if ac is None:
+                            lost_blocks += 1
+                        else:
+                            scanned[1:] = ac
+                            n_events += len(events)
+                    block = inverse_zigzag_scan(scanned)
+                    block[0, 0] = record.dcs[index]
+                    levels[index] = block
+                recon = np.clip(
+                    inverse_dct(dequantize_any(levels, qp, True, self.quant_method)),
+                    0, 255,
+                )
+                self._scatter_mb(recon_store, mb_y, mb_x, recon)
+                vop_stats.intra_mbs += 1
+                vop_stats.coded_coefficients += n_events + 6
+                trace_kind = "intra_dec"
+            else:
+                for index in range(6):
+                    if not record.cbp & (1 << (5 - index)):
+                        continue
+                    events = events_store.get((col, index))
+                    scanned = self._texture_levels(events, 64)
+                    if scanned is None:
+                        lost_blocks += 1
+                        continue
+                    levels[index] = inverse_zigzag_scan(scanned)
+                    n_events += len(events)
+                if record.kind == "inter":
+                    prediction = self._predict_mb(past, mb_y, mb_x, record.mv)
+                elif record.mode is PredictionMode.FORWARD:
+                    prediction = self._predict_mb(past, mb_y, mb_x, record.mv_f)
+                elif record.mode is PredictionMode.BACKWARD:
+                    prediction = self._predict_mb(future, mb_y, mb_x, record.mv_b)
+                else:
+                    prediction_f = self._predict_mb(past, mb_y, mb_x, record.mv_f)
+                    prediction_b = self._predict_mb(future, mb_y, mb_x, record.mv_b)
+                    prediction = (prediction_f + prediction_b + 1.0) // 2
+                recon = prediction + inverse_dct(
+                    dequantize_any(levels, qp, False, self.quant_method)
+                )
+                self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))
+                vop_stats.inter_mbs += 1
+                vop_stats.coded_coefficients += n_events
+                trace_kind = "inter_dec"
+            if lost_blocks:
+                vop_stats.texture_concealed_mbs += 1
+            if self._rec is not None:
+                self._tk.mb_texture(
+                    self._rec, trace_kind, None, recon_store.fmap, mb_y, mb_x,
+                    n_coded_blocks=bin(record.cbp).count("1"), n_events=n_events,
+                )
+
     def _conceal_row(self, row, vop_type, past, recon_store) -> None:
         """Error concealment for a lost packet: copy the strip from the
         past reference (inter VOPs) or fill mid-grey (intra VOPs)."""
         y0 = BORDER + row * MB_SIZE
         cy0 = BORDER + row * MB_SIZE // 2
-        if vop_type is not VopType.I and past is not None:
+        from_past = vop_type is not VopType.I and past is not None
+        if from_past:
             recon_store.y[y0 : y0 + MB_SIZE, :] = past.y[y0 : y0 + MB_SIZE, :]
             recon_store.u[cy0 : cy0 + 8, :] = past.u[cy0 : cy0 + 8, :]
             recon_store.v[cy0 : cy0 + 8, :] = past.v[cy0 : cy0 + 8, :]
@@ -457,6 +847,10 @@ class VopDecoder:
             recon_store.y[y0 : y0 + MB_SIZE, :] = 128
             recon_store.u[cy0 : cy0 + 8, :] = 128
             recon_store.v[cy0 : cy0 + 8, :] = 128
+        if self._rec is not None:
+            self._tk.concealment_pass(
+                self._rec, past.fmap if from_past else None, recon_store.fmap, row
+            )
 
     def _scan_to_resync(self, reader):
         """Scan forward to the next resync marker inside this VOP.

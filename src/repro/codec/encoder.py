@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.codec import vlc
 from repro.codec.bitstream import (
+    MOTION_MARKER_STARTCODE,
     RESYNC_STARTCODE,
     SEQUENCE_END_CODE,
     VO_STARTCODE,
@@ -232,6 +233,12 @@ class VopEncoder:
         writer.write_bit(1 if config.arbitrary_shape else 0)
         writer.write_bits(config.quant_method, 2)
         writer.write_bit(1 if config.resync_markers else 0)
+        if config.resync_markers:
+            # The partitioning tools only exist inside video packets, so
+            # their header bits ride behind the resync flag (legacy
+            # streams without resync markers are bit-identical).
+            writer.write_bit(1 if config.data_partitioning else 0)
+            writer.write_bit(1 if config.reversible_vlc else 0)
         writer.write_ue(n_frames)
 
     def _store_for(self, display: int, vop_type: VopType) -> FrameStore:
@@ -392,37 +399,85 @@ class VopEncoder:
                     dc_preds = self._make_dc_predictors()
             if rec is not None:
                 rec.begin_mb_row(row)
-            pred_fwd = ZERO_MV
-            pred_bwd = ZERO_MV
-            for col in range(mb_cols):
-                mb_y = row * MB_SIZE
-                mb_x = col * MB_SIZE
-                if mask is not None and not mask[
-                    mb_y : mb_y + MB_SIZE, mb_x : mb_x + MB_SIZE
-                ].any():
-                    vop_stats.transparent_mbs += 1
-                    mv_grid[row][col] = ZERO_MV
-                    continue
-                bits_before = writer.bit_position
-                if vop_type is VopType.I:
-                    self._code_intra_mb(
-                        writer, qp, mb_y, mb_x, recon_store, dc_preds, row, col, vop_stats
-                    )
-                elif vop_type is VopType.P:
-                    self._code_p_mb(
-                        writer, qp, mb_y, mb_x, past, recon_store, mv_grid, row, col, vop_stats
-                    )
-                else:
-                    pred_fwd, pred_bwd = self._code_b_mb(
-                        writer, qp, mb_y, mb_x, past, future, recon_store,
-                        pred_fwd, pred_bwd, vop_stats,
-                    )
-                if rec is not None:
-                    self._tk.stream_write(
-                        rec,
-                        self._stream_region,
-                        (writer.bit_position - bits_before + 7) // 8,
-                    )
+            if config.data_partitioning:
+                # Motion/DC data goes to the packet head, texture events
+                # to a side buffer spliced in after the motion marker.
+                texture = BitWriter()
+                self._encode_mb_row(
+                    writer, texture, vop_type, qp, mask, past, future,
+                    recon_store, vop_stats, dc_preds, mv_grid, row,
+                )
+                writer.write_startcode(MOTION_MARKER_STARTCODE)
+                writer.extend(texture)
+            else:
+                self._encode_mb_row(
+                    writer, writer, vop_type, qp, mask, past, future,
+                    recon_store, vop_stats, dc_preds, mv_grid, row,
+                )
+
+    def _encode_mb_row(
+        self,
+        writer: BitWriter,
+        texture_writer: BitWriter,
+        vop_type: VopType,
+        qp: int,
+        mask: np.ndarray | None,
+        past: FrameStore | None,
+        future: FrameStore | None,
+        recon_store: FrameStore,
+        vop_stats: VopStats,
+        dc_preds,
+        mv_grid,
+        row: int,
+    ) -> None:
+        rec = self._rec
+        mb_cols = self.config.mb_cols
+        split = texture_writer is not writer
+        pred_fwd = ZERO_MV
+        pred_bwd = ZERO_MV
+        for col in range(mb_cols):
+            mb_y = row * MB_SIZE
+            mb_x = col * MB_SIZE
+            if mask is not None and not mask[
+                mb_y : mb_y + MB_SIZE, mb_x : mb_x + MB_SIZE
+            ].any():
+                vop_stats.transparent_mbs += 1
+                mv_grid[row][col] = ZERO_MV
+                continue
+            bits_before = writer.bit_position + (
+                texture_writer.bit_position if split else 0
+            )
+            if vop_type is VopType.I:
+                self._code_intra_mb(
+                    writer, qp, mb_y, mb_x, recon_store, dc_preds, row, col,
+                    vop_stats, texture_writer=texture_writer,
+                )
+            elif vop_type is VopType.P:
+                self._code_p_mb(
+                    writer, texture_writer, qp, mb_y, mb_x, past, recon_store,
+                    mv_grid, row, col, vop_stats,
+                )
+            else:
+                pred_fwd, pred_bwd = self._code_b_mb(
+                    writer, texture_writer, qp, mb_y, mb_x, past, future,
+                    recon_store, pred_fwd, pred_bwd, vop_stats,
+                )
+            if rec is not None:
+                bits_after = writer.bit_position + (
+                    texture_writer.bit_position if split else 0
+                )
+                self._tk.stream_write(
+                    rec, self._stream_region, (bits_after - bits_before + 7) // 8
+                )
+
+    def _encode_texture_event(
+        self, texture_writer: BitWriter, last: int, run: int, level: int
+    ) -> None:
+        """Texture events use reversible VLC when the stream asks for it."""
+        if self.config.reversible_vlc:
+            vlc.encode_coefficient_event_rvlc(texture_writer, last, run, level)
+        else:
+            vlc.encode_coefficient_event(texture_writer, last, run, level)
 
     def _make_dc_predictors(self) -> dict[str, AcDcPredictor]:
         config = self.config
@@ -472,14 +527,21 @@ class VopEncoder:
         col: int,
         vop_stats: VopStats,
         inter_allowed: bool = False,
+        texture_writer: BitWriter | None = None,
     ) -> None:
+        if texture_writer is None:
+            texture_writer = writer
+        partitioned = texture_writer is not writer
         blocks = self._gather_mb(self._cur, mb_y, mb_x)
         coefficients = forward_dct(blocks)
         levels = quantize_any(coefficients, qp, True, self.config.quant_method)
 
         # Adaptive DC (and, in I-VOPs, AC) prediction.  The per-block
         # direction and prediction lines must be computed before this
-        # macroblock's blocks are stored.
+        # macroblock's blocks are stored.  Data-partitioned streams keep
+        # DC prediction (it is computable from partition 1 alone) but
+        # drop AC prediction: the AC lines live in the texture partition,
+        # whose loss must not corrupt the motion/DC reconstruction.
         predicted_dc = np.zeros(6, dtype=np.int32)
         directions = np.zeros(6, dtype=np.int32)
         predicted_ac = np.zeros((6, AC_LINE), dtype=np.int32)
@@ -493,16 +555,19 @@ class VopEncoder:
             dc, direction = predictor.predict_with_direction(block_row, block_col)
             predicted_dc[index] = dc
             directions[index] = direction
-            predicted_ac[index] = predictor.predict_ac(block_row, block_col, direction)
-            actual = self._ac_line(levels[index], direction)
-            ac_pred_gain += int(
-                np.abs(actual).sum() - np.abs(actual - predicted_ac[index]).sum()
-            )
+            if not partitioned:
+                predicted_ac[index] = predictor.predict_ac(
+                    block_row, block_col, direction
+                )
+                actual = self._ac_line(levels[index], direction)
+                ac_pred_gain += int(
+                    np.abs(actual).sum() - np.abs(actual - predicted_ac[index]).sum()
+                )
             predictor.store(block_row, block_col, int(levels[index, 0, 0]))
             predictor.store_ac(
                 block_row, block_col, levels[index, 0, 1:8], levels[index, 1:8, 0]
             )
-        use_ac_pred = dc_preds is not None and ac_pred_gain > 0
+        use_ac_pred = dc_preds is not None and not partitioned and ac_pred_gain > 0
 
         levels_coded = levels.copy()
         if use_ac_pred:
@@ -519,13 +584,13 @@ class VopEncoder:
             if events:
                 cbp |= 1 << (5 - index)
         vlc.encode_macroblock_header(writer, True, False, cbp, inter_allowed)
-        if dc_preds is not None:
+        if dc_preds is not None and not partitioned:
             writer.write_bit(1 if use_ac_pred else 0)
         for index in range(6):
             dc = int(levels[index, 0, 0])
             writer.write_se(dc - int(predicted_dc[index]))
             for last, run, level in block_events[index]:
-                vlc.encode_coefficient_event(writer, last, run, level)
+                self._encode_texture_event(texture_writer, last, run, level)
         n_events = sum(len(events) for events in block_events) + 6
         vop_stats.intra_mbs += 1
         vop_stats.coded_coefficients += n_events
@@ -648,6 +713,7 @@ class VopEncoder:
     def _code_p_mb(
         self,
         writer: BitWriter,
+        texture_writer: BitWriter,
         qp: int,
         mb_y: int,
         mb_x: int,
@@ -666,7 +732,7 @@ class VopEncoder:
         if intra_inter_decision(cur_block, sad):
             self._code_intra_mb(
                 writer, qp, mb_y, mb_x, recon_store, None, row, col, vop_stats,
-                inter_allowed=True,
+                inter_allowed=True, texture_writer=texture_writer,
             )
             mv_grid[row][col] = ZERO_MV
             return
@@ -689,7 +755,7 @@ class VopEncoder:
         mv_grid[row][col] = mv
         for events in all_events:
             for last, run, level in events:
-                vlc.encode_coefficient_event(writer, last, run, level)
+                self._encode_texture_event(texture_writer, last, run, level)
         vop_stats.inter_mbs += 1
         vop_stats.coded_coefficients += n_events
         recon = prediction + inverse_dct(
@@ -721,6 +787,7 @@ class VopEncoder:
     def _code_b_mb(
         self,
         writer: BitWriter,
+        texture_writer: BitWriter,
         qp: int,
         mb_y: int,
         mb_x: int,
@@ -776,7 +843,7 @@ class VopEncoder:
             pred_bwd = mv_b
         for events in all_events:
             for last, run, level in events:
-                vlc.encode_coefficient_event(writer, last, run, level)
+                self._encode_texture_event(texture_writer, last, run, level)
         vop_stats.inter_mbs += 1
         vop_stats.coded_coefficients += n_events
         recon = prediction + inverse_dct(

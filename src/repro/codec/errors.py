@@ -46,6 +46,17 @@ class VlcError(MalformedStreamError):
     """A variable-length codeword does not decode to any symbol."""
 
 
+class PartitionError(MalformedStreamError):
+    """A data-partitioned video packet is structurally damaged.
+
+    Covers a missing/garbled motion marker between the motion/DC
+    partition and the texture partition, and texture data that overruns
+    its partition.  Motion-marker damage invalidates the whole packet
+    (the motion data cannot be trusted); texture damage after a valid
+    marker is recoverable per-macroblock in tolerant mode.
+    """
+
+
 class ShapeError(MalformedStreamError):
     """The binary-alpha shape layer is damaged."""
 
@@ -68,6 +79,7 @@ __all__ = [
     "DecodeBudgetExceededError",
     "HeaderError",
     "MalformedStreamError",
+    "PartitionError",
     "ShapeError",
     "TruncatedStreamError",
     "VlcError",

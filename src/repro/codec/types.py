@@ -52,10 +52,26 @@ class CodecConfig:
     quant_method: int = 2
     #: Error resilience: one video packet (resync marker) per macroblock row.
     resync_markers: bool = False
+    #: Error resilience: split each video packet into a motion/DC partition
+    #: and a texture partition separated by a motion marker, so texture
+    #: loss still yields motion-compensated concealment.
+    data_partitioning: bool = False
+    #: Error resilience: code texture events with reversible VLC so a
+    #: damaged packet's tail can be salvaged by decoding backward from
+    #: the next resync point.  Requires ``data_partitioning``.
+    reversible_vlc: bool = False
 
     def __post_init__(self) -> None:
         if self.quant_method not in (1, 2):
             raise ValueError("quant_method must be 1 (MPEG) or 2 (H.263)")
+        if self.reversible_vlc and not self.data_partitioning:
+            raise ValueError("reversible_vlc requires data_partitioning")
+        if self.data_partitioning and not self.resync_markers:
+            raise ValueError("data_partitioning requires resync_markers")
+        if self.data_partitioning and self.arbitrary_shape:
+            raise ValueError(
+                "data_partitioning is not supported with arbitrary_shape"
+            )
         if self.width % MB_SIZE or self.height % MB_SIZE:
             raise ValueError(
                 f"dimensions {self.width}x{self.height} must be multiples of {MB_SIZE}"
@@ -101,6 +117,10 @@ class CodecConfig:
             target_bitrate=self.target_bitrate,
             frame_rate=self.frame_rate,
             arbitrary_shape=self.arbitrary_shape,
+            quant_method=self.quant_method,
+            resync_markers=self.resync_markers,
+            data_partitioning=self.data_partitioning,
+            reversible_vlc=self.reversible_vlc,
         )
 
 
@@ -157,6 +177,12 @@ class VopStats:
     psnr_y: float = 0.0
     #: Video packets lost to bitstream errors (error-resilient decode).
     lost_packets: int = 0
+    #: Macroblocks reconstructed without (some of) their texture because
+    #: the texture partition was damaged (data-partitioned decode).
+    texture_concealed_mbs: int = 0
+    #: Texture blocks recovered by decoding reversible VLC backward from
+    #: the end of a damaged texture partition.
+    rvlc_salvaged_blocks: int = 0
 
 
 @dataclass

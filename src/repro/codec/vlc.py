@@ -167,6 +167,114 @@ def decode_coefficient_event(reader: BitReader) -> tuple[int, int, int]:
     return last, run, -magnitude if sign else magnitude
 
 
+# -- reversible VLC (error-resilience texture coding) -------------------------
+#
+# A symmetric interleaved code in the spirit of MPEG-4's RVLC table:
+# for an unsigned value v, let code = v + 2, k = bit_length(code) - 1 and
+# payload = code - 2^k (the k bits below the leading one).  The codeword
+# interleaves the payload bits with '1' separators and ends with a '0'
+# terminator:
+#
+#     b_{k-1} 1 b_{k-2} 1 ... 1 b_0 0
+#
+# Read forward, a payload bit is always followed by a continuation flag;
+# read backward, the terminator comes first and payload bits alternate
+# with separators, so the same codeword parses from either end.  Events
+# fold LAST and the level sign into the values themselves (rather than
+# appending raw bits, which would be unparseable backward):
+#
+#     rvlc_ue(run * 2 + last), rvlc_ue((|level| - 1) * 2 + sign)
+
+#: Bound on payload bits per RVLC codeword; a conforming event value
+#: (run <= 63 folded with a flag, escape-range level) stays far below it.
+_RVLC_MAX_PAYLOAD_BITS = 40
+
+
+def write_rvlc_ue(writer: BitWriter, value: int) -> None:
+    """Write one unsigned reversible-VLC codeword."""
+    value = int(value)
+    if value < 0:
+        raise ValueError("write_rvlc_ue takes non-negative values")
+    code = value + 2
+    k = code.bit_length() - 1
+    payload = code - (1 << k)
+    writer.write_bit((payload >> (k - 1)) & 1)
+    for index in range(k - 2, -1, -1):
+        writer.write_bit(1)
+        writer.write_bit((payload >> index) & 1)
+    writer.write_bit(0)
+
+
+def read_rvlc_ue(reader: BitReader) -> int:
+    """Read one reversible-VLC codeword forward."""
+    bits = [reader.read_bit()]
+    while reader.read_bit() == 1:
+        if len(bits) >= _RVLC_MAX_PAYLOAD_BITS:
+            raise VlcError(
+                "reversible VLC codeword too long", bit_position=reader.bit_position
+            )
+        bits.append(reader.read_bit())
+    payload = 0
+    for bit in bits:
+        payload = (payload << 1) | bit
+    return (1 << len(bits)) + payload - 2
+
+
+def read_rvlc_ue_backward(reader) -> int:
+    """Read one reversible-VLC codeword backward (``ReverseBitReader``)."""
+    if reader.read_bit() != 0:
+        raise VlcError(
+            "reversible VLC codeword lacks its terminator",
+            bit_position=reader.bit_position,
+        )
+    bits = [reader.read_bit()]  # b_0 first; LSB-first order
+    while reader.bits_remaining and reader.peek_bit() == 1:
+        if len(bits) >= _RVLC_MAX_PAYLOAD_BITS:
+            raise VlcError(
+                "reversible VLC codeword too long", bit_position=reader.bit_position
+            )
+        reader.read_bit()  # separator
+        bits.append(reader.read_bit())
+    payload = 0
+    for index, bit in enumerate(bits):
+        payload |= bit << index
+    return (1 << len(bits)) + payload - 2
+
+
+def encode_coefficient_event_rvlc(
+    writer: BitWriter, last: int, run: int, level: int
+) -> None:
+    """Write one (LAST, RUN, LEVEL) event as two reversible codewords."""
+    if level == 0:
+        raise ValueError("coefficient events carry non-zero levels")
+    magnitude = abs(level)
+    sign = 1 if level < 0 else 0
+    write_rvlc_ue(writer, (run << 1) | (last & 1))
+    write_rvlc_ue(writer, ((magnitude - 1) << 1) | sign)
+
+
+def _unpack_rvlc_event(run_last: int, level_sign: int) -> tuple[int, int, int]:
+    last = run_last & 1
+    run = run_last >> 1
+    sign = level_sign & 1
+    magnitude = (level_sign >> 1) + 1
+    return last, run, -magnitude if sign else magnitude
+
+
+def decode_coefficient_event_rvlc(reader: BitReader) -> tuple[int, int, int]:
+    """Read one reversible event forward; returns (last, run, signed level)."""
+    run_last = read_rvlc_ue(reader)
+    level_sign = read_rvlc_ue(reader)
+    return _unpack_rvlc_event(run_last, level_sign)
+
+
+def decode_coefficient_event_rvlc_backward(reader) -> tuple[int, int, int]:
+    """Read one reversible event backward; returns (last, run, signed level)."""
+    level_sign = read_rvlc_ue_backward(reader)
+    run_last = read_rvlc_ue_backward(reader)
+    return _unpack_rvlc_event(run_last, level_sign)
+
+
 @dataclass(frozen=True)
 class MacroblockHeader:
     """Decoded macroblock-layer signalling."""

@@ -40,7 +40,8 @@ def conformance_main(argv: list[str] | None = None) -> int:
         vectors = update_golden(args.path)
         target = args.path or default_golden_path()
         print(f"golden vectors updated: {len(vectors['counters'])} counter cells, "
-              f"{len(vectors['bitstreams'])} bitstreams -> {target}")
+              f"{len(vectors['bitstreams'])} bitstreams, "
+              f"1 resilience stream -> {target}")
         return 0
     mismatches = check_golden(args.path)
     if mismatches:

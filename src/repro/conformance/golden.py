@@ -11,7 +11,10 @@ against the paper loosely.  The golden vectors pin the exact bits:
   decoder produces for those streams;
 - ``counters``: full simulator counter snapshots for one Table-2-shaped
   cell (encode, 1 VO, 1 layer) and one Table-5-shaped cell (decode,
-  3 VOs, 1 layer) on the R12K/8MB machine.
+  3 VOs, 1 layer) on the R12K/8MB machine;
+- ``resilience``: a packetized data-partitioned/RVLC stream pushed
+  through a pinned burst-loss channel -- the bitstream digest, the
+  packet framing, and the digest of the concealed post-loss decode.
 
 Everything in the pipeline is deterministic (seeded synthesis, integer
 simulators, canonical Huffman construction), so the digests are stable
@@ -30,6 +33,7 @@ from repro.codec import CodecConfig, VopDecoder, VopEncoder
 from repro.core.machines import SGI_ONYX2
 from repro.core.study import Workload, characterize_decode, characterize_encode
 from repro.ioutil import atomic_write
+from repro.transport import TransportConfig, packetize, transmit_stream
 from repro.video.synthesis import SceneSpec, SyntheticScene
 
 GOLDEN_FORMAT = 1
@@ -40,6 +44,10 @@ _WIDTH, _HEIGHT, _N_FRAMES = 64, 48, 5
 
 #: The machine whose counters the study snapshots (R12K, 8MB L2).
 _MACHINE = SGI_ONYX2
+
+#: Resilience vector channel: 5% burst loss, seed pinned to a draw that
+#: overwhelms the FEC so the concealment path itself gets digested.
+_RESILIENCE_SEED, _RESILIENCE_LOSS = 4, 0.05
 
 
 def default_golden_path() -> Path:
@@ -95,6 +103,51 @@ def _codec_vectors() -> dict:
     }
 
 
+def _resilience_vectors() -> dict:
+    """Pin the whole transport path: stream, framing, post-loss decode."""
+    frames, _ = _reference_scene()
+    config = CodecConfig(
+        _WIDTH, _HEIGHT, qp=8, gop_size=4, m_distance=1,
+        resync_markers=True, data_partitioning=True, reversible_vlc=True,
+    )
+    encoded = VopEncoder(config).encode_sequence(frames)
+
+    framing = hashlib.sha256()
+    packets = packetize(encoded.data, 128)
+    for packet in packets:
+        framing.update(
+            f"{packet.seq}:{len(packet.payload)}:"
+            f"{int(packet.starts_section)};".encode()
+        )
+
+    result = transmit_stream(
+        encoded.data,
+        TransportConfig(
+            max_payload=128,
+            loss_rate=_RESILIENCE_LOSS,
+            seed=_RESILIENCE_SEED,
+            fec_group=4,
+            interleave_depth=4,
+        ),
+    )
+    decoded = VopDecoder().decode_sequence(result.stream, tolerate_errors=True)
+    return {
+        "bitstream": _sha256(encoded.data),
+        "packets": {
+            "count": len(packets),
+            "framing": framing.hexdigest(),
+        },
+        "post_loss": {
+            "dropped": result.n_dropped,
+            "recovered": result.n_recovered,
+            "concealed_packets": sum(
+                v.lost_packets for v in decoded.vop_stats
+            ),
+            "frames": _frames_digest(decoded.frames),
+        },
+    }
+
+
 def _counter_snapshot(counters) -> dict:
     """Integer counter fields only: platform-independent exact values."""
     return {
@@ -128,6 +181,7 @@ def compute_golden() -> dict:
         "machine": _MACHINE.label,
         **_codec_vectors(),
         "counters": _counter_vectors(),
+        "resilience": _resilience_vectors(),
     }
 
 

@@ -4,10 +4,12 @@ The contract (see :mod:`repro.codec.errors`): any byte string fed to
 :class:`~repro.codec.decoder.VopDecoder` either decodes -- possibly with
 concealment in tolerant mode -- or raises a typed ``BitstreamError``,
 within a bounded amount of work.  The harness classifies each corrupted
-stream into one of four outcomes:
+stream into one of five outcomes:
 
-- ``decoded``: the decoder returned a sequence (corruption survived or
-  was concealed);
+- ``decoded``: the decoder returned a sequence and took no concealment
+  path (the corruption missed coded data, or decoded as valid events);
+- ``concealed``: the decoder returned a sequence but patched over
+  damage -- lost packets, concealed texture, or concealed frames;
 - ``rejected``: a typed :class:`~repro.codec.errors.BitstreamError`;
 - ``uncaught``: any other exception escaped -- a contract violation;
 - ``hang``: the per-case wall-clock budget expired -- a contract
@@ -43,12 +45,12 @@ class CaseResult:
     """Outcome of one corrupted decode."""
 
     case: FuzzCase
-    outcome: str  # "decoded" | "rejected" | "uncaught" | "hang"
+    outcome: str  # "decoded" | "concealed" | "rejected" | "uncaught" | "hang"
     detail: str = ""
 
     @property
     def ok(self) -> bool:
-        return self.outcome in ("decoded", "rejected")
+        return self.outcome in ("decoded", "concealed", "rejected")
 
 
 @dataclass
@@ -75,7 +77,7 @@ class SweepReport:
     def summary(self) -> str:
         counts = self.counts
         parts = [f"{len(self.results)} cases"]
-        for outcome in ("decoded", "rejected", "uncaught", "hang"):
+        for outcome in ("decoded", "concealed", "rejected", "uncaught", "hang"):
             if outcome in counts:
                 parts.append(f"{outcome}={counts[outcome]}")
         lines = [", ".join(parts)]
@@ -96,13 +98,19 @@ def decode_case(
     corrupted = case.apply(data)
     try:
         with _time_budget(time_budget_s):
-            VopDecoder().decode_sequence(corrupted, tolerate_errors=tolerate_errors)
+            decoded = VopDecoder().decode_sequence(
+                corrupted, tolerate_errors=tolerate_errors
+            )
     except BitstreamError as error:
         return CaseResult(case, "rejected", type(error).__name__)
     except _BudgetExpired:
         return CaseResult(case, "hang", f"exceeded {time_budget_s:.1f}s budget")
     except Exception as error:  # noqa: BLE001 -- the contract violation we hunt
         return CaseResult(case, "uncaught", f"{type(error).__name__}: {error}")
+    if not decoded.is_clean:
+        return CaseResult(
+            case, "concealed", f"{decoded.concealment_events} concealment event(s)"
+        )
     return CaseResult(case, "decoded")
 
 

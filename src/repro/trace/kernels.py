@@ -239,6 +239,41 @@ def padding_pass(rec, fmap: FrameMap, width: int, height: int) -> None:
     rec.emit_alu(2 * n_pixels * cm.PAD_ALU_PER_PIXEL)
 
 
+def concealment_pass(rec, past_fmap, recon_fmap: FrameMap, row: int) -> None:
+    """Error concealment of one lost macroblock-row packet.
+
+    Inter concealment copies the stride-wide strip (borders included,
+    matching the decoder's slice assignment) from the past reference;
+    intra concealment writes mid-grey, so ``past_fmap`` is None and only
+    the writes are emitted.  This is the irregular late-pipeline path
+    that only damaged streams exercise.
+    """
+    if not rec.active:
+        return
+    n_bytes = 0
+    read_parts = []
+    write_parts = []
+    planes = (
+        (recon_fmap.y, None if past_fmap is None else past_fmap.y, MB_SIZE),
+        (recon_fmap.u, None if past_fmap is None else past_fmap.u, MB_SIZE // 2),
+        (recon_fmap.v, None if past_fmap is None else past_fmap.v, MB_SIZE // 2),
+    )
+    for dst, src, rows in planes:
+        y0 = row * rows
+        strip = rows * dst.stride
+        write_parts.append(_sequential_lines(dst.base + (BORDER + y0) * dst.stride, strip))
+        if src is not None:
+            read_parts.append(_sequential_lines(src.base + (BORDER + y0) * src.stride, strip))
+        n_bytes += strip
+    if read_parts:
+        lines = np.concatenate([p[0] for p in read_parts])
+        counts = np.concatenate([p[1] for p in read_parts])
+        rec.emit_read(lines, counts, alu_ops=n_bytes * cm.COPY_ALU_PER_PIXEL)
+    lines = np.concatenate([p[0] for p in write_parts])
+    counts = np.concatenate([p[1] for p in write_parts])
+    rec.emit_write(lines, counts)
+
+
 def border_expand(rec, fmap: FrameMap, width: int, height: int) -> None:
     """Edge replication into the expanded borders of a reference store."""
     if not rec.active:

@@ -1,0 +1,116 @@
+"""Seeded Gilbert-Elliott burst-loss channel.
+
+Packet loss on real networks is bursty: congestion events take out runs
+of consecutive packets rather than scattering independent drops.  The
+classic two-state Gilbert-Elliott model captures this with a GOOD state
+(rare loss) and a BAD state (heavy loss) connected by a Markov chain.
+Every channel here is constructed from ``(seed, profile)`` and replays
+bit-for-bit: the study pipeline records only those two values and can
+regenerate the exact loss pattern on resume or re-run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["LossProfile", "profile_for_loss", "GilbertElliottChannel"]
+
+#: Mean sojourn in the BAD state, in packets (burst length).
+_MEAN_BURST = 4.0
+#: Loss probability while the channel is in the BAD state.
+_BAD_LOSS = 0.9
+
+
+@dataclass(frozen=True)
+class LossProfile:
+    """Markov parameters of one Gilbert-Elliott channel realization."""
+
+    name: str
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_in_good: float
+    loss_in_bad: float
+
+    def __post_init__(self) -> None:
+        for value in (
+            self.p_good_to_bad,
+            self.p_bad_to_good,
+            self.loss_in_good,
+            self.loss_in_bad,
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"probability {value} outside [0, 1]")
+
+    @property
+    def mean_loss_rate(self) -> float:
+        """Stationary packet-loss probability of the chain."""
+        total = self.p_good_to_bad + self.p_bad_to_good
+        if total == 0.0:
+            return self.loss_in_good
+        stationary_bad = self.p_good_to_bad / total
+        return (
+            (1.0 - stationary_bad) * self.loss_in_good
+            + stationary_bad * self.loss_in_bad
+        )
+
+
+def profile_for_loss(rate: float, mean_burst: float = _MEAN_BURST) -> LossProfile:
+    """Burst-loss profile whose stationary loss rate equals ``rate``.
+
+    The BAD state drops packets with probability ``_BAD_LOSS`` and lasts
+    ``mean_burst`` packets on average; the GOOD state is loss-free.  The
+    GOOD->BAD transition probability is solved so the stationary mix
+    yields exactly ``rate``.
+    """
+    if not 0.0 <= rate < _BAD_LOSS:
+        raise ValueError(f"loss rate {rate} must be in [0, {_BAD_LOSS})")
+    if rate == 0.0:
+        return LossProfile("loss0", 0.0, 1.0, 0.0, _BAD_LOSS)
+    p_bad_to_good = 1.0 / mean_burst
+    stationary_bad = rate / _BAD_LOSS
+    p_good_to_bad = p_bad_to_good * stationary_bad / (1.0 - stationary_bad)
+    name = f"loss{rate:g}"
+    return LossProfile(name, p_good_to_bad, p_bad_to_good, 0.0, _BAD_LOSS)
+
+
+class GilbertElliottChannel:
+    """Replayable burst-loss channel over a packet sequence.
+
+    The RNG is keyed by ``(seed, profile.name)`` so distinct loss rates
+    at the same seed draw independent streams, and the same pair always
+    reproduces the same loss mask.
+    """
+
+    def __init__(self, seed: int, profile: LossProfile) -> None:
+        self.seed = seed
+        self.profile = profile
+        self._rng = random.Random(f"{seed}:{profile.name}")
+        self._bad = False
+
+    def loss_mask(self, n_packets: int) -> list[bool]:
+        """``True`` entries mark packets the channel drops."""
+        profile = self.profile
+        rng = self._rng
+        mask = []
+        for _ in range(n_packets):
+            if self._bad:
+                if rng.random() < profile.p_bad_to_good:
+                    self._bad = False
+            else:
+                if rng.random() < profile.p_good_to_bad:
+                    self._bad = True
+            loss_p = profile.loss_in_bad if self._bad else profile.loss_in_good
+            mask.append(rng.random() < loss_p)
+        return mask
+
+    def transmit(self, packets: list) -> tuple[list, list[int]]:
+        """Deliver ``packets`` through the channel.
+
+        Returns ``(delivered, dropped_positions)`` where positions index
+        the *transmission* order (post-interleaving, if any).
+        """
+        mask = self.loss_mask(len(packets))
+        delivered = [p for p, lost in zip(packets, mask) if not lost]
+        dropped = [i for i, lost in enumerate(mask) if lost]
+        return delivered, dropped

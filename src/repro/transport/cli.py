@@ -1,0 +1,103 @@
+"""CLI entry point: ``python -m repro resilience``.
+
+.. code-block:: console
+
+   $ python -m repro resilience                       # full PSNR-vs-loss sweep
+   $ python -m repro resilience --smoke               # CI-sized grid, no traces
+   $ python -m repro resilience --run-id drill        # name the run directory
+   $ python -m repro resilience --resume drill        # finish a killed run
+   $ python -m repro resilience --verify-complete     # exit 1 on missing cells
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+
+def _runs_root(override: str | None) -> Path:
+    import os
+
+    if override:
+        return Path(override)
+    return Path(os.environ.get("REPRO_RUNS", ".repro-runs")) / "resilience"
+
+
+def resilience_main(argv: list[str] | None = None) -> int:
+    from repro.transport.study import (
+        DEFAULT_LOSSES,
+        DEFAULT_SEEDS,
+        RESILIENCE_CONFIGS,
+        SMOKE_LOSSES,
+        SMOKE_SEEDS,
+        render_summary,
+        run_sweep,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro resilience",
+        description=(
+            "PSNR-vs-loss resilience study: resync / data partitioning / "
+            "RVLC / FEC configurations through a seeded burst-loss channel."
+        ),
+    )
+    parser.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="runs root (default: $REPRO_RUNS or .repro-runs)")
+    parser.add_argument("--run-id", default="default", metavar="ID",
+                        help="run directory name (default: 'default')")
+    parser.add_argument("--resume", default=None, metavar="ID",
+                        help="resume a run: published cells are kept, "
+                             "missing/corrupt ones recompute")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized grid (~50 seeded loss cases), "
+                             "no counter traces")
+    parser.add_argument("--configs", default=None, metavar="A,B",
+                        help="comma-separated subset of: "
+                             + ", ".join(RESILIENCE_CONFIGS))
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip memory-hierarchy counter traces")
+    parser.add_argument("--verify-complete", action="store_true",
+                        help="exit 1 unless every grid cell is published")
+    args = parser.parse_args(argv)
+
+    configs = None
+    if args.configs:
+        configs = [name.strip() for name in args.configs.split(",") if name.strip()]
+        unknown = [name for name in configs if name not in RESILIENCE_CONFIGS]
+        if unknown:
+            print(f"error: unknown config(s) {', '.join(unknown)}; "
+                  f"choose from {', '.join(RESILIENCE_CONFIGS)}")
+            return 2
+
+    run_id = args.resume or args.run_id
+    run_dir = _runs_root(args.runs_dir) / run_id
+    losses = SMOKE_LOSSES if args.smoke else DEFAULT_LOSSES
+    seeds = SMOKE_SEEDS if args.smoke else DEFAULT_SEEDS
+    summary = run_sweep(
+        run_dir,
+        losses=losses,
+        seeds=seeds,
+        configs=configs,
+        resume=args.resume is not None,
+        trace_counters=not (args.smoke or args.no_trace),
+    )
+    verb = "resumed" if args.resume else "ran"
+    n_cells = sum(
+        point["cells"]
+        for per_loss in summary["curves"].values()
+        for point in per_loss.values()
+    )
+    print(f"{verb} resilience sweep '{run_id}': {n_cells} cells published "
+          f"({summary['skipped_cells']} reused)")
+    print()
+    print(render_summary(summary))
+    print()
+    print(f"artifacts: {run_dir}")
+    if summary["missing_cells"]:
+        print(f"missing cells: {', '.join(summary['missing_cells'])}")
+        if args.verify_complete:
+            print("verify-complete FAILED")
+            return 1
+    elif args.verify_complete:
+        print("verify-complete passed: every grid cell is published")
+    return 0

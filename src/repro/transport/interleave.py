@@ -1,0 +1,46 @@
+"""Block interleaving of the packet transmission order.
+
+A burst channel drops *consecutive* transmitted packets; XOR parity
+recovers at most one loss per group.  Reading the packet list column-wise
+out of a ``depth``-row block spreads each burst across packets that sit
+``~n/depth`` apart in stream order, converting one unrecoverable
+multi-loss group into several recoverable single-loss groups.  The
+permutation is purely positional, so deinterleaving needs no side
+channel -- just the same depth.
+"""
+
+from __future__ import annotations
+
+__all__ = ["interleave", "deinterleave"]
+
+
+def _permutation(n: int, depth: int) -> list[int]:
+    """Transmission order: original indices read column-wise."""
+    return [i for column in range(depth) for i in range(column, n, depth)]
+
+
+def interleave(items: list, depth: int) -> list:
+    """Reorder ``items`` for transmission with a ``depth``-row block."""
+    if depth <= 0:
+        raise ValueError("depth must be positive")
+    if depth == 1:
+        return list(items)
+    return [items[i] for i in _permutation(len(items), depth)]
+
+
+def deinterleave(items: list, depth: int) -> list:
+    """Invert :func:`interleave` for a fully delivered list.
+
+    Lossy paths should instead deliver the original objects (which carry
+    their own sequence numbers) and sort; this inverse is for the
+    loss-free framing checks.
+    """
+    if depth <= 0:
+        raise ValueError("depth must be positive")
+    if depth == 1:
+        return list(items)
+    order = _permutation(len(items), depth)
+    out = [None] * len(items)
+    for position, original in enumerate(order):
+        out[original] = items[position]
+    return out

@@ -1,0 +1,129 @@
+"""Startcode-aware packetization of encoded bitstreams.
+
+MPEG-4 delivery over lossy networks segments the bitstream so that each
+packet starts, wherever possible, on a startcode boundary (a VOP header
+or a video-packet resync marker).  A lost packet then takes out a
+self-contained resynchronizable span instead of desynchronizing the
+whole stream: the decoder scans forward to the next startcode and
+resumes.  Sections longer than the payload bound are split across
+continuation packets, which is exactly the case where a single loss
+damages an un-resynchronizable middle -- the motivation for FEC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+STARTCODE_PREFIX = b"\x00\x00\x01"
+
+__all__ = ["Packet", "split_at_startcodes", "packetize", "depacketize"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One network packet carrying a slice of the bitstream.
+
+    ``seq`` is the stream-order sequence number of *data* packets (parity
+    packets reuse the group index instead).  ``starts_section`` marks
+    payloads that begin on a startcode boundary, i.e. points where the
+    decoder can resynchronize if everything before was lost.
+    """
+
+    seq: int
+    payload: bytes
+    starts_section: bool = True
+    is_parity: bool = False
+    group: int = -1
+
+
+def split_at_startcodes(data: bytes) -> list[bytes]:
+    """Split a bitstream into sections, each beginning with a startcode.
+
+    Bytes before the first startcode (there are none in well-formed
+    streams) form a leading section of their own.
+    """
+    boundaries = []
+    index = data.find(STARTCODE_PREFIX)
+    while index != -1:
+        boundaries.append(index)
+        index = data.find(STARTCODE_PREFIX, index + 3)
+    if not boundaries or boundaries[0] != 0:
+        boundaries.insert(0, 0)
+    sections = []
+    for start, end in zip(boundaries, boundaries[1:] + [len(data)]):
+        if end > start:
+            sections.append(data[start:end])
+    return sections
+
+
+def packetize(data: bytes, max_payload: int = 256) -> list[Packet]:
+    """Segment ``data`` into packets of at most ``max_payload`` bytes.
+
+    Greedy packing: whole sections are coalesced while they fit, a
+    fresh packet is started for a section that does not, and oversized
+    sections spill into continuation packets (``starts_section=False``).
+    """
+    if max_payload <= 0:
+        raise ValueError("max_payload must be positive")
+    packets: list[Packet] = []
+    pending = bytearray()
+    pending_starts = True
+
+    def flush() -> None:
+        nonlocal pending, pending_starts
+        if pending:
+            packets.append(
+                Packet(len(packets), bytes(pending), starts_section=pending_starts)
+            )
+            pending = bytearray()
+            pending_starts = True
+
+    for section in split_at_startcodes(data):
+        if len(pending) + len(section) <= max_payload:
+            if not pending:
+                pending_starts = True
+            pending.extend(section)
+            continue
+        flush()
+        if len(section) <= max_payload:
+            pending.extend(section)
+            continue
+        for offset in range(0, len(section), max_payload):
+            chunk = section[offset : offset + max_payload]
+            packets.append(
+                Packet(len(packets), chunk, starts_section=offset == 0)
+            )
+    flush()
+    return packets
+
+
+def depacketize(packets: list[Packet]) -> tuple[bytes, list[int]]:
+    """Reassemble the delivered data packets into a decodable stream.
+
+    Returns ``(stream, lost_seqs)``.  Lost packets are inferred from the
+    gaps in the data-packet sequence numbers; their bytes are simply
+    absent, and the decoder's startcode resynchronization absorbs the
+    splice (a continuation fragment whose head was lost is dropped too,
+    since its bytes cannot be framed without the preceding packet).
+    """
+    data_packets = sorted(
+        (p for p in packets if not p.is_parity), key=lambda p: p.seq
+    )
+    highest = data_packets[-1].seq if data_packets else -1
+    received = {p.seq: p for p in data_packets}
+    lost = [seq for seq in range(highest + 1) if seq not in received]
+    out = bytearray()
+    previous_delivered = True
+    for seq in range(highest + 1):
+        packet = received.get(seq)
+        if packet is None:
+            previous_delivered = False
+            continue
+        if not packet.starts_section and not previous_delivered:
+            # Headless continuation: unframeable, treat as lost.
+            if packet.seq not in lost:
+                lost.append(packet.seq)
+            continue
+        out.extend(packet.payload)
+        previous_delivered = True
+    return bytes(out), sorted(lost)

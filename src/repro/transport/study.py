@@ -1,0 +1,373 @@
+"""PSNR-vs-loss resilience study: ``python -m repro resilience``.
+
+Sweeps the cross product of resilience configurations (plain resync,
+data partitioning, +reversible VLC, +FEC) against channel loss rates and
+channel seeds, decoding every damaged stream with the tolerant decoder
+and recording per-cell quality, concealment, and recovery accounting.
+
+Reproducibility contract: every cell is a pure function of
+``(config, loss_rate, seed)`` -- the channel replays from the seed, the
+codec is deterministic, artifacts carry content digests and no
+timestamps -- so two runs (or a run and its ``--resume``) are
+byte-identical.  Cells are published atomically one file at a time,
+which is what makes the kill-and-resume chaos drill safe: a killed run
+leaves only whole cells, and resume recomputes the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro.codec import CodecConfig, VopDecoder, VopEncoder
+from repro.codec.errors import BitstreamError
+from repro.core.machines import SGI_ONYX2
+from repro.core.runner.chaos import POINT_WORKER_CELL, strike_from_env
+from repro.ioutil import atomic_write, sha256_hex
+from repro.transport.pipeline import TransportConfig, transmit_stream
+from repro.video.quality import psnr
+from repro.video.synthesis import SceneSpec, SyntheticScene
+
+__all__ = [
+    "RESILIENCE_CONFIGS",
+    "ResilienceCell",
+    "ResilienceConfig",
+    "run_cell",
+    "run_sweep",
+    "summarize",
+]
+
+#: Scene geometry: large enough for several packets per frame, small
+#: enough that the full grid runs in well under a minute.
+_WIDTH, _HEIGHT, _N_FRAMES = 96, 64, 8
+#: PSNR cap used when frames match exactly (JSON cannot carry inf).
+_PSNR_CAP = 99.0
+#: The machine whose counters the traced cells snapshot.
+_MACHINE = SGI_ONYX2
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """One point on the resilience-tool ladder."""
+
+    name: str
+    data_partitioning: bool = False
+    reversible_vlc: bool = False
+    fec_group: int = 0
+    interleave_depth: int = 1
+
+    def codec_config(self) -> CodecConfig:
+        return CodecConfig(
+            _WIDTH,
+            _HEIGHT,
+            qp=8,
+            gop_size=4,
+            m_distance=1,
+            resync_markers=True,
+            data_partitioning=self.data_partitioning,
+            reversible_vlc=self.reversible_vlc,
+        )
+
+    def transport_config(self, loss_rate: float, seed: int) -> TransportConfig:
+        return TransportConfig(
+            max_payload=128,
+            loss_rate=loss_rate,
+            seed=seed,
+            fec_group=self.fec_group,
+            interleave_depth=self.interleave_depth,
+        )
+
+
+#: The ladder the study compares, weakest to strongest.
+RESILIENCE_CONFIGS: dict[str, ResilienceConfig] = {
+    "plain": ResilienceConfig("plain"),
+    "dp": ResilienceConfig("dp", data_partitioning=True),
+    "dp_rvlc": ResilienceConfig("dp_rvlc", data_partitioning=True, reversible_vlc=True),
+    "dp_rvlc_fec": ResilienceConfig(
+        "dp_rvlc_fec",
+        data_partitioning=True,
+        reversible_vlc=True,
+        fec_group=4,
+        interleave_depth=4,
+    ),
+}
+
+#: Default sweep grid.
+DEFAULT_LOSSES = (0.0, 0.01, 0.03, 0.05, 0.10)
+DEFAULT_SEEDS = tuple(range(5))
+#: Reduced grid for the CI smoke job (~50 seeded loss cases).
+SMOKE_LOSSES = (0.02, 0.05, 0.10)
+SMOKE_SEEDS = tuple(range(4))
+
+
+@dataclass(frozen=True)
+class ResilienceCell:
+    """One (configuration, loss rate, channel seed) study point."""
+
+    config: str
+    loss_rate: float
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.config}@l{self.loss_rate:g}+s{self.seed}"
+
+
+def _source_frames():
+    scene = SyntheticScene(SceneSpec.default(_WIDTH, _HEIGHT))
+    return [scene.frame(i) for i in range(_N_FRAMES)]
+
+
+def _encode(config: ResilienceConfig) -> bytes:
+    frames = _source_frames()
+    return VopEncoder(config.codec_config()).encode_sequence(frames).data
+
+
+def _mean_psnr(sources, decoded_frames) -> float:
+    values = []
+    for source, out in zip(sources, decoded_frames):
+        value = psnr(source.y, out.y)
+        values.append(min(value, _PSNR_CAP))
+    return sum(values) / len(values) if values else 0.0
+
+
+def _counter_snapshot(counters) -> dict:
+    return {
+        field.name: int(getattr(counters, field.name))
+        for field in fields(counters)
+        if field.name != "clock"
+    }
+
+
+def _traced_decode_counters(stream: bytes) -> dict:
+    """Memory-hierarchy counters of the tolerant (concealing) decode.
+
+    Runs the damaged stream through the instrumented decoder -- which
+    emits concealment-pass traffic for lost rows -- and replays the
+    recording into the study machine's cache hierarchy.
+    """
+    from repro.trace.persistence import TraceCapture
+    from repro.trace.recorder import TraceRecorder
+
+    capture = TraceCapture()
+    recorder = TraceRecorder([capture])
+    decoder = VopDecoder(recorder, "res.vo0.vol0")
+    try:
+        decoder.decode_sequence(stream, tolerate_errors=True)
+    except BitstreamError:
+        pass  # counters up to the rejection point are still meaningful
+    hierarchy = _MACHINE.build_hierarchy()
+    for batch in capture.batches:
+        hierarchy.process(batch.collapsed())
+    return _counter_snapshot(hierarchy.total)
+
+
+def run_cell(
+    cell: ResilienceCell,
+    encoded: bytes | None = None,
+    trace_counters: bool = False,
+) -> dict:
+    """Execute one study point; returns its JSON-serializable record."""
+    config = RESILIENCE_CONFIGS[cell.config]
+    if encoded is None:
+        encoded = _encode(config)
+    transport = transmit_stream(
+        encoded, config.transport_config(cell.loss_rate, cell.seed)
+    )
+    sources = _source_frames()
+    record: dict = {
+        "cell_id": cell.cell_id,
+        "config": cell.config,
+        "loss_rate": cell.loss_rate,
+        "seed": cell.seed,
+        "transport": {
+            "n_data_packets": transport.n_data_packets,
+            "n_sent_packets": transport.n_sent_packets,
+            "n_dropped": transport.n_dropped,
+            "n_recovered": transport.n_recovered,
+            "n_unrepaired": len(transport.lost_seqs),
+        },
+    }
+    try:
+        decoded = VopDecoder().decode_sequence(transport.stream, tolerate_errors=True)
+    except BitstreamError as error:
+        record["decode"] = {
+            "outcome": "rejected",
+            "error": type(error).__name__,
+            "mean_psnr_db": 0.0,
+        }
+    else:
+        outcome = "decoded" if decoded.is_clean else "concealed"
+        record["decode"] = {
+            "outcome": outcome,
+            "mean_psnr_db": round(_mean_psnr(sources, decoded.frames), 4),
+            "concealed_frames": decoded.concealed_frames,
+            "lost_packets": sum(s.lost_packets for s in decoded.vop_stats),
+            "texture_concealed_mbs": sum(
+                s.texture_concealed_mbs for s in decoded.vop_stats
+            ),
+            "rvlc_salvaged_blocks": sum(
+                s.rvlc_salvaged_blocks for s in decoded.vop_stats
+            ),
+        }
+    if trace_counters:
+        record["counters"] = _traced_decode_counters(transport.stream)
+    return record
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, indent=2, sort_keys=True) + "\n"
+
+
+def _cell_path(run_dir: Path, cell: ResilienceCell) -> Path:
+    return run_dir / "cells" / f"{cell.cell_id}.json"
+
+
+def _load_valid_cell(path: Path) -> dict | None:
+    """A previously published cell record, or None if absent/corrupt."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    digest = payload.pop("digest", None)
+    if digest != sha256_hex(_canonical(payload).encode("utf-8")):
+        return None
+    return payload
+
+
+def _next_attempt(run_dir: Path, cell: ResilienceCell) -> int:
+    """Persisted per-cell attempt counter (chaos draws vary per attempt)."""
+    marker = run_dir / "cells" / f"{cell.cell_id}.attempt"
+    try:
+        attempt = int(marker.read_text()) + 1
+    except (OSError, ValueError):
+        attempt = 1
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    marker.write_text(str(attempt))
+    return attempt
+
+
+def grid_cells(losses, seeds, configs=None) -> list[ResilienceCell]:
+    names = list(configs) if configs is not None else list(RESILIENCE_CONFIGS)
+    return [
+        ResilienceCell(name, loss, seed)
+        for name in names
+        for loss in losses
+        for seed in seeds
+    ]
+
+
+def run_sweep(
+    run_dir: str | Path,
+    losses=DEFAULT_LOSSES,
+    seeds=DEFAULT_SEEDS,
+    configs=None,
+    resume: bool = False,
+    trace_counters: bool = True,
+) -> dict:
+    """Run (or finish) a resilience sweep; returns the summary dict.
+
+    Memory-hierarchy counters are traced for each grid's first seed only
+    (the traced decode is an order of magnitude slower than a plain one,
+    and the counters are seed-independent in shape).
+    """
+    run_dir = Path(run_dir)
+    cells = grid_cells(losses, seeds, configs)
+    encoded_cache: dict[str, bytes] = {}
+    skipped = 0
+    first_seed = min(seeds) if seeds else 0
+    for cell in cells:
+        path = _cell_path(run_dir, cell)
+        if resume and _load_valid_cell(path) is not None:
+            skipped += 1
+            continue
+        attempt = _next_attempt(run_dir, cell)
+        # Chaos kill/spin drills strike here, exactly like study workers.
+        strike_from_env(POINT_WORKER_CELL, f"{cell.cell_id}/a{attempt}")
+        if cell.config not in encoded_cache:
+            encoded_cache[cell.config] = _encode(RESILIENCE_CONFIGS[cell.config])
+        record = run_cell(
+            cell,
+            encoded=encoded_cache[cell.config],
+            trace_counters=trace_counters and cell.seed == first_seed,
+        )
+        record["digest"] = sha256_hex(_canonical(record).encode("utf-8"))
+        atomic_write(path, _canonical(record))
+    summary = summarize(run_dir, losses, seeds, configs)
+    atomic_write(run_dir / "summary.json", _canonical(summary))
+    summary["skipped_cells"] = skipped
+    return summary
+
+
+def summarize(run_dir: str | Path, losses, seeds, configs=None) -> dict:
+    """Aggregate published cells into PSNR-vs-loss and recovery curves."""
+    run_dir = Path(run_dir)
+    curves: dict = {}
+    missing: list[str] = []
+    names = list(configs) if configs is not None else list(RESILIENCE_CONFIGS)
+    for name in names:
+        per_loss = {}
+        for loss in losses:
+            records = []
+            for seed in seeds:
+                cell = ResilienceCell(name, loss, seed)
+                record = _load_valid_cell(_cell_path(run_dir, cell))
+                if record is None:
+                    missing.append(cell.cell_id)
+                    continue
+                records.append(record)
+            if not records:
+                continue
+            dropped = sum(r["transport"]["n_dropped"] for r in records)
+            recovered = sum(r["transport"]["n_recovered"] for r in records)
+            outcomes = {"decoded": 0, "concealed": 0, "rejected": 0}
+            for r in records:
+                outcomes[r["decode"]["outcome"]] += 1
+            per_loss[f"{loss:g}"] = {
+                "mean_psnr_db": round(
+                    sum(r["decode"]["mean_psnr_db"] for r in records) / len(records),
+                    4,
+                ),
+                "recovery_rate": round(recovered / dropped, 4) if dropped else 1.0,
+                "outcomes": outcomes,
+                "cells": len(records),
+            }
+        curves[name] = per_loss
+    return {"format": 1, "grid": {"losses": [f"{l:g}" for l in losses],
+                                  "seeds": list(seeds)}, "curves": curves,
+            "missing_cells": sorted(missing)}
+
+
+def render_summary(summary: dict) -> str:
+    """Plain-text PSNR-vs-loss table (mirrors the paper's table style)."""
+    losses = summary["grid"]["losses"]
+    lines = []
+    header = f"{'config':<14}" + "".join(f"{('loss ' + l):>17}" for l in losses)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, per_loss in summary["curves"].items():
+        row = f"{name:<14}"
+        for loss in losses:
+            point = per_loss.get(loss)
+            if point is None:
+                row += f"{'--':>17}"
+            else:
+                row += (
+                    f"{point['mean_psnr_db']:>9.2f}dB"
+                    f"/{point['recovery_rate']:>4.0%}"
+                )
+        lines.append(row)
+    lines.append("")
+    lines.append("cell outcomes (decoded clean / decoded with concealment / rejected):")
+    for name, per_loss in summary["curves"].items():
+        parts = []
+        for loss in losses:
+            point = per_loss.get(loss)
+            if point is None:
+                continue
+            o = point["outcomes"]
+            parts.append(f"l{loss}: {o['decoded']}/{o['concealed']}/{o['rejected']}")
+        lines.append(f"  {name:<14}{'  '.join(parts)}")
+    return "\n".join(lines)

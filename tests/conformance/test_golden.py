@@ -29,6 +29,18 @@ class TestComputeGolden:
         for digest in (*vectors["bitstreams"].values(), *vectors["frames"].values()):
             assert len(digest) == 64 and int(digest, 16) >= 0
 
+    def test_resilience_vector_pins_the_lossy_path(self, vectors):
+        resilience = vectors["resilience"]
+        assert len(resilience["bitstream"]) == 64
+        assert resilience["packets"]["count"] > 0
+        assert len(resilience["packets"]["framing"]) == 64
+        post_loss = resilience["post_loss"]
+        # The pinned channel seed must actually damage the stream, so
+        # the digest covers the concealment path, not a clean decode.
+        assert post_loss["dropped"] > post_loss["recovered"]
+        assert post_loss["concealed_packets"] > 0
+        assert len(post_loss["frames"]) == 64
+
     def test_counters_are_integers(self, vectors):
         for cell in vectors["counters"].values():
             assert cell  # non-empty snapshot

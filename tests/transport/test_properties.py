@@ -1,0 +1,170 @@
+"""Property tests over the transport stack and the reversible VLC.
+
+Three invariant families back the resilience study's claims:
+
+- RVLC symmetry: every event list decodes identically forward and
+  backward, which is the whole premise of backward salvage;
+- lossless transport: packetize -> (FEC) -> interleave -> channel at
+  zero loss -> reassemble is the identity on arbitrary bitstreams;
+- FEC recovery: any single lost data packet per parity group is
+  reconstructed bit-exactly, including its framing metadata.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.bitstream import BitReader, BitWriter, ReverseBitReader
+from repro.codec.vlc import (
+    decode_coefficient_event_rvlc,
+    decode_coefficient_event_rvlc_backward,
+    encode_coefficient_event_rvlc,
+    read_rvlc_ue,
+    read_rvlc_ue_backward,
+    write_rvlc_ue,
+)
+from repro.transport import (
+    Packet,
+    TransportConfig,
+    add_parity,
+    deinterleave,
+    depacketize,
+    interleave,
+    packetize,
+    recover_with_parity,
+    transmit_stream,
+)
+
+events_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=20),      # run
+        st.integers(min_value=-2047, max_value=2047).filter(lambda v: v != 0),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _streams(draw_sections):
+    """Bitstream-shaped byte strings: startcode-delimited sections."""
+    return st.lists(
+        st.binary(min_size=1, max_size=90).map(
+            lambda body: b"\x00\x00\x01\xb6" + body.replace(b"\x00\x00\x01", b"\x00\x01\x01")
+        ),
+        min_size=1,
+        max_size=8,
+    ).map(b"".join)
+
+
+class TestRvlcSymmetry:
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_ue_forward_backward_roundtrip(self, value):
+        writer = BitWriter()
+        write_rvlc_ue(writer, value)
+        bits = writer.bit_position
+        writer.byte_align()
+        data = writer.getvalue()
+        assert read_rvlc_ue(BitReader(data)) == value
+        assert read_rvlc_ue_backward(ReverseBitReader(data, 0, bits)) == value
+
+    @given(events_strategy)
+    @settings(max_examples=60)
+    def test_event_list_decodes_identically_both_ways(self, run_levels):
+        writer = BitWriter()
+        events = [
+            (1 if index == len(run_levels) - 1 else 0, run, level)
+            for index, (run, level) in enumerate(run_levels)
+        ]
+        for last, run, level in events:
+            encode_coefficient_event_rvlc(writer, last, run, level)
+        end_bit = writer.bit_position
+        writer.byte_align()
+        data = writer.getvalue()
+
+        reader = BitReader(data)
+        forward = [decode_coefficient_event_rvlc(reader) for _ in events]
+        assert forward == events
+
+        backward_reader = ReverseBitReader(data, 0, end_bit)
+        backward = [
+            decode_coefficient_event_rvlc_backward(backward_reader)
+            for _ in events
+        ]
+        assert backward == events[::-1]
+
+
+class TestLosslessTransport:
+    @given(_streams(None), st.integers(min_value=16, max_value=512))
+    @settings(max_examples=60)
+    def test_packetize_roundtrip(self, stream, max_payload):
+        packets = packetize(stream, max_payload)
+        assert all(len(p.payload) <= max_payload for p in packets)
+        reassembled, lost = depacketize(packets)
+        assert reassembled == stream
+        assert lost == []
+
+    @given(
+        _streams(None),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40)
+    def test_zero_loss_pipeline_is_identity(self, stream, fec_group, depth):
+        result = transmit_stream(
+            stream,
+            TransportConfig(
+                max_payload=64,
+                loss_rate=0.0,
+                seed=1,
+                fec_group=fec_group,
+                interleave_depth=depth,
+            ),
+        )
+        assert result.stream == stream
+        assert result.lost_seqs == ()
+        assert result.delivered_intact
+
+    @given(st.lists(st.integers(), max_size=40), st.integers(min_value=1, max_value=9))
+    def test_interleave_is_a_permutation(self, items, depth):
+        shuffled = interleave(items, depth)
+        assert sorted(shuffled) == sorted(items)
+        assert deinterleave(shuffled, depth) == items
+
+
+class TestFecRecovery:
+    @given(
+        st.lists(st.binary(min_size=1, max_size=40), min_size=1, max_size=14),
+        st.integers(min_value=1, max_value=5),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_any_single_loss_per_group_recovers(self, payloads, group_size, data):
+        packets = [
+            Packet(seq, payload, starts_section=seq % 2 == 0)
+            for seq, payload in enumerate(payloads)
+        ]
+        protected = add_parity(packets, group_size)
+        drop_seq = data.draw(
+            st.integers(min_value=0, max_value=len(packets) - 1)
+        )
+        survivors = [
+            p for p in protected if p.is_parity or p.seq != drop_seq
+        ]
+        recovered, n_recovered = recover_with_parity(survivors, group_size)
+        assert n_recovered == 1
+        assert [(p.seq, p.payload, p.starts_section) for p in recovered] == [
+            (p.seq, p.payload, p.starts_section) for p in packets
+        ]
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=40), min_size=4, max_size=12),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=30)
+    def test_double_loss_in_group_does_not_fabricate(self, payloads, group_size):
+        packets = [Packet(seq, payload) for seq, payload in enumerate(payloads)]
+        protected = add_parity(packets, group_size)
+        # Drop the first two data packets of group 0: unrecoverable.
+        survivors = [p for p in protected if p.is_parity or p.seq > 1]
+        recovered, n_recovered = recover_with_parity(survivors, group_size)
+        assert n_recovered == 0
+        assert all(p.seq > 1 for p in recovered)
