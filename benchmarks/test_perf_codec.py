@@ -1,0 +1,70 @@
+"""Throughput benchmark for the batched codec engine.
+
+Times full encode/decode passes under ``REPRO_CODEC_ENGINE=reference``
+(per-macroblock Python loops) and ``=batched`` (frame-level kernels) on
+the same QCIF sequence, verifies the bitstreams agree, and snapshots
+frames/second plus the speedup to ``BENCH_codec.json`` at the
+repository root.
+
+Run standalone (writes the JSON unconditionally)::
+
+    PYTHONPATH=src python benchmarks/test_perf_codec.py
+
+or as a pytest perf smoke (asserts the batched engine actually pays)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_codec.py -q
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.codec.bench import format_report, run_codec_benchmark
+from repro.ioutil import atomic_write
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_codec.json"
+
+#: The batched engine must beat the per-MB reference by at least this
+#: much on encode (measured ~14x; the floor leaves slack for slow CI).
+MIN_ENCODE_SPEEDUP = 3.0
+
+#: Decode is dominated by bit-serial VLC parsing either way; batching
+#: the reconstruction must at least not regress it.
+MIN_DECODE_SPEEDUP = 0.9
+
+
+@pytest.fixture(scope="module")
+def record() -> dict:
+    result = run_codec_benchmark()
+    atomic_write(RESULT_PATH, json.dumps(result, indent=2) + "\n")
+    return result
+
+
+class TestCodecPerfSmoke:
+    def test_batched_encode_is_measurably_faster(self, record):
+        assert record["encode_speedup"] >= MIN_ENCODE_SPEEDUP, format_report(record)
+
+    def test_batched_decode_does_not_regress(self, record):
+        assert record["decode_speedup"] >= MIN_DECODE_SPEEDUP, format_report(record)
+
+    def test_record_is_complete(self, record):
+        for engine in ("reference", "batched"):
+            numbers = record["engines"][engine]
+            assert numbers["encode_fps"] > 0
+            assert numbers["decode_fps"] > 0
+        assert record["bitstream_bytes"] > 0
+
+
+def main() -> None:
+    result = run_codec_benchmark()
+    atomic_write(RESULT_PATH, json.dumps(result, indent=2) + "\n")
+    print(format_report(result))
+    print(f"wrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

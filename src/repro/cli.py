@@ -14,6 +14,7 @@ Regenerates paper artifacts from the shell:
    $ python -m repro study --resume <id>    # finish a killed run
    $ python -m repro chaos --cases 100      # seeded fault-injection sweep
    $ python -m repro resilience --smoke     # PSNR-vs-loss transport study
+   $ python -m repro bench codec            # engine throughput benchmark
 """
 
 from __future__ import annotations
@@ -36,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (table1..table8, fig2..fig4), 'all', 'list', "
-            "'conformance', 'fuzz', 'study', 'chaos', or 'resilience'"
+            "'conformance', 'fuzz', 'study', 'chaos', 'resilience', or 'bench'"
         ),
     )
     parser.add_argument(
@@ -94,6 +95,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.transport.cli import resilience_main
 
         return resilience_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.codec.bench import bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine

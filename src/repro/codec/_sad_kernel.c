@@ -1,0 +1,75 @@
+/* Full-pel exhaustive SAD motion search over every macroblock of a VOP.
+ *
+ * Exact transcription of the window semantics of motion.full_search on
+ * an *unclamped* search window (search_range <= BORDER guarantees the
+ * expanded reference plane contains every candidate):
+ *
+ *   - candidates are scanned row-major in (dy, dx);
+ *   - a strictly smaller SAD wins, so the first minimum in scan order is
+ *     kept -- matching np.argmin over the candidate grid;
+ *   - the (0, 0) candidate is biased by -zero_bias before comparison and
+ *     the bias is re-added when it wins (MoMuSys zero-MV bias).
+ *
+ * The row-wise early exit mirrors the early-terminating scalar loop the
+ * trace work model describes: a candidate whose partial SAD already
+ * exceeds the running best can only grow, so skipping its remaining rows
+ * never changes the winner or the winning SAD.
+ */
+
+#include <stdint.h>
+#include <limits.h>
+
+void sad_full_search(
+    const uint8_t *ref, const uint8_t *cur, int64_t stride,
+    int64_t mb_rows, int64_t mb_cols, int64_t border,
+    int64_t range, int64_t zero_bias,
+    int32_t *out_dx, int32_t *out_dy, int32_t *out_sad)
+{
+    const int64_t n = 16;
+    for (int64_t mr = 0; mr < mb_rows; mr++) {
+        for (int64_t mc = 0; mc < mb_cols; mc++) {
+            const int64_t y0 = border + mr * n;
+            const int64_t x0 = border + mc * n;
+            const uint8_t *cb = cur + y0 * stride + x0;
+            int32_t best = INT32_MAX;
+            int32_t best_dy = 0, best_dx = 0;
+            for (int64_t dy = -range; dy <= range; dy++) {
+                const uint8_t *rrow = ref + (y0 + dy) * stride + x0;
+                for (int64_t dx = -range; dx <= range; dx++) {
+                    const uint8_t *rp = rrow + dx;
+                    const uint8_t *cp = cb;
+                    const int is_zero = (dy == 0 && dx == 0);
+                    /* Early-exit threshold in *unbiased* units. */
+                    const int64_t limit =
+                        is_zero ? (int64_t)best + zero_bias : (int64_t)best;
+                    int32_t sad = 0;
+                    for (int64_t y = 0; y < n; y++) {
+                        int32_t row = 0;
+                        for (int64_t x = 0; x < n; x++) {
+                            int32_t d = (int32_t)rp[x] - (int32_t)cp[x];
+                            row += d < 0 ? -d : d;
+                        }
+                        sad += row;
+                        if ((int64_t)sad > limit)
+                            break;
+                        rp += stride;
+                        cp += stride;
+                    }
+                    if (is_zero)
+                        sad -= (int32_t)zero_bias;
+                    if (sad < best) {
+                        best = sad;
+                        best_dy = (int32_t)dy;
+                        best_dx = (int32_t)dx;
+                    }
+                }
+            }
+            if (best_dy == 0 && best_dx == 0)
+                best += (int32_t)zero_bias;
+            const int64_t i = mr * mb_cols + mc;
+            out_dx[i] = best_dx;
+            out_dy[i] = best_dy;
+            out_sad[i] = best;
+        }
+    }
+}

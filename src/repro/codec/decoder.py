@@ -29,8 +29,11 @@ from repro.codec.bitstream import (
     BitReader,
     ReverseBitReader,
 )
+from repro.codec.batched import predict_many
 from repro.codec.dct import inverse_dct
 from repro.codec.encoder import LUMA_BLOCK_OFFSETS
+from repro.codec.engine import ENGINE_BATCHED, IDCT_FIXED, codec_engine, codec_idct
+from repro.codec.fastidct import inverse_dct_fixed
 from repro.codec.errors import (
     BitstreamError,
     DecodeBudgetExceededError,
@@ -133,6 +136,7 @@ class VopDecoder:
         self._bwork: FrameStore | None = None
         self._stream_region = None
         self._output_region = None
+        self._recon_idct = inverse_dct
 
     def decode_sequence(
         self, data: bytes, tolerate_errors: bool = False
@@ -401,6 +405,17 @@ class VopDecoder:
     def _decode_macroblocks(
         self, reader, vop_type, qp, mask, past, future, recon_store, vop_stats
     ) -> None:
+        # Arbitrary-shape VOPs keep the per-macroblock reference loop;
+        # everything else decodes whole rows through the batched kernels.
+        # Data-partitioned packets always parse through the reference path
+        # (their salvage machinery is inherently per-event), but share the
+        # configured reconstruction IDCT so fixed-point streams stay
+        # drift-free with the encoder.
+        batched = codec_engine() == ENGINE_BATCHED and mask is None
+        self._recon_idct = (
+            inverse_dct_fixed if batched and codec_idct() == IDCT_FIXED else inverse_dct
+        )
+        batched_rows = batched and not self.data_partitioning
         mb_rows = self.height // MB_SIZE
         mb_cols = self.width // MB_SIZE
         dc_preds = self._make_dc_predictors(vop_type)
@@ -437,6 +452,11 @@ class VopDecoder:
                     self._rec.begin_mb_row(row)
                 if self.data_partitioning:
                     self._decode_row_partitioned(
+                        reader, vop_type, qp, past, future, recon_store,
+                        vop_stats, dc_preds, mv_grid, row,
+                    )
+                elif batched_rows:
+                    self._decode_mb_row_batched(
                         reader, vop_type, qp, past, future, recon_store,
                         vop_stats, dc_preds, mv_grid, row,
                     )
@@ -495,6 +515,284 @@ class VopDecoder:
                     reader, qp, mb_y, mb_x, past, future, recon_store,
                     pred_fwd, pred_bwd, vop_stats,
                 )
+
+    # -- batched (whole-row) decode --------------------------------------------
+
+    @staticmethod
+    def _check_plane_bounds(shape, y: int, x: int, mv: MotionVector, size: int) -> None:
+        """Replicate :func:`repro.codec.motion.compensate`'s bounds check."""
+        fx, rx = divmod(mv.dx, 2)
+        fy, ry = divmod(mv.dy, 2)
+        src_y = y + fy
+        src_x = x + fx
+        need_y = size + (1 if ry else 0)
+        need_x = size + (1 if rx else 0)
+        height, width = shape
+        if src_y < 0 or src_x < 0 or src_y + need_y > height or src_x + need_x > width:
+            raise ValueError(
+                f"compensation source ({src_y}, {src_x}) size {need_y}x{need_x} "
+                f"escapes reference {height}x{width}"
+            )
+
+    def _check_mc_bounds(
+        self, store_ref: FrameStore, mb_y: int, mb_x: int, mv: MotionVector
+    ) -> None:
+        """Raise exactly where the per-MB reference prediction would.
+
+        The reference decoder's :meth:`_predict_mb` raises (from
+        ``compensate``) *before* emitting its trace hook; the batched row
+        decoder defers the actual compensation, so a corrupt motion
+        vector must be rejected at the same parse point to keep tolerant
+        decodes and traces identical.
+        """
+        self._check_plane_bounds(
+            store_ref.y.shape, BORDER + mb_y, BORDER + mb_x, mv, MB_SIZE
+        )
+        self._check_plane_bounds(
+            store_ref.u.shape, BORDER + mb_y // 2, BORDER + mb_x // 2, mv.chroma(), 8
+        )
+
+    def _emit_mc_hook(self, store_ref: FrameStore, mb_y: int, mb_x: int, mv) -> None:
+        if self._rec is not None:
+            self._tk.mc_mb(self._rec, store_ref.fmap, mb_y, mb_x, mv.dx | mv.dy)
+
+    def _emit_texture_hook(self, kind: str, recon_store, mb_y, mb_x, cbp, n_events):
+        if self._rec is not None:
+            self._tk.mb_texture(
+                self._rec, kind, None, recon_store.fmap, mb_y, mb_x,
+                n_coded_blocks=bin(cbp).count("1") if kind == "inter_dec" else 6,
+                n_events=n_events,
+            )
+
+    def _scatter_row_pixels(self, store: FrameStore, row: int, pixels: np.ndarray) -> None:
+        """Write one macroblock row of (cols, 6, 8, 8) uint8 blocks."""
+        mb_cols = pixels.shape[0]
+        y16 = np.empty((mb_cols, MB_SIZE, MB_SIZE), dtype=np.uint8)
+        for index, (by, bx) in enumerate(LUMA_BLOCK_OFFSETS):
+            y16[:, by : by + 8, bx : bx + 8] = pixels[:, index]
+        y0 = BORDER + row * MB_SIZE
+        cy0 = BORDER + row * 8
+        store.y[y0 : y0 + MB_SIZE, BORDER : BORDER + mb_cols * MB_SIZE] = (
+            y16.transpose(1, 0, 2).reshape(MB_SIZE, mb_cols * MB_SIZE)
+        )
+        store.u[cy0 : cy0 + 8, BORDER : BORDER + mb_cols * 8] = (
+            pixels[:, 4].transpose(1, 0, 2).reshape(8, mb_cols * 8)
+        )
+        store.v[cy0 : cy0 + 8, BORDER : BORDER + mb_cols * 8] = (
+            pixels[:, 5].transpose(1, 0, 2).reshape(8, mb_cols * 8)
+        )
+
+    def _predict_row_many(self, store_ref: FrameStore, row: int, cols, mvs) -> np.ndarray:
+        """Batched six-block predictions for a subset of one row's MBs."""
+        mb_ys = np.full(len(cols), row * MB_SIZE, dtype=np.int64)
+        mb_xs = np.asarray(cols, dtype=np.int64) * MB_SIZE
+        mv_dx = np.array([mv.dx for mv in mvs], dtype=np.int64)
+        mv_dy = np.array([mv.dy for mv in mvs], dtype=np.int64)
+        prediction, _ = predict_many(
+            store_ref.y, store_ref.u, store_ref.v, mb_ys, mb_xs, mv_dx, mv_dy, BORDER
+        )
+        return prediction
+
+    def _decode_mb_row_batched(
+        self, reader, vop_type, qp, past, future, recon_store,
+        vop_stats, dc_preds, mv_grid, row,
+    ) -> None:
+        """Whole-row decode: sequential parse, batched reconstruction.
+
+        Phase 1 walks the row's macroblocks through the same VLC parse as
+        the reference decoder -- emitting statistics, trace hooks and
+        parse-time errors in identical order -- but only records what each
+        MB needs.  Phase 2 then reconstructs the entire row with the
+        frame-level kernels and scatters it in one strip write.  A parse
+        error leaves the row unwritten, which is outcome-identical: the
+        concealment handler overwrites the full row strip anyway.
+        """
+        mb_cols = self.width // MB_SIZE
+        records: list[tuple] = []
+        pred_fwd = ZERO_MV
+        pred_bwd = ZERO_MV
+        intra_levels: list[np.ndarray] = []
+        for col in range(mb_cols):
+            mb_y = row * MB_SIZE
+            mb_x = col * MB_SIZE
+            if vop_type is VopType.I:
+                levels, n_events = self._parse_intra_mb(reader, dc_preds, row, col)
+                vop_stats.intra_mbs += 1
+                vop_stats.coded_coefficients += n_events
+                self._emit_texture_hook(
+                    "intra_dec", recon_store, mb_y, mb_x, 0, n_events
+                )
+                records.append(("intra", len(intra_levels)))
+                intra_levels.append(levels)
+                continue
+            header = vlc.decode_macroblock_header(reader, inter_allowed=True)
+            if vop_type is VopType.P:
+                if header.is_skipped:
+                    self._check_mc_bounds(past, mb_y, mb_x, ZERO_MV)
+                    self._emit_mc_hook(past, mb_y, mb_x, ZERO_MV)
+                    vop_stats.skipped_mbs += 1
+                    mv_grid[row][col] = ZERO_MV
+                    records.append(("skip_p", None))
+                    continue
+                if header.is_intra:
+                    levels, n_events = self._parse_intra_mb(
+                        reader, None, row, col, inter_allowed=True, header=header
+                    )
+                    vop_stats.intra_mbs += 1
+                    vop_stats.coded_coefficients += n_events
+                    self._emit_texture_hook(
+                        "intra_dec", recon_store, mb_y, mb_x, 0, n_events
+                    )
+                    mv_grid[row][col] = ZERO_MV
+                    records.append(("intra", len(intra_levels)))
+                    intra_levels.append(levels)
+                    continue
+                predictor = self._mv_predictor(
+                    mv_grid, row, col, cross_row=not self.resync_markers
+                )
+                dx = vlc.decode_mv_component(reader)
+                dy = vlc.decode_mv_component(reader)
+                mv = MotionVector(predictor.dx + dx, predictor.dy + dy)
+                mv_grid[row][col] = mv
+                levels, n_events = self._read_residual_levels(reader, header.cbp)
+                self._check_mc_bounds(past, mb_y, mb_x, mv)
+                self._emit_mc_hook(past, mb_y, mb_x, mv)
+                vop_stats.inter_mbs += 1
+                vop_stats.coded_coefficients += n_events
+                self._emit_texture_hook(
+                    "inter_dec", recon_store, mb_y, mb_x, header.cbp, n_events
+                )
+                records.append(("inter", levels, mv))
+                continue
+            # B-VOP
+            if header.is_skipped:
+                self._check_mc_bounds(past, mb_y, mb_x, ZERO_MV)
+                self._emit_mc_hook(past, mb_y, mb_x, ZERO_MV)
+                self._check_mc_bounds(future, mb_y, mb_x, ZERO_MV)
+                self._emit_mc_hook(future, mb_y, mb_x, ZERO_MV)
+                vop_stats.skipped_mbs += 1
+                records.append(("skip_b", None))
+                continue
+            if header.is_intra:
+                levels, n_events = self._parse_intra_mb(
+                    reader, None, 0, 0, inter_allowed=True, header=header
+                )
+                vop_stats.intra_mbs += 1
+                vop_stats.coded_coefficients += n_events
+                self._emit_texture_hook(
+                    "intra_dec", recon_store, mb_y, mb_x, 0, n_events
+                )
+                records.append(("intra", len(intra_levels)))
+                intra_levels.append(levels)
+                continue
+            mode = PredictionMode(reader.read_bits(2))
+            mv_f = mv_b = None
+            if mode in (PredictionMode.FORWARD, PredictionMode.BIDIRECTIONAL):
+                dx = vlc.decode_mv_component(reader)
+                dy = vlc.decode_mv_component(reader)
+                mv_f = MotionVector(pred_fwd.dx + dx, pred_fwd.dy + dy)
+                pred_fwd = mv_f
+            if mode in (PredictionMode.BACKWARD, PredictionMode.BIDIRECTIONAL):
+                dx = vlc.decode_mv_component(reader)
+                dy = vlc.decode_mv_component(reader)
+                mv_b = MotionVector(pred_bwd.dx + dx, pred_bwd.dy + dy)
+                pred_bwd = mv_b
+            levels, n_events = self._read_residual_levels(reader, header.cbp)
+            if mode is not PredictionMode.BACKWARD:
+                self._check_mc_bounds(past, mb_y, mb_x, mv_f)
+                self._emit_mc_hook(past, mb_y, mb_x, mv_f)
+            if mode is not PredictionMode.FORWARD:
+                self._check_mc_bounds(future, mb_y, mb_x, mv_b)
+                self._emit_mc_hook(future, mb_y, mb_x, mv_b)
+            vop_stats.inter_mbs += 1
+            vop_stats.coded_coefficients += n_events
+            self._emit_texture_hook(
+                "inter_dec", recon_store, mb_y, mb_x, header.cbp, n_events
+            )
+            records.append(("b", levels, mode, mv_f, mv_b))
+        self._reconstruct_row_batched(
+            records, intra_levels, qp, past, future, recon_store, row
+        )
+
+    def _reconstruct_row_batched(
+        self, records, intra_levels, qp, past, future, recon_store, row
+    ) -> None:
+        """Phase 2: batch-reconstruct one parsed row and scatter it."""
+        mb_cols = len(records)
+        pixels = np.empty((mb_cols, 6, 8, 8), dtype=np.uint8)
+        zero_levels = np.zeros((6, 8, 8), dtype=np.int32)
+
+        # Motion-compensated predictions, grouped per reference store.
+        past_cols, past_mvs = [], []
+        future_cols, future_mvs = [], []
+        for col, record in enumerate(records):
+            kind = record[0]
+            if kind in ("skip_p", "skip_b"):
+                past_cols.append(col)
+                past_mvs.append(ZERO_MV)
+                if kind == "skip_b":
+                    future_cols.append(col)
+                    future_mvs.append(ZERO_MV)
+            elif kind == "inter":
+                past_cols.append(col)
+                past_mvs.append(record[2])
+            elif kind == "b":
+                _, _, mode, mv_f, mv_b = record
+                if mode is not PredictionMode.BACKWARD:
+                    past_cols.append(col)
+                    past_mvs.append(mv_f)
+                if mode is not PredictionMode.FORWARD:
+                    future_cols.append(col)
+                    future_mvs.append(mv_b)
+        pred_past = {}
+        pred_future = {}
+        if past_cols:
+            block = self._predict_row_many(past, row, past_cols, past_mvs)
+            pred_past = dict(zip(past_cols, block))
+        if future_cols:
+            block = self._predict_row_many(future, row, future_cols, future_mvs)
+            pred_future = dict(zip(future_cols, block))
+
+        inter_cols, inter_preds, inter_levels = [], [], []
+        for col, record in enumerate(records):
+            kind = record[0]
+            if kind == "intra":
+                continue
+            if kind == "skip_p":
+                prediction = pred_past[col]
+                levels = zero_levels
+            elif kind == "skip_b":
+                prediction = (pred_past[col] + pred_future[col] + 1.0) // 2
+                levels = zero_levels
+            elif kind == "inter":
+                prediction = pred_past[col]
+                levels = record[1]
+            else:
+                _, levels, mode, _, _ = record
+                if mode is PredictionMode.FORWARD:
+                    prediction = pred_past[col]
+                elif mode is PredictionMode.BACKWARD:
+                    prediction = pred_future[col]
+                else:
+                    prediction = (pred_past[col] + pred_future[col] + 1.0) // 2
+            inter_cols.append(col)
+            inter_preds.append(prediction)
+            inter_levels.append(levels)
+        if inter_cols:
+            prediction = np.stack(inter_preds)
+            levels = np.stack(inter_levels)
+            recon = prediction + self._recon_idct(
+                dequantize_any(levels, qp, False, self.quant_method)
+            )
+            pixels[inter_cols] = np.clip(np.rint(recon), 0, 255).astype(np.uint8)
+
+        intra_cols = [col for col, record in enumerate(records) if record[0] == "intra"]
+        if intra_cols:
+            levels = np.stack([intra_levels[records[col][1]] for col in intra_cols])
+            recon = self._recon_idct(dequantize_any(levels, qp, True, self.quant_method))
+            pixels[intra_cols] = np.clip(np.rint(recon), 0, 255).astype(np.uint8)
+
+        self._scatter_row_pixels(recon_store, row, pixels)
 
     # -- data-partitioned packets ---------------------------------------------
 
@@ -790,7 +1088,9 @@ class VopDecoder:
                     block[0, 0] = record.dcs[index]
                     levels[index] = block
                 recon = np.clip(
-                    inverse_dct(dequantize_any(levels, qp, True, self.quant_method)),
+                    self._recon_idct(
+                        dequantize_any(levels, qp, True, self.quant_method)
+                    ),
                     0, 255,
                 )
                 self._scatter_mb(recon_store, mb_y, mb_x, recon)
@@ -818,7 +1118,7 @@ class VopDecoder:
                     prediction_f = self._predict_mb(past, mb_y, mb_x, record.mv_f)
                     prediction_b = self._predict_mb(future, mb_y, mb_x, record.mv_b)
                     prediction = (prediction_f + prediction_b + 1.0) // 2
-                recon = prediction + inverse_dct(
+                recon = prediction + self._recon_idct(
                     dequantize_any(levels, qp, False, self.quant_method)
                 )
                 self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))
@@ -947,6 +1247,32 @@ class VopDecoder:
         self, reader, qp, mb_y, mb_x, recon_store, dc_preds, row, col, vop_stats,
         inter_allowed: bool = False, header=None,
     ) -> None:
+        levels, n_events = self._parse_intra_mb(
+            reader, dc_preds, row, col, inter_allowed, header
+        )
+        recon = np.clip(
+            self._recon_idct(dequantize_any(levels, qp, True, self.quant_method)),
+            0,
+            255,
+        )
+        self._scatter_mb(recon_store, mb_y, mb_x, recon)
+        vop_stats.intra_mbs += 1
+        vop_stats.coded_coefficients += n_events
+        if self._rec is not None:
+            self._tk.mb_texture(
+                self._rec, "intra_dec", None, recon_store.fmap, mb_y, mb_x,
+                n_coded_blocks=6, n_events=n_events,
+            )
+
+    def _parse_intra_mb(
+        self, reader, dc_preds, row, col, inter_allowed: bool = False, header=None
+    ) -> tuple[np.ndarray, int]:
+        """Parse one intra macroblock's header, DCs and texture events.
+
+        Returns the quantized ``(6, 8, 8)`` levels (AC prediction already
+        resolved) plus the event count; reconstruction is the caller's
+        job, so the batched row decoder can defer it to a whole-row pass.
+        """
         if header is None:
             header = vlc.decode_macroblock_header(reader, inter_allowed)
         use_ac_pred = bool(reader.read_bit()) if dc_preds is not None else False
@@ -981,17 +1307,7 @@ class VopDecoder:
             if predictor is not None:
                 predictor.store(block_row, block_col, dc)
                 predictor.store_ac(block_row, block_col, block[0, 1:8], block[1:8, 0])
-        recon = np.clip(
-            inverse_dct(dequantize_any(levels, qp, True, self.quant_method)), 0, 255
-        )
-        self._scatter_mb(recon_store, mb_y, mb_x, recon)
-        vop_stats.intra_mbs += 1
-        vop_stats.coded_coefficients += n_events
-        if self._rec is not None:
-            self._tk.mb_texture(
-                self._rec, "intra_dec", None, recon_store.fmap, mb_y, mb_x,
-                n_coded_blocks=6, n_events=n_events,
-            )
+        return levels, n_events
 
     @staticmethod
     def _block_grid(dc_preds, index, row, col):
@@ -1029,7 +1345,7 @@ class VopDecoder:
         mv_grid[row][col] = mv
         levels, n_events = self._read_residual_levels(reader, header.cbp)
         prediction = self._predict_mb(past, mb_y, mb_x, mv)
-        recon = prediction + inverse_dct(
+        recon = prediction + self._recon_idct(
             dequantize_any(levels, qp, False, self.quant_method)
         )
         self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))
@@ -1090,7 +1406,7 @@ class VopDecoder:
             prediction_f = self._predict_mb(past, mb_y, mb_x, mv_f)
             prediction_b = self._predict_mb(future, mb_y, mb_x, mv_b)
             prediction = (prediction_f + prediction_b + 1.0) // 2
-        recon = prediction + inverse_dct(
+        recon = prediction + self._recon_idct(
             dequantize_any(levels, qp, False, self.quant_method)
         )
         self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))

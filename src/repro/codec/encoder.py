@@ -22,6 +22,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.codec import vlc
+from repro.codec.batched import (
+    full_search_plane,
+    gather_plane_blocks,
+    half_pel_refine_plane,
+    intra_decisions,
+    predict_many,
+    scatter_plane_blocks,
+)
 from repro.codec.bitstream import (
     MOTION_MARKER_STARTCODE,
     RESYNC_STARTCODE,
@@ -32,6 +40,8 @@ from repro.codec.bitstream import (
     BitWriter,
 )
 from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.engine import ENGINE_BATCHED, IDCT_FIXED, codec_engine, codec_idct
+from repro.codec.fastidct import inverse_dct_fixed
 from repro.codec.framestore import BORDER, FrameStore
 from repro.codec.motion import (
     MotionVector,
@@ -54,6 +64,7 @@ from repro.codec.predict import (
 from repro.codec.quant import (
     dequantize_any,
     quantize_any,
+    run_level_arrays,
     run_level_events,
     zigzag_scan,
 )
@@ -142,6 +153,7 @@ class VopEncoder:
         self._anchor_display = [-1, -1]
         self._next_anchor_slot = 0
         self._controller = make_controller(config)
+        self._recon_idct = inverse_dct
 
     # -- public API ----------------------------------------------------------
 
@@ -381,6 +393,33 @@ class VopEncoder:
         recon_store: FrameStore,
         vop_stats: VopStats,
     ) -> None:
+        # Arbitrary-shape VOLs keep the per-macroblock loop (transparent
+        # MBs make the work data-dependent); everything else defaults to
+        # the frame-level batched engine.
+        batched = codec_engine() == ENGINE_BATCHED and mask is None
+        self._recon_idct = (
+            inverse_dct_fixed if batched and codec_idct() == IDCT_FIXED else inverse_dct
+        )
+        if batched:
+            self._encode_macroblocks_batched(
+                writer, vop_type, qp, past, future, recon_store, vop_stats
+            )
+        else:
+            self._encode_macroblocks_reference(
+                writer, vop_type, qp, mask, past, future, recon_store, vop_stats
+            )
+
+    def _encode_macroblocks_reference(
+        self,
+        writer: BitWriter,
+        vop_type: VopType,
+        qp: int,
+        mask: np.ndarray | None,
+        past: FrameStore | None,
+        future: FrameStore | None,
+        recon_store: FrameStore,
+        vop_stats: VopStats,
+    ) -> None:
         config = self.config
         rec = self._rec
         mb_rows, mb_cols = config.mb_rows, config.mb_cols
@@ -470,6 +509,465 @@ class VopEncoder:
                     rec, self._stream_region, (bits_after - bits_before + 7) // 8
                 )
 
+    # -- batched (frame-level) macroblock layer --------------------------------
+
+    def _encode_macroblocks_batched(
+        self,
+        writer: BitWriter,
+        vop_type: VopType,
+        qp: int,
+        past: FrameStore | None,
+        future: FrameStore | None,
+        recon_store: FrameStore,
+        vop_stats: VopStats,
+    ) -> None:
+        """Frame-level fast path: whole-VOP kernels, per-MB serialization.
+
+        The pixel math (motion search, DCT/quant, reconstruction) runs
+        over block tensors covering the entire VOP; only the inherently
+        sequential parts -- VLC emission, MV/DC prediction chains and
+        trace hooks -- still walk macroblocks, in exactly the reference
+        order, so bitstreams, statistics and traces are bit-identical to
+        :meth:`_encode_macroblocks_reference`.
+        """
+        if vop_type is VopType.I:
+            self._encode_i_vop_batched(writer, qp, recon_store, vop_stats)
+        elif vop_type is VopType.P:
+            self._encode_p_vop_batched(writer, qp, past, recon_store, vop_stats)
+        else:
+            self._encode_b_vop_batched(writer, qp, past, future, recon_store, vop_stats)
+
+    def _gather_mb_tensor(self, store: FrameStore) -> tuple[np.ndarray, np.ndarray]:
+        """All macroblocks of a store: (rows, cols, 6, 8, 8) + luma 16x16."""
+        config = self.config
+        rows, cols = config.mb_rows, config.mb_cols
+        y16 = gather_plane_blocks(store.y, BORDER, rows, cols, MB_SIZE)
+        u8 = gather_plane_blocks(store.u, BORDER, rows, cols, 8)
+        v8 = gather_plane_blocks(store.v, BORDER, rows, cols, 8)
+        blocks = np.empty((rows, cols, 6, 8, 8), dtype=np.float64)
+        for index, (by, bx) in enumerate(LUMA_BLOCK_OFFSETS):
+            blocks[:, :, index] = y16[:, :, by : by + 8, bx : bx + 8]
+        blocks[:, :, 4] = u8
+        blocks[:, :, 5] = v8
+        return blocks, y16
+
+    def _scatter_mb_pixels(self, store: FrameStore, pixels: np.ndarray) -> None:
+        """Write a whole VOP of (rows, cols, 6, 8, 8) uint8 blocks."""
+        rows, cols = pixels.shape[:2]
+        y16 = np.empty((rows, cols, MB_SIZE, MB_SIZE), dtype=np.uint8)
+        for index, (by, bx) in enumerate(LUMA_BLOCK_OFFSETS):
+            y16[:, :, by : by + 8, bx : bx + 8] = pixels[:, :, index]
+        scatter_plane_blocks(store.y, y16, BORDER)
+        scatter_plane_blocks(store.u, pixels[:, :, 4], BORDER)
+        scatter_plane_blocks(store.v, pixels[:, :, 5], BORDER)
+
+    def _batched_motion(self, ref_store: FrameStore):
+        """Whole-VOP motion search against one reference store.
+
+        Returns ``(mv_dx, mv_dy, sads, candidates, hook_data)`` with the
+        final (half-pel) displacements.  With a trace recorder attached --
+        or when the search range exceeds the plane border, so windows
+        clamp -- the per-macroblock reference search runs instead of the
+        plane kernels: its early-termination work model (read counts, row
+        coverage) must survive batching, so those numbers are computed by
+        the original code and stashed in ``hook_data`` for the serializer
+        to emit in reference order.
+        """
+        config = self.config
+        rec = self._rec
+        mb_rows, mb_cols = config.mb_rows, config.mb_cols
+        search_range = config.search_range
+        if rec is not None or search_range > BORDER:
+            mv_dx = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+            mv_dy = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+            sads = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+            candidates = np.zeros((mb_rows, mb_cols), dtype=np.int64)
+            hook_data = [[None] * mb_cols for _ in range(mb_rows)]
+            for row in range(mb_rows):
+                for col in range(mb_cols):
+                    y0 = BORDER + row * MB_SIZE
+                    x0 = BORDER + col * MB_SIZE
+                    cur_block = self._cur.y[y0 : y0 + MB_SIZE, x0 : x0 + MB_SIZE]
+                    result = full_search(
+                        cur_block, ref_store.y, x0, y0, search_range,
+                        model_work=rec is not None,
+                    )
+                    halfpel_evals = 0
+                    final_mv, final_sad = result.mv, result.sad
+                    if config.use_half_pel:
+                        refined = half_pel_refine(
+                            cur_block, ref_store.y, x0, y0, result.mv, result.sad
+                        )
+                        halfpel_evals = refined.candidates_evaluated
+                        final_mv, final_sad = refined.mv, refined.sad
+                    mv_dx[row, col] = final_mv.dx
+                    mv_dy[row, col] = final_mv.dy
+                    sads[row, col] = final_sad
+                    candidates[row, col] = result.candidates_evaluated + halfpel_evals
+                    hook_data[row][col] = (result, halfpel_evals)
+            return mv_dx, mv_dy, sads, candidates, hook_data
+        full_dx, full_dy, full_sad = full_search_plane(
+            ref_store.y, self._cur.y, BORDER, mb_rows, mb_cols, search_range
+        )
+        if config.use_half_pel:
+            dx, dy, sad, evaluated = half_pel_refine_plane(
+                ref_store.y, self._cur.y, BORDER, full_dx, full_dy, full_sad
+            )
+        else:
+            dx = (2 * full_dx).astype(np.int32)
+            dy = (2 * full_dy).astype(np.int32)
+            sad = full_sad
+            evaluated = np.zeros((mb_rows, mb_cols), dtype=np.int32)
+        # Unclamped windows (search_range <= BORDER): every MB evaluates
+        # the full (2r+1)^2 grid, exactly like the reference search.
+        candidates = (2 * search_range + 1) ** 2 + evaluated.astype(np.int64)
+        return (
+            dx.astype(np.int64),
+            dy.astype(np.int64),
+            sad.astype(np.int64),
+            candidates,
+            None,
+        )
+
+    def _batched_residual_code(self, qp: int, residual: np.ndarray):
+        """Transform/quantize (n, 6, 8, 8) residuals and prep their VLC.
+
+        Returns ``(cbp, n_events, starts, payload, levels)``: per-MB coded
+        block patterns and event counts (Python lists), the prefix offsets
+        of each MB's event span, a payload for
+        :meth:`_write_block_events`, and the quantized levels for
+        reconstruction.  Non-reversible streams pre-pack every event into
+        one (code, length) pair so serialization is a single
+        ``write_bits`` per event.
+        """
+        method = self.config.quant_method
+        levels = quantize_any(forward_dct(residual), qp, False, method)
+        n_mbs = levels.shape[0]
+        scanned = zigzag_scan(levels).reshape(n_mbs * 6, 64)
+        block_idx, lasts, runs, event_levels = run_level_arrays(scanned)
+        counts = np.bincount(block_idx, minlength=n_mbs * 6).reshape(n_mbs, 6)
+        weights = np.array([32, 16, 8, 4, 2, 1], dtype=np.int64)
+        cbp = ((counts > 0) * weights).sum(axis=1)
+        n_events = counts.sum(axis=1)
+        starts = np.zeros(n_mbs + 1, dtype=np.int64)
+        np.cumsum(n_events, out=starts[1:])
+        if self.config.reversible_vlc:
+            payload = ("rvlc", lasts.tolist(), runs.tolist(), event_levels.tolist())
+        else:
+            codes, lengths = vlc.coefficient_event_codes(lasts, runs, event_levels)
+            payload = ("packed", codes.tolist(), lengths.tolist())
+        return cbp.tolist(), n_events.tolist(), starts.tolist(), payload, levels
+
+    @staticmethod
+    def _write_block_events(
+        texture_writer: BitWriter, payload, start: int, stop: int
+    ) -> None:
+        """Emit one macroblock's span of prepped texture events."""
+        if payload[0] == "packed":
+            _, codes, lengths = payload
+            for index in range(start, stop):
+                texture_writer.write_bits(codes[index], lengths[index])
+        else:
+            _, lasts, runs, levels = payload
+            for index in range(start, stop):
+                vlc.encode_coefficient_event_rvlc(
+                    texture_writer, lasts[index], runs[index], levels[index]
+                )
+
+    def _serialize_rows(self, writer: BitWriter, qp: int, code_mb, on_row=None) -> None:
+        """Row scaffolding shared by the batched serializers.
+
+        Replicates the reference row loop exactly: resync markers,
+        per-row prediction resets (``on_row``), the row trace hook and
+        data-partition splicing (motion marker + texture splice), with
+        per-MB ``stream_write`` accounting across both writers.
+        """
+        config = self.config
+        rec = self._rec
+        for row in range(config.mb_rows):
+            if config.resync_markers and row > 0:
+                writer.write_startcode(RESYNC_STARTCODE)
+                writer.write_ue(row)
+                writer.write_bits(qp, 5)
+            if on_row is not None:
+                on_row(row)
+            if rec is not None:
+                rec.begin_mb_row(row)
+            texture = BitWriter() if config.data_partitioning else writer
+            split = texture is not writer
+            for col in range(config.mb_cols):
+                bits_before = writer.bit_position + (
+                    texture.bit_position if split else 0
+                )
+                code_mb(writer, texture, row, col)
+                if rec is not None:
+                    bits_after = writer.bit_position + (
+                        texture.bit_position if split else 0
+                    )
+                    self._tk.stream_write(
+                        rec, self._stream_region, (bits_after - bits_before + 7) // 8
+                    )
+            if split:
+                writer.write_startcode(MOTION_MARKER_STARTCODE)
+                writer.extend(texture)
+
+    def _encode_i_vop_batched(
+        self, writer: BitWriter, qp: int, recon_store: FrameStore, vop_stats: VopStats
+    ) -> None:
+        config = self.config
+        method = config.quant_method
+        blocks, _ = self._gather_mb_tensor(self._cur)
+        levels = quantize_any(forward_dct(blocks), qp, True, method)
+        recon = self._recon_idct(dequantize_any(levels, qp, True, method))
+        pixels = np.clip(np.rint(recon), 0, 255).astype(np.uint8)
+        self._scatter_mb_pixels(recon_store, pixels)
+        state = {"dc_preds": self._make_dc_predictors()}
+
+        def on_row(row: int) -> None:
+            # Prediction must not cross video packets.
+            if config.resync_markers and row > 0:
+                state["dc_preds"] = self._make_dc_predictors()
+
+        def code_mb(writer, texture, row: int, col: int) -> None:
+            n_events = self._serialize_intra_mb(
+                writer, texture, levels[row, col], state["dc_preds"], row, col,
+                vop_stats, inter_allowed=False,
+            )
+            if self._rec is not None:
+                self._tk.mb_texture(
+                    self._rec, "intra_enc", self._cur.fmap, recon_store.fmap,
+                    row * MB_SIZE, col * MB_SIZE,
+                    n_coded_blocks=6, n_events=n_events,
+                )
+
+        self._serialize_rows(writer, qp, code_mb, on_row)
+
+    def _encode_p_vop_batched(
+        self,
+        writer: BitWriter,
+        qp: int,
+        past: FrameStore,
+        recon_store: FrameStore,
+        vop_stats: VopStats,
+    ) -> None:
+        config = self.config
+        rec = self._rec
+        mb_rows, mb_cols = config.mb_rows, config.mb_cols
+        method = config.quant_method
+        cur_blocks, y16 = self._gather_mb_tensor(self._cur)
+        mv_dx, mv_dy, sads, candidates, hook_data = self._batched_motion(past)
+        intra_sel = intra_decisions(y16, sads)
+        inter_rows, inter_cols = np.nonzero(~intra_sel)
+        prediction, _ = predict_many(
+            past.y, past.u, past.v,
+            inter_rows * MB_SIZE, inter_cols * MB_SIZE,
+            mv_dx[inter_rows, inter_cols], mv_dy[inter_rows, inter_cols],
+            BORDER,
+        )
+        residual = cur_blocks[inter_rows, inter_cols] - prediction
+        cbp, n_events, starts, payload, levels = self._batched_residual_code(
+            qp, residual
+        )
+        recon = prediction + self._recon_idct(dequantize_any(levels, qp, False, method))
+        pixels = np.empty((mb_rows, mb_cols, 6, 8, 8), dtype=np.uint8)
+        pixels[inter_rows, inter_cols] = np.clip(np.rint(recon), 0, 255).astype(
+            np.uint8
+        )
+        # Intra macroblocks reconstruct in batch too (their recon does not
+        # depend on prediction state); headers/events serialize below.
+        intra_rows, intra_cols = np.nonzero(intra_sel)
+        intra_levels = None
+        if intra_rows.size:
+            intra_levels = quantize_any(
+                forward_dct(cur_blocks[intra_rows, intra_cols]), qp, True, method
+            )
+            intra_recon = self._recon_idct(
+                dequantize_any(intra_levels, qp, True, method)
+            )
+            pixels[intra_rows, intra_cols] = np.clip(
+                np.rint(intra_recon), 0, 255
+            ).astype(np.uint8)
+        self._scatter_mb_pixels(recon_store, pixels)
+
+        inter_index = np.full((mb_rows, mb_cols), -1, dtype=np.int64)
+        inter_index[inter_rows, inter_cols] = np.arange(inter_rows.size)
+        intra_index = np.full((mb_rows, mb_cols), -1, dtype=np.int64)
+        intra_index[intra_rows, intra_cols] = np.arange(intra_rows.size)
+        inter_index = inter_index.tolist()
+        intra_index = intra_index.tolist()
+        mv_dx_l, mv_dy_l = mv_dx.tolist(), mv_dy.tolist()
+        candidates_l = candidates.tolist()
+        mv_grid = [[ZERO_MV] * mb_cols for _ in range(mb_rows)]
+
+        def code_mb(writer, texture, row: int, col: int) -> None:
+            mb_y, mb_x = row * MB_SIZE, col * MB_SIZE
+            if rec is not None:
+                result, halfpel_evals = hook_data[row][col]
+                self._tk.me_search(
+                    rec, past.fmap, self._cur.fmap, mb_y, mb_x,
+                    config.search_range, result, halfpel_evals,
+                )
+            vop_stats.sad_candidates += candidates_l[row][col]
+            k = inter_index[row][col]
+            if k < 0:
+                n_ev = self._serialize_intra_mb(
+                    writer, texture, intra_levels[intra_index[row][col]],
+                    None, row, col, vop_stats, inter_allowed=True,
+                )
+                mv_grid[row][col] = ZERO_MV
+                if rec is not None:
+                    self._tk.mb_texture(
+                        rec, "intra_enc", self._cur.fmap, recon_store.fmap,
+                        mb_y, mb_x, n_coded_blocks=6, n_events=n_ev,
+                    )
+                return
+            dx, dy = mv_dx_l[row][col], mv_dy_l[row][col]
+            if rec is not None:
+                self._tk.mc_mb(rec, past.fmap, mb_y, mb_x, dx | dy)
+            mb_cbp = cbp[k]
+            if mb_cbp == 0 and dx == 0 and dy == 0:
+                vlc.encode_macroblock_header(writer, False, True, 0, inter_allowed=True)
+                vop_stats.skipped_mbs += 1
+                mv_grid[row][col] = ZERO_MV
+                return
+            vlc.encode_macroblock_header(
+                writer, False, False, mb_cbp, inter_allowed=True
+            )
+            predictor = self._mv_predictor(
+                mv_grid, row, col, cross_row=not config.resync_markers
+            )
+            vlc.encode_mv_component(writer, dx - predictor.dx)
+            vlc.encode_mv_component(writer, dy - predictor.dy)
+            mv_grid[row][col] = MotionVector(dx, dy)
+            self._write_block_events(texture, payload, starts[k], starts[k + 1])
+            vop_stats.inter_mbs += 1
+            vop_stats.coded_coefficients += n_events[k]
+            if rec is not None:
+                self._tk.mb_texture(
+                    rec, "inter_enc", self._cur.fmap, recon_store.fmap,
+                    mb_y, mb_x, n_coded_blocks=bin(mb_cbp).count("1"),
+                    n_events=n_events[k],
+                )
+
+        self._serialize_rows(writer, qp, code_mb)
+
+    def _encode_b_vop_batched(
+        self,
+        writer: BitWriter,
+        qp: int,
+        past: FrameStore,
+        future: FrameStore,
+        recon_store: FrameStore,
+        vop_stats: VopStats,
+    ) -> None:
+        config = self.config
+        rec = self._rec
+        mb_rows, mb_cols = config.mb_rows, config.mb_cols
+        method = config.quant_method
+        n_mbs = mb_rows * mb_cols
+        cur_blocks, y16 = self._gather_mb_tensor(self._cur)
+        f_dx, f_dy, f_sad, f_cand, f_hooks = self._batched_motion(past)
+        b_dx, b_dy, b_sad, b_cand, b_hooks = self._batched_motion(future)
+        mb_ys = np.repeat(np.arange(mb_rows, dtype=np.int64) * MB_SIZE, mb_cols)
+        mb_xs = np.tile(np.arange(mb_cols, dtype=np.int64) * MB_SIZE, mb_rows)
+        pred_f, luma_f = predict_many(
+            past.y, past.u, past.v, mb_ys, mb_xs, f_dx.ravel(), f_dy.ravel(), BORDER
+        )
+        pred_b, luma_b = predict_many(
+            future.y, future.u, future.v, mb_ys, mb_xs,
+            b_dx.ravel(), b_dy.ravel(), BORDER,
+        )
+        cur_luma = y16.reshape(n_mbs, MB_SIZE, MB_SIZE).astype(np.int32)
+        bi_luma = (luma_f.astype(np.int32) + luma_b.astype(np.int32) + 1) // 2
+        sad_bi = np.abs(cur_luma - bi_luma).sum(axis=(1, 2), dtype=np.int64)
+        sad_f = f_sad.ravel()
+        sad_b = b_sad.ravel()
+        # Mode decision replicates Python's min() first-minimum tie-break.
+        mode_f = (sad_f <= sad_b) & (sad_f <= sad_bi)
+        mode_b = ~mode_f & (sad_b <= sad_bi)
+        pred_bi = (pred_f + pred_b + 1.0) // 2
+        choose_f = mode_f[:, None, None, None]
+        choose_b = mode_b[:, None, None, None]
+        prediction = np.where(choose_f, pred_f, np.where(choose_b, pred_b, pred_bi))
+        residual = cur_blocks.reshape(n_mbs, 6, 8, 8) - prediction
+        cbp, n_events, starts, payload, levels = self._batched_residual_code(
+            qp, residual
+        )
+        recon = prediction + self._recon_idct(dequantize_any(levels, qp, False, method))
+        pixels = (
+            np.clip(np.rint(recon), 0, 255)
+            .astype(np.uint8)
+            .reshape(mb_rows, mb_cols, 6, 8, 8)
+        )
+        self._scatter_mb_pixels(recon_store, pixels)
+
+        modes = np.where(
+            mode_f,
+            PredictionMode.FORWARD.value,
+            np.where(mode_b, PredictionMode.BACKWARD.value, PredictionMode.BIDIRECTIONAL.value),
+        ).reshape(mb_rows, mb_cols).tolist()
+        f_dx_l, f_dy_l = f_dx.tolist(), f_dy.tolist()
+        b_dx_l, b_dy_l = b_dx.tolist(), b_dy.tolist()
+        candidates_l = (f_cand + b_cand).tolist()
+        pred_mvs = {"fwd": ZERO_MV, "bwd": ZERO_MV}
+
+        def on_row(row: int) -> None:
+            pred_mvs["fwd"] = ZERO_MV
+            pred_mvs["bwd"] = ZERO_MV
+
+        def code_mb(writer, texture, row: int, col: int) -> None:
+            mb_y, mb_x = row * MB_SIZE, col * MB_SIZE
+            k = row * mb_cols + col
+            dxf, dyf = f_dx_l[row][col], f_dy_l[row][col]
+            dxb, dyb = b_dx_l[row][col], b_dy_l[row][col]
+            if rec is not None:
+                result_f, evals_f = f_hooks[row][col]
+                self._tk.me_search(
+                    rec, past.fmap, self._cur.fmap, mb_y, mb_x,
+                    config.search_range, result_f, evals_f,
+                )
+                result_b, evals_b = b_hooks[row][col]
+                self._tk.me_search(
+                    rec, future.fmap, self._cur.fmap, mb_y, mb_x,
+                    config.search_range, result_b, evals_b,
+                )
+                self._tk.mc_mb(rec, past.fmap, mb_y, mb_x, dxf | dyf)
+                self._tk.mc_mb(rec, future.fmap, mb_y, mb_x, dxb | dyb)
+            vop_stats.sad_candidates += candidates_l[row][col]
+            mode = modes[row][col]
+            mb_cbp = cbp[k]
+            uses_zero_mvs = (
+                mode == PredictionMode.BIDIRECTIONAL.value
+                and dxf == 0 and dyf == 0 and dxb == 0 and dyb == 0
+            )
+            if mb_cbp == 0 and uses_zero_mvs:
+                vlc.encode_macroblock_header(writer, False, True, 0, inter_allowed=True)
+                vop_stats.skipped_mbs += 1
+                return
+            vlc.encode_macroblock_header(
+                writer, False, False, mb_cbp, inter_allowed=True
+            )
+            writer.write_bits(mode, 2)
+            if mode != PredictionMode.BACKWARD.value:
+                vlc.encode_mv_component(writer, dxf - pred_mvs["fwd"].dx)
+                vlc.encode_mv_component(writer, dyf - pred_mvs["fwd"].dy)
+                pred_mvs["fwd"] = MotionVector(dxf, dyf)
+            if mode != PredictionMode.FORWARD.value:
+                vlc.encode_mv_component(writer, dxb - pred_mvs["bwd"].dx)
+                vlc.encode_mv_component(writer, dyb - pred_mvs["bwd"].dy)
+                pred_mvs["bwd"] = MotionVector(dxb, dyb)
+            self._write_block_events(texture, payload, starts[k], starts[k + 1])
+            vop_stats.inter_mbs += 1
+            vop_stats.coded_coefficients += n_events[k]
+            if rec is not None:
+                self._tk.mb_texture(
+                    rec, "inter_enc", self._cur.fmap, recon_store.fmap,
+                    mb_y, mb_x, n_coded_blocks=bin(mb_cbp).count("1"),
+                    n_events=n_events[k],
+                )
+
+        self._serialize_rows(writer, qp, code_mb, on_row)
+
     def _encode_texture_event(
         self, texture_writer: BitWriter, last: int, run: int, level: int
     ) -> None:
@@ -531,10 +1029,51 @@ class VopEncoder:
     ) -> None:
         if texture_writer is None:
             texture_writer = writer
-        partitioned = texture_writer is not writer
         blocks = self._gather_mb(self._cur, mb_y, mb_x)
         coefficients = forward_dct(blocks)
         levels = quantize_any(coefficients, qp, True, self.config.quant_method)
+        n_events = self._serialize_intra_mb(
+            writer, texture_writer, levels, dc_preds, row, col, vop_stats,
+            inter_allowed,
+        )
+        recon = np.clip(
+            self._recon_idct(
+                dequantize_any(levels, qp, True, self.config.quant_method)
+            ),
+            0,
+            255,
+        )
+        self._scatter_mb(recon_store, mb_y, mb_x, recon)
+        if self._rec is not None:
+            self._tk.mb_texture(
+                self._rec,
+                "intra_enc",
+                self._cur.fmap,
+                recon_store.fmap,
+                mb_y,
+                mb_x,
+                n_coded_blocks=6,
+                n_events=n_events,
+            )
+
+    def _serialize_intra_mb(
+        self,
+        writer: BitWriter,
+        texture_writer: BitWriter,
+        levels: np.ndarray,
+        dc_preds: dict[str, DcPredictor] | None,
+        row: int,
+        col: int,
+        vop_stats: VopStats,
+        inter_allowed: bool,
+    ) -> int:
+        """Header, DC/AC prediction and texture events of one intra MB.
+
+        ``levels`` are the quantized (6, 8, 8) coefficients *before* AC
+        prediction (the reconstruction path always uses those); returns
+        the event count (AC events plus the six DC terms).
+        """
+        partitioned = texture_writer is not writer
 
         # Adaptive DC (and, in I-VOPs, AC) prediction.  The per-block
         # direction and prediction lines must be computed before this
@@ -594,23 +1133,7 @@ class VopEncoder:
         n_events = sum(len(events) for events in block_events) + 6
         vop_stats.intra_mbs += 1
         vop_stats.coded_coefficients += n_events
-        recon = np.clip(
-            inverse_dct(dequantize_any(levels, qp, True, self.config.quant_method)),
-            0,
-            255,
-        )
-        self._scatter_mb(recon_store, mb_y, mb_x, recon)
-        if self._rec is not None:
-            self._tk.mb_texture(
-                self._rec,
-                "intra_enc",
-                self._cur.fmap,
-                recon_store.fmap,
-                mb_y,
-                mb_x,
-                n_coded_blocks=6,
-                n_events=n_events,
-            )
+        return n_events
 
     @staticmethod
     def _block_grid(dc_preds, index: int, row: int, col: int):
@@ -758,7 +1281,7 @@ class VopEncoder:
                 self._encode_texture_event(texture_writer, last, run, level)
         vop_stats.inter_mbs += 1
         vop_stats.coded_coefficients += n_events
-        recon = prediction + inverse_dct(
+        recon = prediction + self._recon_idct(
             dequantize_any(levels, qp, False, self.config.quant_method)
         )
         self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))
@@ -846,7 +1369,7 @@ class VopEncoder:
                 self._encode_texture_event(texture_writer, last, run, level)
         vop_stats.inter_mbs += 1
         vop_stats.coded_coefficients += n_events
-        recon = prediction + inverse_dct(
+        recon = prediction + self._recon_idct(
             dequantize_any(levels, qp, False, self.config.quant_method)
         )
         self._scatter_mb(recon_store, mb_y, mb_x, np.clip(recon, 0, 255))

@@ -1,0 +1,57 @@
+"""Codec engine selection: batched fast path vs per-macroblock reference.
+
+Mirrors the simulator's ``REPRO_ENGINE`` knob (:mod:`repro.memsim.fastpath`):
+the original per-macroblock encoder/decoder loops remain the *oracle*, and
+the frame-level batched kernels (:mod:`repro.codec.batched`) are the
+default fast path.  Both produce bit-identical bitstreams, reconstructions
+and statistics -- enforced by ``tests/codec/test_engine_differential.py``
+and the committed conformance golden vectors.
+
+Select with the ``REPRO_CODEC_ENGINE`` environment variable::
+
+    REPRO_CODEC_ENGINE=batched    # default: frame-level kernels
+    REPRO_CODEC_ENGINE=reference  # per-macroblock oracle loops
+
+Separately, ``REPRO_CODEC_IDCT=fixed`` switches the *batched* engine's
+reconstruction IDCT to the fixed-point factorized butterfly
+(:mod:`repro.codec.fastidct`).  That mode is an approximation (integer
+arithmetic, not the float reference), so it intentionally changes
+bitstreams; encoder and decoder stay drift-free as long as both use it.
+The default (``float``) is bit-exact with the reference engine.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the codec engine.
+ENGINE_ENV = "REPRO_CODEC_ENGINE"
+
+ENGINE_BATCHED = "batched"
+ENGINE_REFERENCE = "reference"
+_ENGINES = (ENGINE_BATCHED, ENGINE_REFERENCE)
+
+#: Environment variable selecting the batched engine's reconstruction IDCT.
+IDCT_ENV = "REPRO_CODEC_IDCT"
+
+IDCT_FLOAT = "float"
+IDCT_FIXED = "fixed"
+_IDCTS = (IDCT_FLOAT, IDCT_FIXED)
+
+
+def codec_engine() -> str:
+    """The configured codec engine name (``batched`` unless overridden)."""
+    value = os.environ.get(ENGINE_ENV, ENGINE_BATCHED).strip().lower()
+    if value not in _ENGINES:
+        raise ValueError(
+            f"{ENGINE_ENV}={value!r} is not one of {', '.join(_ENGINES)}"
+        )
+    return value
+
+
+def codec_idct() -> str:
+    """The configured reconstruction IDCT for the batched engine."""
+    value = os.environ.get(IDCT_ENV, IDCT_FLOAT).strip().lower()
+    if value not in _IDCTS:
+        raise ValueError(f"{IDCT_ENV}={value!r} is not one of {', '.join(_IDCTS)}")
+    return value

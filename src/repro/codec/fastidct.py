@@ -1,0 +1,105 @@
+"""Fixed-point factorized inverse DCT (batched).
+
+An integer implementation of the 8-point inverse DCT in the factorized
+butterfly form used by fast software decoders (the AAN-style
+even/odd decomposition; modeled on the ``slowFastIdct1`` routine of the
+itact14-xpeg decoder referenced in SNIPPETS.md).  One 1-D pass of the
+butterfly computes exactly ``2*sqrt(2)`` times the orthonormal inverse
+DCT, so a row pass plus a column pass yields ``8x`` the 2-D inverse --
+undone by the final rounding shift.
+
+Arithmetic is plain integer multiply/shift (the ``f4mul`` idea, widened
+to :data:`FRAC` fraction bits for accuracy), vectorized over arbitrarily
+many blocks at once -- the paper's point being precisely that such
+non-SIMD integer kernels carry the codec on general-purpose hardware.
+
+This is an *approximation* of the float reference
+(:func:`repro.codec.dct.inverse_dct`): reconstruction error stays within
+one pixel LSB (pinned by ``tests/codec/test_fastidct.py``), but it is
+not bit-exact, so it is an opt-in mode of the batched engine
+(``REPRO_CODEC_IDCT=fixed``) and never used where golden vectors apply.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.codec.dct import BLOCK
+
+#: Fraction bits of the butterfly constants (the reference decoder's
+#: ``f4`` format widened from 4 to 12 bits for sub-LSB accuracy).
+FRAC = 12
+
+#: Input prescale bits.  Dequantized coefficients are integers (H.263
+#: method) or multiples of 1/16 (MPEG weighting matrices divide by 16),
+#: so a 4-bit prescale makes the integer input exact for both methods.
+IN_SHIFT = 4
+
+#: Final rounding shift: the two butterfly passes scale by 8 (= 2**3),
+#: on top of the input prescale.
+OUT_SHIFT = 3 + IN_SHIFT
+
+_PI = math.pi
+_R = round(math.sqrt(2.0) * (1 << FRAC))
+_A = round(math.sqrt(2.0) * math.cos(3.0 * _PI / 8.0) * (1 << FRAC))
+_B = round(math.sqrt(2.0) * math.sin(3.0 * _PI / 8.0) * (1 << FRAC))
+_D = round(math.cos(_PI / 16.0) * (1 << FRAC))
+_E = round(math.sin(_PI / 16.0) * (1 << FRAC))
+_N = round(math.cos(3.0 * _PI / 16.0) * (1 << FRAC))
+_T = round(math.sin(3.0 * _PI / 16.0) * (1 << FRAC))
+
+_HALF = 1 << (FRAC - 1)
+
+
+def _mul(constant: int, values: np.ndarray) -> np.ndarray:
+    """Fixed-point multiply with round-to-nearest (``f4mul`` widened)."""
+    return (constant * values + _HALF) >> FRAC
+
+
+def _butterfly_last(v: np.ndarray) -> np.ndarray:
+    """One 1-D pass along the last axis: ``2*sqrt(2)`` times the inverse DCT."""
+    v0, v1, v2, v3 = v[..., 0], v[..., 1], v[..., 2], v[..., 3]
+    v4, v5, v6, v7 = v[..., 4], v[..., 5], v[..., 6], v[..., 7]
+    b7 = v1 - v7
+    b1 = v1 + v7
+    b3 = _mul(_R, v3)
+    b5 = _mul(_R, v5)
+    c0 = v0 + v4
+    c4 = v0 - v4
+    c2 = _mul(_A, v2) - _mul(_B, v6)
+    c6 = _mul(_A, v6) + _mul(_B, v2)
+    c7 = b7 + b5
+    c3 = b1 - b3
+    c5 = b7 - b5
+    c1 = b1 + b3
+    d0 = c0 + c6
+    d4 = c4 + c2
+    d2 = c4 - c2
+    d6 = c0 - c6
+    d7 = _mul(_N, c7) - _mul(_T, c1)
+    d3 = _mul(_D, c3) - _mul(_E, c5)
+    d5 = _mul(_D, c5) + _mul(_E, c3)
+    d1 = _mul(_N, c1) + _mul(_T, c7)
+    return np.stack(
+        [d0 + d1, d4 + d5, d2 + d3, d6 + d7, d6 - d7, d2 - d3, d4 - d5, d0 - d1],
+        axis=-1,
+    )
+
+
+def inverse_dct_fixed(coefficients: np.ndarray) -> np.ndarray:
+    """Fixed-point inverse DCT of ``(..., 8, 8)`` coefficient blocks.
+
+    Drop-in for :func:`repro.codec.dct.inverse_dct` (returns float blocks,
+    already integer-valued) with integer butterfly arithmetic inside.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.float64)
+    if coefficients.shape[-2:] != (BLOCK, BLOCK):
+        raise ValueError(f"expected trailing 8x8 blocks, got {coefficients.shape}")
+    x = np.rint(coefficients * (1 << IN_SHIFT)).astype(np.int64)
+    # Column pass (C^T @ X), then row pass (... @ C).
+    x = _butterfly_last(x.swapaxes(-1, -2)).swapaxes(-1, -2)
+    x = _butterfly_last(x)
+    rounded = (x + (1 << (OUT_SHIFT - 1))) >> OUT_SHIFT
+    return rounded.astype(np.float64)

@@ -82,8 +82,15 @@ class SearchResult:
 
 
 def block_sad(a: np.ndarray, b: np.ndarray) -> int:
-    """Sum of absolute differences between two equally-shaped blocks."""
-    return int(np.abs(a.astype(np.int32) - b.astype(np.int32)).sum())
+    """Sum of absolute differences between two equally-shaped blocks.
+
+    Uses the same dtype ladder as :func:`full_search`: differences in
+    int16 (pixel deltas span [-255, 255]) accumulated in int32 -- the
+    worst-case 16x16 SAD (256 * 255 = 65280) overflows int16 but fits
+    int32 with wide margin.
+    """
+    diffs = a.astype(np.int16) - b.astype(np.int16)
+    return int(np.abs(diffs).sum(dtype=np.int32))
 
 
 def full_search(

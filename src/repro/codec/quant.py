@@ -207,6 +207,54 @@ def run_level_events(scanned: np.ndarray) -> list[tuple[int, int, int]]:
     return events
 
 
+def run_level_arrays(
+    scanned: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized run-level extraction over a batch of scanned blocks.
+
+    ``scanned`` is ``(n_blocks, length)``; returns flat int64 arrays
+    ``(block_indices, lasts, runs, levels)`` with one entry per nonzero
+    coefficient, ordered block-major then scan-position -- the event
+    stream of :func:`run_level_events` applied row by row.  This is the
+    batched engine's whole-VOP event extraction: runs, LAST flags and
+    block boundaries all come from index math, no per-event Python.
+    """
+    scanned = np.asarray(scanned)
+    if scanned.ndim != 2:
+        raise ValueError(f"expected a 2-D batch of scanned blocks, got {scanned.shape}")
+    rows, cols = np.nonzero(scanned)
+    levels = scanned[rows, cols].astype(np.int64)
+    runs = np.empty(rows.size, dtype=np.int64)
+    lasts = np.zeros(rows.size, dtype=np.int64)
+    if rows.size:
+        same_row = np.empty(rows.size, dtype=bool)
+        same_row[0] = False
+        same_row[1:] = rows[1:] == rows[:-1]
+        previous = np.where(same_row, np.concatenate(([0], cols[:-1])), -1)
+        runs[:] = cols - previous - 1
+        lasts[:-1] = rows[1:] != rows[:-1]
+        lasts[-1] = 1
+    return rows, lasts, runs, levels
+
+
+def run_level_events_batch(scanned: np.ndarray) -> list[list[tuple[int, int, int]]]:
+    """(LAST, RUN, LEVEL) events for many zigzag-scanned blocks at once.
+
+    Returns one event list per block, element-identical to calling
+    :func:`run_level_events` on each row of ``scanned``; per-event Python
+    survives only in the final list materialization.
+    """
+    rows, lasts, runs, levels = run_level_arrays(scanned)
+    counts = np.bincount(rows, minlength=np.asarray(scanned).shape[0])
+    triples = list(zip(lasts.tolist(), runs.tolist(), levels.tolist()))
+    events: list[list[tuple[int, int, int]]] = []
+    start = 0
+    for count in counts:
+        events.append(triples[start : start + count])
+        start += count
+    return events
+
+
 def events_to_levels(
     events: list[tuple[int, int, int]], length: int = BLOCK * BLOCK
 ) -> np.ndarray:

@@ -17,6 +17,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.codec.bitstream import BitReader, BitWriter
 from repro.codec.errors import VlcError
 
@@ -165,6 +167,66 @@ def decode_coefficient_event(reader: BitReader) -> tuple[int, int, int]:
     last, run, magnitude = symbol
     sign = reader.read_bit()
     return last, run, -magnitude if sign else magnitude
+
+
+def _event_code_arrays() -> tuple["np.ndarray", "np.ndarray"]:
+    """Dense (last, run, magnitude) -> (code, length) lookup tables."""
+    codes = np.zeros((2, MAX_TABLE_RUN + 1, MAX_TABLE_LEVEL + 1), dtype=np.int64)
+    lengths = np.zeros_like(codes)
+    for symbol in _COEFF_SYMBOLS:
+        last, run, magnitude = symbol
+        code, length = COEFF_TABLE.codes[symbol]
+        codes[last, run, magnitude] = code
+        lengths[last, run, magnitude] = length
+    return codes, lengths
+
+
+_EVENT_CODES, _EVENT_LENGTHS = _event_code_arrays()
+
+
+def coefficient_event_codes(
+    lasts: "np.ndarray", runs: "np.ndarray", levels: "np.ndarray"
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Vectorized bitstream prep for (LAST, RUN, LEVEL) events.
+
+    Packs each event's complete wire image -- VLC codeword plus sign bit,
+    or the full escape sequence -- into one ``(code, n_bits)`` pair,
+    bit-identical to :func:`encode_coefficient_event`.  The batched
+    engine computes these for a whole VOP at once; serialization then
+    degenerates to one ``write_bits`` call per event.
+    """
+    lasts = np.asarray(lasts, dtype=np.int64)
+    runs = np.asarray(runs, dtype=np.int64)
+    levels = np.asarray(levels, dtype=np.int64)
+    if (levels == 0).any():
+        raise ValueError("coefficient events carry non-zero levels")
+    magnitudes = np.abs(levels)
+    signs = (levels < 0).astype(np.int64)
+    bounded = (runs <= MAX_TABLE_RUN) & (magnitudes <= MAX_TABLE_LEVEL)
+    table_codes = _EVENT_CODES[
+        lasts, np.where(bounded, runs, 0), np.where(bounded, magnitudes, 1)
+    ]
+    table_lengths = _EVENT_LENGTHS[
+        lasts, np.where(bounded, runs, 0), np.where(bounded, magnitudes, 1)
+    ]
+    in_table = bounded & (table_lengths > 0)
+    codes = (table_codes << 1) | signs
+    lengths = table_lengths + 1
+    if not in_table.all():
+        if (magnitudes[~in_table] >= (1 << _ESCAPE_LEVEL_BITS)).any():
+            raise ValueError("level magnitude exceeds escape range")
+        escape_code, escape_length = COEFF_TABLE.codes[ESCAPE]
+        escaped = (escape_code << 1) | lasts
+        escaped = (escaped << _ESCAPE_RUN_BITS) | runs
+        escaped = (escaped << 1) | signs
+        escaped = (escaped << _ESCAPE_LEVEL_BITS) | magnitudes
+        codes = np.where(in_table, codes, escaped)
+        lengths = np.where(
+            in_table,
+            lengths,
+            escape_length + 2 + _ESCAPE_RUN_BITS + _ESCAPE_LEVEL_BITS,
+        )
+    return codes, lengths
 
 
 # -- reversible VLC (error-resilience texture coding) -------------------------

@@ -40,12 +40,7 @@ oracle.  Select engines with the ``REPRO_ENGINE`` environment variable
 from __future__ import annotations
 
 import ctypes
-import hashlib
 import os
-import shutil
-import subprocess
-import sysconfig
-import tempfile
 import warnings
 from pathlib import Path
 
@@ -56,75 +51,28 @@ from repro.memsim.dram import BusSpec, DramSpec
 from repro.memsim.events import KIND_PREFETCH, KIND_WRITE, AccessBatch
 from repro.memsim.hierarchy import HierarchyCounters, MemoryHierarchy
 from repro.memsim.timing import TimingSpec
+from repro.native.build import CACHE_ENV as _CACHE_ENV  # noqa: F401  (re-export)
+from repro.native.build import load_library
 
 _KERNEL_SOURCE = Path(__file__).with_name("_fastpath_kernel.c")
-
-#: Override the kernel build cache directory (default: a per-user dir under
-#: the system temp directory).
-_CACHE_ENV = "REPRO_KERNEL_CACHE"
 
 _kernel_fn = None
 _kernel_tried = False
 
 
-def _cache_dir() -> Path:
-    override = os.environ.get(_CACHE_ENV)
-    if override:
-        return Path(override)
-    return Path(tempfile.gettempdir()) / f"repro-fastpath-{os.getuid()}"
-
-
-def _find_compiler() -> str | None:
-    for name in ("cc", "gcc", "clang"):
-        path = shutil.which(name)
-        if path:
-            return path
-    return None
-
-
-def _build_kernel(source: Path, out: Path) -> bool:
-    compiler = _find_compiler()
-    if compiler is None:
-        return False
-    out.parent.mkdir(parents=True, exist_ok=True)
-    # Build to a private name, then publish atomically so concurrent
-    # replay workers never load a half-written library.
-    tmp = out.with_name(f".{out.name}.{os.getpid()}.tmp")
-    cmd = [compiler, "-O2", "-shared", "-fPIC", str(source), "-o", str(tmp)]
-    try:
-        subprocess.run(
-            cmd, check=True, capture_output=True, text=True, timeout=120
-        )
-        os.replace(tmp, out)
-        return True
-    except (subprocess.SubprocessError, OSError):
-        tmp.unlink(missing_ok=True)
-        return False
-
-
 def _load_kernel():
     """The compiled ``process_batch`` entry point, or ``None``.
 
-    Compiled libraries are cached by source digest, so the build cost is
-    paid once per kernel revision per machine.
+    Compilation/caching is shared machinery (:mod:`repro.native.build`):
+    libraries are cached by source digest, so the build cost is paid once
+    per kernel revision per machine.
     """
     global _kernel_fn, _kernel_tried
     if _kernel_tried:
         return _kernel_fn
     _kernel_tried = True
-    try:
-        source_bytes = _KERNEL_SOURCE.read_bytes()
-    except OSError:
-        return None
-    digest = hashlib.sha256(
-        source_bytes + sysconfig.get_platform().encode()
-    ).hexdigest()[:16]
-    so_path = _cache_dir() / f"fastpath-{digest}.so"
-    if not so_path.exists() and not _build_kernel(_KERNEL_SOURCE, so_path):
-        return None
-    try:
-        lib = ctypes.CDLL(str(so_path))
-    except OSError:
+    lib = load_library(_KERNEL_SOURCE, "fastpath")
+    if lib is None:
         return None
     fn = lib.process_batch
     # Pointers cross as raw addresses; all per-hierarchy array bases sit in

@@ -1,0 +1,5 @@
+"""Runtime-compiled native kernels (shared build/cache machinery)."""
+
+from repro.native.build import CACHE_ENV, cache_dir, find_compiler, load_library
+
+__all__ = ["CACHE_ENV", "cache_dir", "find_compiler", "load_library"]

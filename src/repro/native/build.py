@@ -1,0 +1,92 @@
+"""Compile-once-per-digest loader for small C fast-path kernels.
+
+Both performance-critical inner loops of the reproduction -- the memory
+hierarchy simulator (:mod:`repro.memsim.fastpath`) and the codec's
+full-search SAD motion estimation (:mod:`repro.codec.batched`) -- follow
+the same playbook: a pure-Python/NumPy reference implementation is the
+oracle, and a tiny single-file C kernel is compiled at runtime with the
+system compiler for the hot path.  This module holds the shared
+machinery: compiler discovery, per-source-digest caching, and atomic
+publication so concurrent workers never load a half-written library.
+
+When no C compiler is available every caller falls back to its reference
+implementation; nothing in the repository *requires* a compiler.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sysconfig
+import tempfile
+from pathlib import Path
+
+#: Override the kernel build cache directory (default: a per-user dir under
+#: the system temp directory).
+CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+#: Loaded libraries by cache path, so repeated loads share one CDLL.
+_loaded: dict[str, ctypes.CDLL | None] = {}
+
+
+def cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / f"repro-fastpath-{os.getuid()}"
+
+
+def find_compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build(source: Path, out: Path) -> bool:
+    compiler = find_compiler()
+    if compiler is None:
+        return False
+    out.parent.mkdir(parents=True, exist_ok=True)
+    # Build to a private name, then publish atomically so concurrent
+    # replay workers never load a half-written library.
+    tmp = out.with_name(f".{out.name}.{os.getpid()}.tmp")
+    cmd = [compiler, "-O2", "-shared", "-fPIC", str(source), "-o", str(tmp)]
+    try:
+        subprocess.run(cmd, check=True, capture_output=True, text=True, timeout=120)
+        os.replace(tmp, out)
+        return True
+    except (subprocess.SubprocessError, OSError):
+        tmp.unlink(missing_ok=True)
+        return False
+
+
+def load_library(source: Path, prefix: str) -> ctypes.CDLL | None:
+    """Compile (if needed) and load one kernel source; None on failure.
+
+    Compiled libraries are cached by source digest, so the build cost is
+    paid once per kernel revision per machine.
+    """
+    try:
+        source_bytes = source.read_bytes()
+    except OSError:
+        return None
+    digest = hashlib.sha256(
+        source_bytes + sysconfig.get_platform().encode()
+    ).hexdigest()[:16]
+    so_path = cache_dir() / f"{prefix}-{digest}.so"
+    key = str(so_path)
+    if key in _loaded:
+        return _loaded[key]
+    lib: ctypes.CDLL | None = None
+    if so_path.exists() or _build(source, so_path):
+        try:
+            lib = ctypes.CDLL(key)
+        except OSError:
+            lib = None
+    _loaded[key] = lib
+    return lib

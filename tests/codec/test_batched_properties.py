@@ -1,0 +1,108 @@
+"""Property tests: batched transform/quant helpers vs their scalar forms.
+
+Hypothesis drives randomized blocks through the vectorized batch
+operations (N-block quantize/dequantize, zigzag, run-level extraction)
+and checks element-identity with the one-block-at-a-time application --
+the equivalence the batched engine's bit-exactness rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.quant import (
+    dequantize_any,
+    inverse_zigzag_scan,
+    quantize_any,
+    run_level_arrays,
+    run_level_events,
+    run_level_events_batch,
+    zigzag_scan,
+)
+
+block_batches = st.integers(min_value=1, max_value=12)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+qps = st.integers(min_value=1, max_value=31)
+methods = st.sampled_from([1, 2])
+
+
+def random_blocks(seed: int, n: int, low=-1024, high=1024) -> np.ndarray:
+    rng = np.random.RandomState(seed)
+    return rng.randint(low, high, (n, 8, 8)).astype(np.float64)
+
+
+def sparse_levels(seed: int, n: int) -> np.ndarray:
+    """Quantized-level-like blocks: mostly zero, small magnitudes."""
+    rng = np.random.RandomState(seed)
+    levels = rng.randint(-32, 33, (n, 8, 8))
+    mask = rng.rand(n, 8, 8) < 0.8
+    levels[mask] = 0
+    return levels.astype(np.int32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=block_batches, qp=qps, intra=st.booleans(), method=methods)
+def test_batched_quantize_matches_per_block(seed, n, qp, intra, method):
+    blocks = random_blocks(seed, n)
+    batched = quantize_any(blocks, qp, intra, method)
+    for i in range(n):
+        single = quantize_any(blocks[i], qp, intra, method)
+        assert np.array_equal(batched[i], single)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=block_batches, qp=qps, intra=st.booleans(), method=methods)
+def test_batched_dequantize_matches_per_block(seed, n, qp, intra, method):
+    levels = sparse_levels(seed, n)
+    batched = dequantize_any(levels, qp, intra, method)
+    for i in range(n):
+        single = dequantize_any(levels[i], qp, intra, method)
+        assert np.array_equal(batched[i], single)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=block_batches)
+def test_batched_zigzag_matches_per_block(seed, n):
+    levels = sparse_levels(seed, n)
+    scanned = zigzag_scan(levels)
+    for i in range(n):
+        assert np.array_equal(scanned[i], zigzag_scan(levels[i]))
+    assert np.array_equal(inverse_zigzag_scan(scanned), levels)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, n=block_batches)
+def test_run_level_arrays_match_scalar_events(seed, n):
+    scanned = zigzag_scan(sparse_levels(seed, n)).reshape(n, 64)
+    rows, lasts, runs, levels = run_level_arrays(scanned)
+    flat = list(zip(lasts.tolist(), runs.tolist(), levels.tolist()))
+    expected_rows = []
+    expected_events = []
+    for i in range(n):
+        events = run_level_events(scanned[i])
+        expected_events.extend(events)
+        expected_rows.extend([i] * len(events))
+    assert rows.tolist() == expected_rows
+    assert flat == expected_events
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, n=block_batches)
+def test_run_level_events_batch_matches_scalar(seed, n):
+    scanned = zigzag_scan(sparse_levels(seed, n)).reshape(n, 64)
+    batched = run_level_events_batch(scanned)
+    assert batched == [run_level_events(row) for row in scanned]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, n=block_batches)
+def test_batched_dct_matches_per_block(seed, n):
+    blocks = random_blocks(seed, n, low=0, high=256)
+    coeffs = forward_dct(blocks)
+    recon = inverse_dct(coeffs)
+    for i in range(n):
+        assert np.array_equal(coeffs[i], forward_dct(blocks[i]))
+        assert np.array_equal(recon[i], inverse_dct(coeffs[i]))

@@ -1,0 +1,76 @@
+"""Accuracy and contract tests for the fixed-point inverse DCT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec.dct import forward_dct, inverse_dct
+from repro.codec.fastidct import inverse_dct_fixed
+from repro.codec.quant import dequantize_any
+
+
+class TestInverseDctFixed:
+    def test_zero_block_is_exact_zero(self):
+        assert np.array_equal(inverse_dct_fixed(np.zeros((8, 8))), np.zeros((8, 8)))
+
+    def test_dc_only_block(self):
+        coeffs = np.zeros((8, 8))
+        coeffs[0, 0] = 8 * 100.0  # orthonormal DC for a flat 100 block
+        recon = inverse_dct_fixed(coeffs)
+        assert np.abs(recon - 100.0).max() <= 1.0
+
+    def test_batched_shape_matches_per_block(self):
+        rng = np.random.RandomState(1)
+        blocks = rng.randint(-512, 512, (5, 6, 8, 8)).astype(np.float64)
+        batched = inverse_dct_fixed(blocks)
+        assert batched.shape == blocks.shape
+        for i in range(5):
+            for j in range(6):
+                assert np.array_equal(batched[i, j], inverse_dct_fixed(blocks[i, j]))
+
+    def test_rejects_non_8x8(self):
+        with pytest.raises(ValueError):
+            inverse_dct_fixed(np.zeros((4, 4)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_within_one_lsb_of_float_idct_on_pixels(self, seed):
+        """Round-tripped pixel blocks reconstruct within +/-1 of the
+        float reference -- the accuracy bound that keeps the fixed-point
+        decode visually identical and drift-free in closed loop."""
+        rng = np.random.RandomState(seed)
+        pixels = rng.randint(0, 256, (4, 8, 8)).astype(np.float64)
+        coeffs = forward_dct(pixels)
+        fixed = inverse_dct_fixed(coeffs)
+        floating = inverse_dct(coeffs)
+        assert np.abs(fixed - floating).max() <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        qp=st.integers(1, 31),
+        intra=st.booleans(),
+        method=st.sampled_from([1, 2]),
+    )
+    def test_within_two_lsb_on_dequantized_levels(self, seed, qp, intra, method):
+        """The domain the decoder actually feeds it: dequantized levels of
+        both quantization methods (integers and sixteenths).  Arbitrary
+        legal levels at high QP can dequantize far outside the natural
+        DCT range, where the butterfly's rounding error grows slightly
+        past one LSB; two bounds the whole legal domain."""
+        rng = np.random.RandomState(seed)
+        levels = rng.randint(-40, 41, (3, 8, 8))
+        levels[rng.rand(3, 8, 8) < 0.7] = 0
+        coeffs = dequantize_any(levels.astype(np.int32), qp, intra, method)
+        fixed = inverse_dct_fixed(coeffs)
+        floating = inverse_dct(coeffs)
+        assert np.abs(fixed - floating).max() <= 2.0
+
+    def test_outputs_are_integer_valued(self):
+        rng = np.random.RandomState(2)
+        coeffs = rng.randint(-512, 512, (8, 8)).astype(np.float64)
+        recon = inverse_dct_fixed(coeffs)
+        assert np.array_equal(recon, np.rint(recon))

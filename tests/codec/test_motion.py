@@ -149,6 +149,21 @@ class TestHelpers:
         b = np.full((2, 2), 3, dtype=np.uint8)
         assert block_sad(a, b) == 12
 
+    def test_block_sad_worst_case_does_not_overflow(self):
+        """256 * 255 = 65280 exceeds int16; the int32 accumulator must
+        hold the worst-case 16x16 SAD exactly."""
+        a = np.zeros((16, 16), dtype=np.uint8)
+        b = np.full((16, 16), 255, dtype=np.uint8)
+        assert block_sad(a, b) == 16 * 16 * 255
+        assert block_sad(b, a) == 16 * 16 * 255
+
+    def test_block_sad_margin_beyond_int16(self):
+        """Checkerboard extremes: per-row sums (16 * 255 = 4080) fit
+        int16 but the block total must not wrap when accumulated."""
+        a = np.indices((16, 16)).sum(axis=0) % 2 * 255
+        sad = block_sad(a.astype(np.uint8), (255 - a).astype(np.uint8))
+        assert sad == 16 * 16 * 255
+
     def test_median_mv(self):
         result = median_mv(MotionVector(2, 0), MotionVector(-4, 8), MotionVector(0, 2))
         assert result == MotionVector(0, 2)
