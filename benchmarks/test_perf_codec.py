@@ -58,6 +58,19 @@ class TestCodecPerfSmoke:
             assert numbers["decode_fps"] > 0
         assert record["bitstream_bytes"] > 0
 
+    def test_record_carries_provenance(self, record):
+        metadata = record["metadata"]
+        assert metadata["git_sha"]
+        assert metadata["hostname"]
+        assert "REPRO_CODEC_ENGINE" in metadata["engine_knobs"]
+
+    def test_decode_vlc_parse_share_recorded(self, record):
+        """The decode story: bit-serial VLC parse share, the baseline any
+        future native bit-reader must move."""
+        stages = record["decode_stages"]
+        assert "codec.decode.vlc_parse" in stages
+        assert 0.0 < stages["codec.decode.vlc_parse"] <= 1.0
+
 
 def main() -> None:
     result = run_codec_benchmark()

@@ -59,6 +59,8 @@ def time_supervised() -> tuple[float, float, dict]:
 
 
 def run_benchmark() -> dict:
+    from repro.provenance import run_metadata
+
     inline_seconds = time_inline()
     supervised_seconds, resume_seconds, telemetry = time_supervised()
     return {
@@ -81,6 +83,7 @@ def run_benchmark() -> dict:
             for cell_id, cell in telemetry["cells"].items()
         },
         "totals": telemetry["totals"],
+        "metadata": run_metadata(),
     }
 
 

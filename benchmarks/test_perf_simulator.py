@@ -128,6 +128,9 @@ def run_benchmark() -> dict:
         }
         results["engine_speedup"] = round(reference_seconds / fast_seconds, 2)
     results["study_cell"] = time_study_cell()
+    from repro.provenance import run_metadata
+
+    results["metadata"] = run_metadata()
     return results
 
 

@@ -15,6 +15,8 @@ Regenerates paper artifacts from the shell:
    $ python -m repro chaos --cases 100      # seeded fault-injection sweep
    $ python -m repro resilience --smoke     # PSNR-vs-loss transport study
    $ python -m repro bench codec            # engine throughput benchmark
+   $ python -m repro profile encode         # traced run + per-stage table
+   $ python -m repro obs report --trace obs-profile/trace.jsonl
 """
 
 from __future__ import annotations
@@ -37,7 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (table1..table8, fig2..fig4), 'all', 'list', "
-            "'conformance', 'fuzz', 'study', 'chaos', 'resilience', or 'bench'"
+            "'conformance', 'fuzz', 'study', 'chaos', 'resilience', 'bench', "
+            "'profile', or 'obs'"
         ),
     )
     parser.add_argument(
@@ -99,6 +102,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.codec.bench import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.obs.cli import profile_main
+
+        return profile_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import obs_main
+
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine

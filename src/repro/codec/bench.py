@@ -95,6 +95,8 @@ def run_codec_benchmark(
 
     reference = results[ENGINE_REFERENCE]
     batched = results[ENGINE_BATCHED]
+    from repro.provenance import run_metadata
+
     return {
         "config": {
             "width": width,
@@ -109,6 +111,30 @@ def run_codec_benchmark(
         "engines": results,
         "encode_speedup": reference["encode_seconds"] / batched["encode_seconds"],
         "decode_speedup": reference["decode_seconds"] / batched["decode_seconds"],
+        "decode_stages": decode_stage_shares(streams[ENGINE_BATCHED]),
+        "metadata": run_metadata(),
+    }
+
+
+def decode_stage_shares(data: bytes) -> dict:
+    """Per-stage share of one traced decode pass over ``data``.
+
+    The decode story this repo keeps re-finding (and the paper frames as
+    the MPEG-specific bottleneck) is the bit-serial VLC parse; recording
+    its share as a named benchmark field gives the planned C bit-reader
+    a before/after baseline in ``BENCH_codec.json``.
+    """
+    from repro import obs
+    from repro.obs.report import aggregate_stages, roots_total_ns
+
+    with obs.recording() as session:
+        VopDecoder().decode_sequence(data)
+        records = session.tracer.records()
+    rows = aggregate_stages(records)
+    wall = roots_total_ns(records)
+    return {
+        row.name: round(row.self_ns / wall, 4) if wall else 0.0
+        for row in rows
     }
 
 

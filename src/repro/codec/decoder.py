@@ -48,6 +48,7 @@ from repro.codec.predict import DEFAULT_DC, FROM_ABOVE, AcDcPredictor
 from repro.codec.quant import dequantize_any, events_to_levels, inverse_zigzag_scan
 from repro.codec.shape import decode_shape_plane
 from repro.codec.types import VopStats, VopType
+from repro import obs
 from repro.video.yuv import MB_SIZE, YuvFrame
 
 #: Hard ceilings a VOL header must respect before the decoder allocates
@@ -149,6 +150,12 @@ class VopDecoder:
         conceals the lost macroblock rows from the reference frame.
         """
         self._tolerate_errors = tolerate_errors
+        with obs.span("codec.decode.sequence", bytes=len(data)):
+            return self._decode_sequence_inner(data, tolerate_errors)
+
+    def _decode_sequence_inner(
+        self, data: bytes, tolerate_errors: bool
+    ) -> DecodedSequence:
         reader = BitReader(data)
         n_frames = self._read_headers(reader)
         self._allocate_stores()
@@ -165,7 +172,8 @@ class VopDecoder:
                     continue  # skip unexpected sections, keep scanning
                 raise HeaderError(f"unexpected startcode 0x{suffix:02x} in VOL stream")
             try:
-                frame, mask, vop_stats = self._decode_vop(reader, coded_index)
+                with obs.span("codec.decode.vop", coded=coded_index):
+                    frame, mask, vop_stats = self._decode_vop(reader, coded_index)
             except Exception as error:
                 if not tolerate_errors:
                     if isinstance(error, BitstreamError):
@@ -451,20 +459,22 @@ class VopDecoder:
                 if self._rec is not None:
                     self._rec.begin_mb_row(row)
                 if self.data_partitioning:
-                    self._decode_row_partitioned(
-                        reader, vop_type, qp, past, future, recon_store,
-                        vop_stats, dc_preds, mv_grid, row,
-                    )
+                    with obs.span("codec.decode.row_partitioned", row=row):
+                        self._decode_row_partitioned(
+                            reader, vop_type, qp, past, future, recon_store,
+                            vop_stats, dc_preds, mv_grid, row,
+                        )
                 elif batched_rows:
                     self._decode_mb_row_batched(
                         reader, vop_type, qp, past, future, recon_store,
                         vop_stats, dc_preds, mv_grid, row,
                     )
                 else:
-                    self._decode_mb_row(
-                        reader, vop_type, qp, mask, past, future, recon_store,
-                        vop_stats, dc_preds, mv_grid, row,
-                    )
+                    with obs.span("codec.decode.mb_row", row=row):
+                        self._decode_mb_row(
+                            reader, vop_type, qp, mask, past, future,
+                            recon_store, vop_stats, dc_preds, mv_grid, row,
+                        )
             except Exception:
                 if not getattr(self, "_tolerate_errors", False):
                     raise
@@ -612,6 +622,11 @@ class VopDecoder:
         pred_fwd = ZERO_MV
         pred_bwd = ZERO_MV
         intra_levels: list[np.ndarray] = []
+        # Manual enter/exit keeps the 100-line parse loop unindented; a
+        # parse error leaks the span, which the enclosing VOP span's
+        # unwind still commits.
+        parse_span = obs.span("codec.decode.vlc_parse", row=row)
+        parse_span.__enter__()
         for col in range(mb_cols):
             mb_y = row * MB_SIZE
             mb_x = col * MB_SIZE
@@ -710,9 +725,11 @@ class VopDecoder:
                 "inter_dec", recon_store, mb_y, mb_x, header.cbp, n_events
             )
             records.append(("b", levels, mode, mv_f, mv_b))
-        self._reconstruct_row_batched(
-            records, intra_levels, qp, past, future, recon_store, row
-        )
+        parse_span.__exit__(None, None, None)
+        with obs.span("codec.decode.reconstruct", row=row):
+            self._reconstruct_row_batched(
+                records, intra_levels, qp, past, future, recon_store, row
+            )
 
     def _reconstruct_row_batched(
         self, records, intra_levels, qp, past, future, recon_store, row

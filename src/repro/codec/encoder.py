@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.codec import vlc
 from repro.codec.batched import (
     full_search_plane,
@@ -165,10 +166,11 @@ class VopEncoder:
         ``masks`` (binary alpha planes, one per frame) are required when the
         configuration uses arbitrary shape.
         """
-        self.begin_sequence(frames, masks)
-        while self.encode_next() is not None:
-            pass
-        return self.finish_sequence()
+        with obs.span("codec.encode.sequence", frames=len(frames)):
+            self.begin_sequence(frames, masks)
+            while self.encode_next() is not None:
+                pass
+            return self.finish_sequence()
 
     def begin_sequence(
         self, frames: list[YuvFrame], masks: list[np.ndarray] | None = None
@@ -202,9 +204,13 @@ class VopEncoder:
         display, vop_type = self._schedule[coded_index]
         self._schedule_pos += 1
         mask = self._masks[display] if self._masks is not None else None
-        vop_stats = self._encode_vop(
-            self._writer, self._frames[display], mask, vop_type, display, coded_index
-        )
+        with obs.span(
+            "codec.encode.vop", type=vop_type.name, display=display
+        ):
+            vop_stats = self._encode_vop(
+                self._writer, self._frames[display], mask, vop_type, display,
+                coded_index,
+            )
         self._seq_stats.vops.append(vop_stats)
         store = self._store_for(display, vop_type)
         recon = store.to_frame()
@@ -405,9 +411,11 @@ class VopEncoder:
                 writer, vop_type, qp, past, future, recon_store, vop_stats
             )
         else:
-            self._encode_macroblocks_reference(
-                writer, vop_type, qp, mask, past, future, recon_store, vop_stats
-            )
+            with obs.span("codec.encode.mb_loop", type=vop_type.name):
+                self._encode_macroblocks_reference(
+                    writer, vop_type, qp, mask, past, future, recon_store,
+                    vop_stats,
+                )
 
     def _encode_macroblocks_reference(
         self,
@@ -716,11 +724,12 @@ class VopEncoder:
     ) -> None:
         config = self.config
         method = config.quant_method
-        blocks, _ = self._gather_mb_tensor(self._cur)
-        levels = quantize_any(forward_dct(blocks), qp, True, method)
-        recon = self._recon_idct(dequantize_any(levels, qp, True, method))
-        pixels = np.clip(np.rint(recon), 0, 255).astype(np.uint8)
-        self._scatter_mb_pixels(recon_store, pixels)
+        with obs.span("codec.encode.dct_quant"):
+            blocks, _ = self._gather_mb_tensor(self._cur)
+            levels = quantize_any(forward_dct(blocks), qp, True, method)
+            recon = self._recon_idct(dequantize_any(levels, qp, True, method))
+            pixels = np.clip(np.rint(recon), 0, 255).astype(np.uint8)
+            self._scatter_mb_pixels(recon_store, pixels)
         state = {"dc_preds": self._make_dc_predictors()}
 
         def on_row(row: int) -> None:
@@ -740,7 +749,8 @@ class VopEncoder:
                     n_coded_blocks=6, n_events=n_events,
                 )
 
-        self._serialize_rows(writer, qp, code_mb, on_row)
+        with obs.span("codec.encode.serialize"):
+            self._serialize_rows(writer, qp, code_mb, on_row)
 
     def _encode_p_vop_batched(
         self,
@@ -755,39 +765,44 @@ class VopEncoder:
         mb_rows, mb_cols = config.mb_rows, config.mb_cols
         method = config.quant_method
         cur_blocks, y16 = self._gather_mb_tensor(self._cur)
-        mv_dx, mv_dy, sads, candidates, hook_data = self._batched_motion(past)
+        with obs.span("codec.encode.motion_search"):
+            mv_dx, mv_dy, sads, candidates, hook_data = self._batched_motion(past)
         intra_sel = intra_decisions(y16, sads)
         inter_rows, inter_cols = np.nonzero(~intra_sel)
-        prediction, _ = predict_many(
-            past.y, past.u, past.v,
-            inter_rows * MB_SIZE, inter_cols * MB_SIZE,
-            mv_dx[inter_rows, inter_cols], mv_dy[inter_rows, inter_cols],
-            BORDER,
-        )
-        residual = cur_blocks[inter_rows, inter_cols] - prediction
-        cbp, n_events, starts, payload, levels = self._batched_residual_code(
-            qp, residual
-        )
-        recon = prediction + self._recon_idct(dequantize_any(levels, qp, False, method))
-        pixels = np.empty((mb_rows, mb_cols, 6, 8, 8), dtype=np.uint8)
-        pixels[inter_rows, inter_cols] = np.clip(np.rint(recon), 0, 255).astype(
-            np.uint8
-        )
-        # Intra macroblocks reconstruct in batch too (their recon does not
-        # depend on prediction state); headers/events serialize below.
-        intra_rows, intra_cols = np.nonzero(intra_sel)
-        intra_levels = None
-        if intra_rows.size:
-            intra_levels = quantize_any(
-                forward_dct(cur_blocks[intra_rows, intra_cols]), qp, True, method
+        with obs.span("codec.encode.predict"):
+            prediction, _ = predict_many(
+                past.y, past.u, past.v,
+                inter_rows * MB_SIZE, inter_cols * MB_SIZE,
+                mv_dx[inter_rows, inter_cols], mv_dy[inter_rows, inter_cols],
+                BORDER,
             )
-            intra_recon = self._recon_idct(
-                dequantize_any(intra_levels, qp, True, method)
+            residual = cur_blocks[inter_rows, inter_cols] - prediction
+        with obs.span("codec.encode.dct_quant"):
+            cbp, n_events, starts, payload, levels = self._batched_residual_code(
+                qp, residual
             )
-            pixels[intra_rows, intra_cols] = np.clip(
-                np.rint(intra_recon), 0, 255
-            ).astype(np.uint8)
-        self._scatter_mb_pixels(recon_store, pixels)
+            recon = prediction + self._recon_idct(
+                dequantize_any(levels, qp, False, method)
+            )
+            pixels = np.empty((mb_rows, mb_cols, 6, 8, 8), dtype=np.uint8)
+            pixels[inter_rows, inter_cols] = np.clip(np.rint(recon), 0, 255).astype(
+                np.uint8
+            )
+            # Intra macroblocks reconstruct in batch too (their recon does not
+            # depend on prediction state); headers/events serialize below.
+            intra_rows, intra_cols = np.nonzero(intra_sel)
+            intra_levels = None
+            if intra_rows.size:
+                intra_levels = quantize_any(
+                    forward_dct(cur_blocks[intra_rows, intra_cols]), qp, True, method
+                )
+                intra_recon = self._recon_idct(
+                    dequantize_any(intra_levels, qp, True, method)
+                )
+                pixels[intra_rows, intra_cols] = np.clip(
+                    np.rint(intra_recon), 0, 255
+                ).astype(np.uint8)
+            self._scatter_mb_pixels(recon_store, pixels)
 
         inter_index = np.full((mb_rows, mb_cols), -1, dtype=np.int64)
         inter_index[inter_rows, inter_cols] = np.arange(inter_rows.size)
@@ -849,7 +864,8 @@ class VopEncoder:
                     n_events=n_events[k],
                 )
 
-        self._serialize_rows(writer, qp, code_mb)
+        with obs.span("codec.encode.serialize"):
+            self._serialize_rows(writer, qp, code_mb)
 
     def _encode_b_vop_batched(
         self,
@@ -866,40 +882,48 @@ class VopEncoder:
         method = config.quant_method
         n_mbs = mb_rows * mb_cols
         cur_blocks, y16 = self._gather_mb_tensor(self._cur)
-        f_dx, f_dy, f_sad, f_cand, f_hooks = self._batched_motion(past)
-        b_dx, b_dy, b_sad, b_cand, b_hooks = self._batched_motion(future)
+        with obs.span("codec.encode.motion_search", refs=2):
+            f_dx, f_dy, f_sad, f_cand, f_hooks = self._batched_motion(past)
+            b_dx, b_dy, b_sad, b_cand, b_hooks = self._batched_motion(future)
         mb_ys = np.repeat(np.arange(mb_rows, dtype=np.int64) * MB_SIZE, mb_cols)
         mb_xs = np.tile(np.arange(mb_cols, dtype=np.int64) * MB_SIZE, mb_rows)
-        pred_f, luma_f = predict_many(
-            past.y, past.u, past.v, mb_ys, mb_xs, f_dx.ravel(), f_dy.ravel(), BORDER
-        )
-        pred_b, luma_b = predict_many(
-            future.y, future.u, future.v, mb_ys, mb_xs,
-            b_dx.ravel(), b_dy.ravel(), BORDER,
-        )
-        cur_luma = y16.reshape(n_mbs, MB_SIZE, MB_SIZE).astype(np.int32)
-        bi_luma = (luma_f.astype(np.int32) + luma_b.astype(np.int32) + 1) // 2
-        sad_bi = np.abs(cur_luma - bi_luma).sum(axis=(1, 2), dtype=np.int64)
-        sad_f = f_sad.ravel()
-        sad_b = b_sad.ravel()
-        # Mode decision replicates Python's min() first-minimum tie-break.
-        mode_f = (sad_f <= sad_b) & (sad_f <= sad_bi)
-        mode_b = ~mode_f & (sad_b <= sad_bi)
-        pred_bi = (pred_f + pred_b + 1.0) // 2
-        choose_f = mode_f[:, None, None, None]
-        choose_b = mode_b[:, None, None, None]
-        prediction = np.where(choose_f, pred_f, np.where(choose_b, pred_b, pred_bi))
-        residual = cur_blocks.reshape(n_mbs, 6, 8, 8) - prediction
-        cbp, n_events, starts, payload, levels = self._batched_residual_code(
-            qp, residual
-        )
-        recon = prediction + self._recon_idct(dequantize_any(levels, qp, False, method))
-        pixels = (
-            np.clip(np.rint(recon), 0, 255)
-            .astype(np.uint8)
-            .reshape(mb_rows, mb_cols, 6, 8, 8)
-        )
-        self._scatter_mb_pixels(recon_store, pixels)
+        with obs.span("codec.encode.predict"):
+            pred_f, luma_f = predict_many(
+                past.y, past.u, past.v, mb_ys, mb_xs, f_dx.ravel(), f_dy.ravel(),
+                BORDER,
+            )
+            pred_b, luma_b = predict_many(
+                future.y, future.u, future.v, mb_ys, mb_xs,
+                b_dx.ravel(), b_dy.ravel(), BORDER,
+            )
+            cur_luma = y16.reshape(n_mbs, MB_SIZE, MB_SIZE).astype(np.int32)
+            bi_luma = (luma_f.astype(np.int32) + luma_b.astype(np.int32) + 1) // 2
+            sad_bi = np.abs(cur_luma - bi_luma).sum(axis=(1, 2), dtype=np.int64)
+            sad_f = f_sad.ravel()
+            sad_b = b_sad.ravel()
+            # Mode decision replicates Python's min() first-minimum tie-break.
+            mode_f = (sad_f <= sad_b) & (sad_f <= sad_bi)
+            mode_b = ~mode_f & (sad_b <= sad_bi)
+            pred_bi = (pred_f + pred_b + 1.0) // 2
+            choose_f = mode_f[:, None, None, None]
+            choose_b = mode_b[:, None, None, None]
+            prediction = np.where(
+                choose_f, pred_f, np.where(choose_b, pred_b, pred_bi)
+            )
+            residual = cur_blocks.reshape(n_mbs, 6, 8, 8) - prediction
+        with obs.span("codec.encode.dct_quant"):
+            cbp, n_events, starts, payload, levels = self._batched_residual_code(
+                qp, residual
+            )
+            recon = prediction + self._recon_idct(
+                dequantize_any(levels, qp, False, method)
+            )
+            pixels = (
+                np.clip(np.rint(recon), 0, 255)
+                .astype(np.uint8)
+                .reshape(mb_rows, mb_cols, 6, 8, 8)
+            )
+            self._scatter_mb_pixels(recon_store, pixels)
 
         modes = np.where(
             mode_f,
@@ -966,7 +990,8 @@ class VopEncoder:
                     n_events=n_events[k],
                 )
 
-        self._serialize_rows(writer, qp, code_mb, on_row)
+        with obs.span("codec.encode.serialize"):
+            self._serialize_rows(writer, qp, code_mb, on_row)
 
     def _encode_texture_event(
         self, texture_writer: BitWriter, last: int, run: int, level: int

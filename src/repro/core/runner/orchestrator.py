@@ -28,6 +28,7 @@ import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 
+from repro import obs
 from repro.core.experiments import EXPERIMENTS, SCALES, current_scale
 from repro.core.machines import STUDY_MACHINES
 from repro.core.runner.chaos import CHAOS_ENV
@@ -283,25 +284,31 @@ def run_study(
             else WorkerBudget(wall_s=cell_budget_from_env(), heartbeat_s=30.0),
             retry=retry if retry is not None else RetryPolicy(),
         )
-        outcomes = pool.run(
-            [
-                (cell_id, execute_cell, (asdict(cells[cell_id]), scale_name))
-                for cell_id in todo
-            ]
-        )
+        with obs.span(
+            "runner.study", grid=grid, scale=scale_name, cells=len(todo)
+        ):
+            outcomes = pool.run(
+                [
+                    (cell_id, execute_cell, (asdict(cells[cell_id]), scale_name))
+                    for cell_id in todo
+                ]
+            )
         for cell_id, outcome in outcomes.items():
             attempts = [asdict(a) for a in outcome.attempts]
             telemetry_cells[cell_id] = _cell_telemetry(outcome)
             if not outcome.ok:
+                obs.counter_add("runner.cells_quarantined")
                 _quarantine_loudly(manifest, cell_id, attempts)
                 continue
             payload = pickle.dumps(outcome.result, protocol=4)
             try:
-                manifest.commit_cell(
-                    cell_id, payload,
-                    attempts=attempts,
-                    telemetry=telemetry_cells[cell_id],
-                )
+                with obs.span("runner.commit_cell", cell=cell_id):
+                    manifest.commit_cell(
+                        cell_id, payload,
+                        attempts=attempts,
+                        telemetry=telemetry_cells[cell_id],
+                    )
+                obs.counter_add("runner.cells_done")
             except ManifestError as error:
                 attempts.append(
                     {"index": len(attempts) + 1, "outcome": "persist-failure",
@@ -309,6 +316,7 @@ def run_study(
                      "rss_peak_bytes": 0, "worker_pid": 0}
                 )
                 telemetry_cells[cell_id]["outcome"] = "quarantined"
+                obs.counter_add("runner.cells_quarantined")
                 _quarantine_loudly(manifest, cell_id, attempts)
 
     statuses = manifest.statuses()

@@ -37,6 +37,7 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.runner.chaos import POINT_WORKER_CELL, strike_from_env
 from repro.core.runner.clock import REAL_CLOCK, Clock
 from repro.core.runner.deadline import BudgetExpired, time_budget
@@ -229,8 +230,9 @@ def _worker_main(conn, heartbeat, initializer, initargs) -> None:
         strike_from_env(POINT_WORKER_CELL, chaos_key)
         start = time.monotonic()
         try:
-            with time_budget(wall_s if wall_s is not None else 0.0):
-                result = fn(*args, **kwargs)
+            with obs.worker_task(task_id):
+                with time_budget(wall_s if wall_s is not None else 0.0):
+                    result = fn(*args, **kwargs)
         except BudgetExpired:
             duration = time.monotonic() - start
             conn.send(
@@ -437,6 +439,7 @@ class SupervisedPool:
             task_id = pending.popleft()
             fn, args, kwargs = specs[task_id]
             attempt = scheduler.record_start(task_id)
+            obs.counter_add("runner.tasks_dispatched")
             worker.assign(
                 task_id, attempt, fn, args, kwargs,
                 self.budget.wall_s, f"{task_id}/a{attempt}",
@@ -471,11 +474,14 @@ class SupervisedPool:
             )
             attempts[task_id].append(record)
             worker.clear()
+            obs.histogram_observe("runner.task_attempt_s", duration)
             if status == "ok":
+                obs.counter_add("runner.tasks_done")
                 outcomes[task_id] = TaskOutcome(
                     task_id, True, result, attempts[task_id]
                 )
             else:
+                obs.counter_add(f"runner.verdict.{status}")
                 self._retry_or_quarantine(
                     task_id, outcomes, attempts, scheduler, pending
                 )
@@ -531,6 +537,7 @@ class SupervisedPool:
                 continue
             progressed = True
             outcome_kind, detail = verdict
+            obs.counter_add(f"runner.verdict.{outcome_kind}")
             task_id = worker.task_id
             attempts[task_id].append(
                 TaskAttempt(
@@ -552,6 +559,9 @@ class SupervisedPool:
         self, task_id, outcomes, attempts, scheduler, pending
     ) -> None:
         if scheduler.schedule_retry(task_id) is None:
+            obs.counter_add("runner.tasks_quarantined")
             outcomes[task_id] = TaskOutcome(
                 task_id, False, None, attempts[task_id]
             )
+        else:
+            obs.counter_add("runner.tasks_retried")

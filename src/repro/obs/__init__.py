@@ -1,0 +1,292 @@
+"""Unified telemetry facade: spans, metrics, and the ``REPRO_OBS`` gate.
+
+Every instrumentation hook in the repo goes through this module, and the
+module's whole contract is that the hooks are *free when observability is
+off*:
+
+.. code-block:: python
+
+    from repro import obs
+
+    with obs.span("codec.encode.motion_search", vop=3):
+        ...  # timed when REPRO_OBS=on; a shared no-op otherwise
+
+    obs.counter_add("trace_cache.hits")
+    obs.histogram_observe("runner.task_attempt_s", 1.25)
+
+With ``REPRO_OBS`` unset (or ``off``/``0``/``false``), every facade call
+resolves to a module-global None check plus (for ``span``) a singleton
+no-op context manager -- no allocation, no clock read, no lock.  The
+overhead guard in ``tests/obs/test_overhead.py`` keeps this honest.
+
+With ``REPRO_OBS=on`` a process-wide :class:`~repro.obs.spans.SpanTracer`
+and :class:`~repro.obs.metrics.MetricsRegistry` are installed lazily on
+first use.  ``REPRO_OBS_LIMIT`` bounds the span ring buffer,
+``REPRO_OBS_PROC`` names the logical process (worker labels), and
+``REPRO_OBS_DIR`` points at a spool directory that multi-process runs
+flush part files into (see :func:`flush_part`).
+
+Tests and the ``repro profile`` CLI use :func:`recording` to force a
+fresh, isolated session regardless of the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import DEFAULT_LIMIT, SpanTracer
+
+__all__ = [
+    "OBS_ENV",
+    "LIMIT_ENV",
+    "PROC_ENV",
+    "DIR_ENV",
+    "Session",
+    "enabled",
+    "span",
+    "traced",
+    "counter_add",
+    "gauge_set",
+    "gauge_max",
+    "histogram_observe",
+    "tracer",
+    "registry",
+    "session",
+    "recording",
+    "install",
+    "reset",
+    "flush_part",
+    "worker_task",
+    "absorb_hierarchy",
+]
+
+#: Master switch: ``on``/``1``/``true``/``yes`` enables telemetry.
+OBS_ENV = "REPRO_OBS"
+#: Span ring-buffer capacity override.
+LIMIT_ENV = "REPRO_OBS_LIMIT"
+#: Logical process label for span identity (default ``main``).
+PROC_ENV = "REPRO_OBS_PROC"
+#: Spool directory for multi-process part files (unset = no spool).
+DIR_ENV = "REPRO_OBS_DIR"
+
+_TRUTHY = frozenset({"1", "on", "true", "yes"})
+
+
+@dataclass
+class Session:
+    """One installed telemetry session: a tracer plus a registry."""
+
+    tracer: SpanTracer
+    registry: MetricsRegistry
+
+
+class _NullSpan:
+    """Shared, re-entrant no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The installed session (None = disabled).  ``_resolved`` memoizes the
+#: environment lookup so the hot no-op path is one global load + test.
+_session: Session | None = None
+_resolved = False
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(OBS_ENV, "").strip().lower() in _TRUTHY
+
+
+def _session_from_env() -> Session:
+    limit = int(os.environ.get(LIMIT_ENV, DEFAULT_LIMIT))
+    proc = os.environ.get(PROC_ENV, "main")
+    return Session(tracer=SpanTracer(proc_label=proc, limit=limit),
+                   registry=MetricsRegistry())
+
+
+def _resolve() -> Session | None:
+    global _session, _resolved
+    if not _resolved:
+        _session = _session_from_env() if _env_enabled() else None
+        _resolved = True
+    return _session
+
+
+# -- facade -------------------------------------------------------------------
+
+
+def enabled() -> bool:
+    """True when a telemetry session is installed (env or explicit)."""
+    return _resolve() is not None
+
+
+def span(name: str, **attrs):
+    """Time one named region; a shared no-op when telemetry is off."""
+    s = _session if _resolved else _resolve()
+    if s is None:
+        return _NULL_SPAN
+    return s.tracer.span(name, attrs)
+
+
+def traced(name: str | None = None):
+    """Decorator: wrap a callable in a span (resolved per call, so the
+    decorated function honours sessions installed after import)."""
+    import functools
+
+    def decorate(fn):
+        span_name = name or f"{fn.__module__}.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(span_name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def counter_add(name: str, amount: int | float = 1) -> None:
+    s = _session if _resolved else _resolve()
+    if s is not None:
+        s.registry.counter(name).add(amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    s = _session if _resolved else _resolve()
+    if s is not None:
+        s.registry.gauge(name).set(value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    s = _session if _resolved else _resolve()
+    if s is not None:
+        s.registry.gauge(name).max(value)
+
+
+def histogram_observe(name: str, value: float) -> None:
+    s = _session if _resolved else _resolve()
+    if s is not None:
+        s.registry.histogram(name).observe(value)
+
+
+def absorb_hierarchy(hierarchy, prefix: str = "memsim") -> None:
+    """Publish a simulated memory hierarchy's counters (no-op when off)."""
+    s = _session if _resolved else _resolve()
+    if s is not None:
+        s.registry.absorb_hierarchy(hierarchy, prefix)
+
+
+def tracer() -> SpanTracer | None:
+    s = _resolve()
+    return s.tracer if s is not None else None
+
+
+def registry() -> MetricsRegistry | None:
+    s = _resolve()
+    return s.registry if s is not None else None
+
+
+def session() -> Session | None:
+    return _resolve()
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+
+def install(new_session: Session | None) -> None:
+    """Explicitly install (or clear, with None) the process session."""
+    global _session, _resolved
+    _session = new_session
+    _resolved = True
+
+
+def reset() -> None:
+    """Forget the installed session; the next call re-reads the env."""
+    global _session, _resolved
+    _session = None
+    _resolved = False
+
+
+@contextmanager
+def recording(limit: int = DEFAULT_LIMIT, proc_label: str = "main"):
+    """Force-enable a fresh session for the duration of the block.
+
+    Used by ``repro profile``, the benchmark VLC-share probe, and tests:
+    telemetry is recorded regardless of ``REPRO_OBS``, into an isolated
+    tracer/registry, and the previous state (including "disabled") is
+    restored on exit.
+    """
+    global _session, _resolved
+    previous = (_session, _resolved)
+    fresh = Session(
+        tracer=SpanTracer(proc_label=proc_label, limit=limit),
+        registry=MetricsRegistry(),
+    )
+    _session = fresh
+    _resolved = True
+    try:
+        yield fresh
+    finally:
+        _session, _resolved = previous
+
+
+@contextmanager
+def worker_task(label: str):
+    """Per-task telemetry scope for pool worker processes.
+
+    Honours the ``REPRO_OBS`` gate (unlike :func:`recording`).  When on,
+    the task runs against a *fresh* session whose process label is the
+    task id -- so span identities depend only on the task, never on the
+    worker pid or the attempt that happened to succeed -- and a
+    successful task flushes exactly one part file named after the task.
+    A task that raises flushes nothing: killed or failed attempts leave
+    no partial telemetry behind, which keeps merged span trees
+    deterministic under chaos-induced retries.
+    """
+    global _session, _resolved
+    if not _env_enabled():
+        yield None
+        return
+    previous = (_session, _resolved)
+    limit = int(os.environ.get(LIMIT_ENV, DEFAULT_LIMIT))
+    fresh = Session(
+        tracer=SpanTracer(proc_label=label, limit=limit),
+        registry=MetricsRegistry(),
+    )
+    _session = fresh
+    _resolved = True
+    try:
+        yield fresh
+        try:
+            flush_part(label)
+        except OSError:
+            pass  # telemetry loss must never fail the task itself
+    finally:
+        _session, _resolved = previous
+
+
+def flush_part(label: str) -> "os.PathLike | None":
+    """Flush this process's telemetry into the ``REPRO_OBS_DIR`` spool.
+
+    Returns the part path, or None when telemetry or the spool is off.
+    Drains the span ring buffer, so repeated flushes partition the
+    stream rather than duplicating it.
+    """
+    s = _session if _resolved else _resolve()
+    spool = os.environ.get(DIR_ENV)
+    if s is None or not spool:
+        return None
+    from repro.obs.export import write_part
+
+    return write_part(spool, label, s.tracer.drain(), s.registry.snapshot())

@@ -1,0 +1,206 @@
+"""Telemetry exporters: JSONL span traces, Chrome traces, metrics JSON.
+
+Every artifact leaves through :func:`repro.ioutil.atomic_write`, so a
+crash (or SIGKILL) mid-export never publishes a torn file -- readers see
+the previous artifact or the complete new one, nothing in between.
+
+Formats:
+
+- **JSONL trace** -- line 1 is a meta header (``schema``/``version`` plus
+  run provenance), every following line one completed span
+  (:meth:`SpanRecord.to_dict`).  This is the repo's canonical on-disk
+  span format: greppable, streamable, merge-friendly.
+- **Chrome trace** -- the ``chrome://tracing`` / Perfetto JSON object
+  format: one complete ``"X"`` event per span with microsecond
+  timestamps, plus ``process_name``/``thread_name`` metadata events so
+  logical proc/thread labels render properly.  Logical labels map to
+  stable small integers (sorted order), keeping the file deterministic.
+- **metrics JSON** -- a :meth:`MetricsRegistry.snapshot` wrapped with the
+  same meta header.
+
+The part spool (:func:`write_part` / :func:`merge_parts`) carries spans
+and metrics across process boundaries: each worker flushes its telemetry
+to a uniquely named part file in ``REPRO_OBS_DIR`` and the coordinating
+process merges them into one trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.ioutil import atomic_write
+from repro.obs.spans import SpanRecord
+
+__all__ = [
+    "SCHEMA_TRACE",
+    "SCHEMA_METRICS",
+    "SCHEMA_VERSION",
+    "spans_to_jsonl",
+    "export_spans_jsonl",
+    "read_spans_jsonl",
+    "chrome_trace",
+    "export_chrome_trace",
+    "export_metrics_json",
+    "write_part",
+    "merge_parts",
+]
+
+SCHEMA_TRACE = "repro-obs-trace"
+SCHEMA_METRICS = "repro-obs-metrics"
+SCHEMA_VERSION = 1
+
+
+def _meta_header(schema: str, meta: dict | None) -> dict:
+    header = {"schema": schema, "version": SCHEMA_VERSION}
+    if meta:
+        header.update(meta)
+    return header
+
+
+# -- JSONL span trace ---------------------------------------------------------
+
+
+def spans_to_jsonl(records: list[SpanRecord], meta: dict | None = None) -> str:
+    lines = [json.dumps(_meta_header(SCHEMA_TRACE, meta), sort_keys=True)]
+    lines.extend(
+        json.dumps(record.to_dict(), sort_keys=True) for record in records
+    )
+    return "\n".join(lines) + "\n"
+
+
+def export_spans_jsonl(
+    path: str | Path, records: list[SpanRecord], meta: dict | None = None
+) -> None:
+    atomic_write(path, spans_to_jsonl(records, meta))
+
+
+def read_spans_jsonl(path: str | Path) -> tuple[dict, list[SpanRecord]]:
+    """Parse a JSONL trace back into ``(meta, records)``."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    meta = json.loads(lines[0])
+    if meta.get("schema") != SCHEMA_TRACE:
+        raise ValueError(f"{path}: not a {SCHEMA_TRACE} file")
+    records = [SpanRecord.from_dict(json.loads(line)) for line in lines[1:] if line]
+    return meta, records
+
+
+# -- Chrome trace (chrome://tracing / Perfetto) -------------------------------
+
+
+def chrome_trace(records: list[SpanRecord], meta: dict | None = None) -> dict:
+    """The Chrome trace-event JSON object for one span set."""
+    procs = sorted({record.proc for record in records})
+    threads = sorted({(record.proc, record.thread) for record in records})
+    pid_of = {proc: index + 1 for index, proc in enumerate(procs)}
+    tid_of = {key: index + 1 for index, key in enumerate(threads)}
+    events: list[dict] = []
+    for proc in procs:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid_of[proc],
+                "tid": 0,
+                "args": {"name": proc},
+            }
+        )
+    for proc, thread in threads:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid_of[proc],
+                "tid": tid_of[(proc, thread)],
+                "args": {"name": thread},
+            }
+        )
+    for record in records:
+        event = {
+            "name": record.name,
+            "ph": "X",
+            "pid": pid_of[record.proc],
+            "tid": tid_of[(record.proc, record.thread)],
+            "ts": record.start_ns / 1000.0,
+            "dur": record.dur_ns / 1000.0,
+            "args": dict(record.attrs, span_id=record.span_id),
+        }
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": _meta_header(SCHEMA_TRACE, meta),
+    }
+
+
+def export_chrome_trace(
+    path: str | Path, records: list[SpanRecord], meta: dict | None = None
+) -> None:
+    atomic_write(path, json.dumps(chrome_trace(records, meta), indent=1) + "\n")
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+def export_metrics_json(
+    path: str | Path, snapshot: dict, meta: dict | None = None
+) -> None:
+    body = _meta_header(SCHEMA_METRICS, meta)
+    body["metrics"] = snapshot
+    atomic_write(path, json.dumps(body, indent=2, sort_keys=True) + "\n")
+
+
+# -- multi-process part spool -------------------------------------------------
+
+
+def write_part(
+    spool: str | Path,
+    label: str,
+    records: list[SpanRecord],
+    snapshot: dict | None = None,
+) -> Path:
+    """Atomically publish one process's telemetry as a spool part file.
+
+    ``label`` names the part (task id, attempt, ...); slashes are
+    flattened so any task id is a valid filename.
+    """
+    safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in label)
+    spool = Path(spool)
+    spool.mkdir(parents=True, exist_ok=True)
+    path = spool / f"part-{safe}.json"
+    body = {
+        "schema": f"{SCHEMA_TRACE}-part",
+        "version": SCHEMA_VERSION,
+        "label": label,
+        "spans": [record.to_dict() for record in records],
+        "metrics": snapshot or {},
+    }
+    atomic_write(path, json.dumps(body, sort_keys=True) + "\n")
+    return path
+
+
+def merge_parts(spool: str | Path) -> tuple[list[SpanRecord], list[dict]]:
+    """Collect every part file in a spool directory, sorted by filename.
+
+    Returns the concatenated span records and the list of metric
+    snapshots (one per part, in the same order); unreadable parts are
+    skipped -- a killed worker may have published nothing, never a torn
+    file (atomic writes).
+    """
+    records: list[SpanRecord] = []
+    snapshots: list[dict] = []
+    spool = Path(spool)
+    if not spool.is_dir():
+        return records, snapshots
+    for path in sorted(spool.glob("part-*.json")):
+        try:
+            body = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if body.get("schema") != f"{SCHEMA_TRACE}-part":
+            continue
+        records.extend(SpanRecord.from_dict(span) for span in body.get("spans", []))
+        snapshots.append(body.get("metrics", {}))
+    return records, snapshots

@@ -1,0 +1,194 @@
+"""Lightweight schema validation for exported telemetry artifacts.
+
+CI's obs-smoke job (and ``tests/obs/``) validate every exported trace
+and metrics file against these checks before uploading it as a build
+artifact -- a regression in the export format fails loudly instead of
+producing Perfetto-unloadable traces.  Hand-rolled on purpose: the
+container has no jsonschema dependency, and the formats are small.
+
+Each validator returns a list of human-readable problems (empty = valid).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.export import SCHEMA_METRICS, SCHEMA_TRACE, SCHEMA_VERSION
+
+__all__ = [
+    "validate_trace_jsonl",
+    "validate_chrome_trace",
+    "validate_metrics_json",
+    "validate_part",
+    "validate_file",
+]
+
+SCHEMA_PART = f"{SCHEMA_TRACE}-part"
+
+_SPAN_REQUIRED = {"name": str, "id": str, "t0_ns": int, "dur_ns": int}
+
+
+def _check_meta(meta: dict, schema: str, where: str) -> list[str]:
+    problems = []
+    if meta.get("schema") != schema:
+        problems.append(f"{where}: schema is {meta.get('schema')!r}, want {schema!r}")
+    if meta.get("version") != SCHEMA_VERSION:
+        problems.append(
+            f"{where}: version is {meta.get('version')!r}, want {SCHEMA_VERSION}"
+        )
+    return problems
+
+
+def _check_span(span: dict, where: str) -> list[str]:
+    problems = []
+    for key, kind in _SPAN_REQUIRED.items():
+        if key not in span:
+            problems.append(f"{where}: missing {key!r}")
+        elif not isinstance(span[key], kind):
+            problems.append(
+                f"{where}: {key!r} is {type(span[key]).__name__}, want {kind.__name__}"
+            )
+    if isinstance(span.get("dur_ns"), int) and span["dur_ns"] < 0:
+        problems.append(f"{where}: negative duration {span['dur_ns']}")
+    parent = span.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        problems.append(f"{where}: parent must be null or a span id")
+    return problems
+
+
+def validate_trace_jsonl(text: str) -> list[str]:
+    """Validate the canonical JSONL span-trace format."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return ["trace is empty"]
+    try:
+        meta = json.loads(lines[0])
+    except ValueError as error:
+        return [f"line 1: not JSON ({error})"]
+    problems = _check_meta(meta, SCHEMA_TRACE, "line 1")
+    ids: set[str] = set()
+    spans: list[dict] = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            span = json.loads(line)
+        except ValueError as error:
+            problems.append(f"line {number}: not JSON ({error})")
+            continue
+        problems.extend(_check_span(span, f"line {number}"))
+        if isinstance(span.get("id"), str):
+            if span["id"] in ids:
+                problems.append(f"line {number}: duplicate span id {span['id']!r}")
+            ids.add(span["id"])
+        spans.append(span)
+    for number, span in enumerate(spans, start=2):
+        parent = span.get("parent")
+        if isinstance(parent, str) and parent not in ids:
+            # A parent evicted from the ring buffer is legal; a parent
+            # that *postdates* its child's id-space is not checkable
+            # cheaply, so only flag self-parenting.
+            if parent == span.get("id"):
+                problems.append(f"line {number}: span is its own parent")
+    return problems
+
+
+def validate_chrome_trace(obj: dict) -> list[str]:
+    """Validate the Chrome trace-event export (what Perfetto loads)."""
+    problems = []
+    events = obj.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    problems.extend(
+        _check_meta(obj.get("otherData", {}), SCHEMA_TRACE, "otherData")
+    )
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)):
+                    problems.append(f"{where}: {key!r} must be a number")
+                elif value < 0:
+                    problems.append(f"{where}: {key!r} is negative")
+    return problems
+
+
+def validate_metrics_json(obj: dict) -> list[str]:
+    """Validate an exported metrics snapshot."""
+    problems = _check_meta(obj, SCHEMA_METRICS, "metrics")
+    metrics = obj.get("metrics")
+    if not isinstance(metrics, dict):
+        return problems + ["metrics body missing"]
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            problems.append(f"metrics.{section} missing or not an object")
+    for name, value in metrics.get("counters", {}).items():
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"counter {name!r} must be a non-negative number")
+    for name, body in metrics.get("histograms", {}).items():
+        if not isinstance(body, dict):
+            problems.append(f"histogram {name!r} is not an object")
+            continue
+        for key in ("buckets", "counts", "total", "sum"):
+            if key not in body:
+                problems.append(f"histogram {name!r}: missing {key!r}")
+        if len(body.get("buckets", [])) != len(body.get("counts", [])):
+            problems.append(f"histogram {name!r}: buckets/counts length mismatch")
+    return problems
+
+
+def validate_part(obj: dict) -> list[str]:
+    """Validate one worker's spool part file."""
+    problems = _check_meta(obj, SCHEMA_PART, "part")
+    if not isinstance(obj.get("label"), str):
+        problems.append("part: label missing or not a string")
+    spans = obj.get("spans")
+    if not isinstance(spans, list):
+        return problems + ["part: spans missing or not a list"]
+    ids: set[str] = set()
+    for index, span in enumerate(spans):
+        where = f"spans[{index}]"
+        if not isinstance(span, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        problems.extend(_check_span(span, where))
+        if isinstance(span.get("id"), str):
+            if span["id"] in ids:
+                problems.append(f"{where}: duplicate span id {span['id']!r}")
+            ids.add(span["id"])
+    if not isinstance(obj.get("metrics"), dict):
+        problems.append("part: metrics missing or not an object")
+    return problems
+
+
+def validate_file(path: str | Path) -> list[str]:
+    """Dispatch on file shape: JSONL trace, Chrome trace, or metrics."""
+    path = Path(path)
+    text = path.read_text()
+    try:
+        obj = json.loads(text)
+    except ValueError:
+        # Not one JSON document: the line-oriented JSONL trace format.
+        return validate_trace_jsonl(text)
+    if not isinstance(obj, dict):
+        return [f"{path.name}: unrecognized JSON telemetry artifact"]
+    if "traceEvents" in obj:
+        return validate_chrome_trace(obj)
+    if obj.get("schema") == SCHEMA_METRICS:
+        return validate_metrics_json(obj)
+    if obj.get("schema") == SCHEMA_PART:
+        return validate_part(obj)
+    if obj.get("schema") == SCHEMA_TRACE:
+        # A single-line (meta-only) JSONL trace parses as one document.
+        return validate_trace_jsonl(text)
+    return [f"{path.name}: unrecognized JSON telemetry artifact"]

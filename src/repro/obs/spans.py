@@ -1,0 +1,213 @@
+"""Structured span tracer: nested, thread/process-aware timing trees.
+
+The paper's method is attribution -- knowing *which* kernel the cycles
+went to -- and this module is the wall-clock side of that question for
+our own pipeline.  A span is one timed region with a name drawn from a
+dotted stage taxonomy (``codec.encode.motion_search``,
+``transport.channel``, ...).  Spans nest: entering a span while another
+is open records the parent link, so the completed records reassemble
+into a tree (see :mod:`repro.obs.report`).
+
+Design constraints, in priority order:
+
+- **deterministic identity** -- span ids are ``<proc>/<thread>:<seq>``
+  where ``seq`` is a per-thread counter.  Two runs of the same
+  single-threaded workload produce byte-identical id/parent/name
+  columns; only the timestamps differ.  Nothing about identity derives
+  from wall-clock time, PIDs, or allocation order across threads.
+- **bounded memory** -- completed records land in a ring buffer
+  (``REPRO_OBS_LIMIT``, default 65536); a long-running study cannot grow
+  without bound, and ``dropped_spans`` says how much history was lost.
+- **cheap when on, free when off** -- the enabled path is one object
+  allocation plus two ``perf_counter_ns`` calls per span; the disabled
+  path never reaches this module (see :mod:`repro.obs`'s no-op
+  singleton).
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["SpanRecord", "SpanTracer", "DEFAULT_LIMIT"]
+
+#: Default ring-buffer capacity (completed spans).
+DEFAULT_LIMIT = 65536
+
+
+@dataclass
+class SpanRecord:
+    """One completed timed region."""
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "proc", "thread",
+        "start_ns", "dur_ns", "attrs",
+    )
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    proc: str
+    thread: str
+    start_ns: int
+    dur_ns: int
+    attrs: dict
+
+    def to_dict(self) -> dict:
+        record = {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "proc": self.proc,
+            "thread": self.thread,
+            "t0_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SpanRecord":
+        return cls(
+            name=record["name"],
+            span_id=record["id"],
+            parent_id=record.get("parent"),
+            proc=record.get("proc", "main"),
+            thread=record.get("thread", "main"),
+            start_ns=int(record["t0_ns"]),
+            dur_ns=int(record["dur_ns"]),
+            attrs=dict(record.get("attrs", {})),
+        )
+
+
+def _thread_label() -> str:
+    name = threading.current_thread().name
+    return "main" if name == "MainThread" else name.replace(" ", "-")
+
+
+class _ThreadState(threading.local):
+    """Per-thread open-span stack and deterministic sequence counter."""
+
+    def __init__(self) -> None:
+        self.stack: list[str] = []
+        self.seq = 0
+        self.label = _thread_label()
+
+
+class _SpanContext:
+    """Context manager for one active span (also usable as a handle)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "_start_ns", "_parent")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_SpanContext":
+        state = self._tracer._state
+        state.seq += 1
+        self.span_id = f"{self._tracer.proc_label}/{state.label}:{state.seq}"
+        self._parent = state.stack[-1] if state.stack else None
+        state.stack.append(self.span_id)
+        self._start_ns = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end_ns = self._tracer.clock()
+        state = self._tracer._state
+        # Unwind to this span even if an inner span leaked (exception
+        # paths), so one bad region cannot corrupt the whole tree.
+        while state.stack and state.stack[-1] != self.span_id:
+            state.stack.pop()
+        if state.stack:
+            state.stack.pop()
+        self._tracer._commit(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self._parent,
+                proc=self._tracer.proc_label,
+                thread=state.label,
+                start_ns=self._start_ns - self._tracer.epoch_ns,
+                dur_ns=end_ns - self._start_ns,
+                attrs=self.attrs,
+            )
+        )
+
+
+class SpanTracer:
+    """Collects completed spans into a bounded ring buffer."""
+
+    def __init__(
+        self,
+        proc_label: str = "main",
+        limit: int = DEFAULT_LIMIT,
+        clock=time.perf_counter_ns,
+    ) -> None:
+        if limit <= 0:
+            raise ValueError("span ring-buffer limit must be positive")
+        self.proc_label = proc_label
+        self.limit = limit
+        self.clock = clock
+        #: Timestamps are recorded relative to tracer creation so ids
+        #: *and* the time origin are reproducible run-to-run structure.
+        self.epoch_ns = clock()
+        self._ring: deque[SpanRecord] = deque(maxlen=limit)
+        self._state = _ThreadState()
+        self._lock = threading.Lock()
+        self.completed_total = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, attrs: dict | None = None) -> _SpanContext:
+        """A context manager timing one named region."""
+        return _SpanContext(self, name, attrs or {})
+
+    def traced(self, name: str | None = None):
+        """Decorator form: times every call of the wrapped function."""
+
+        def decorate(fn):
+            span_name = name or f"{fn.__module__}.{fn.__qualname__}"
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def _commit(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self.completed_total += 1
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def dropped_spans(self) -> int:
+        """Completed spans evicted by the ring bound."""
+        return max(0, self.completed_total - len(self._ring))
+
+    def records(self) -> list[SpanRecord]:
+        """Completed spans, oldest first (a snapshot copy)."""
+        with self._lock:
+            return list(self._ring)
+
+    def drain(self) -> list[SpanRecord]:
+        """Return and clear the completed spans (part-file flushing)."""
+        with self._lock:
+            records = list(self._ring)
+            self._ring.clear()
+            return records
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self.completed_total = 0

@@ -43,6 +43,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.runner.chaos import (
     POINT_TRACE_LOAD,
     POINT_TRACE_STORE,
@@ -276,6 +277,7 @@ class TraceCacheStore:
         """
         entry = self.entry_path(key)
         if not entry.exists():
+            obs.counter_add("trace_cache.misses")
             return None
         try:
             injector = chaos_from_env()
@@ -306,7 +308,10 @@ class TraceCacheStore:
             # Evict unreadable entries so the re-recording can be stored
             # (store() never overwrites an existing entry).
             self.evict(key)
+            obs.counter_add("trace_cache.evictions")
+            obs.counter_add("trace_cache.misses")
             return None
+        obs.counter_add("trace_cache.hits")
         return RecordedTrace(
             batches=batches,
             scale=scale,
@@ -353,5 +358,6 @@ class TraceCacheStore:
                 chaos_key=f"{key}/meta",
             )
             os.replace(staging, entry)
+            obs.counter_add("trace_cache.stores")
         except OSError:
             shutil.rmtree(staging, ignore_errors=True)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.transport.channel import GilbertElliottChannel, profile_for_loss
 from repro.transport.fec import add_parity, recover_with_parity
 from repro.transport.interleave import interleave
@@ -67,21 +68,32 @@ class TransmissionResult:
 
 def transmit_stream(data: bytes, config: TransportConfig) -> TransmissionResult:
     """Push ``data`` through packetization, FEC, interleaving and loss."""
-    data_packets = packetize(data, config.max_payload)
-    sendable = (
-        add_parity(data_packets, config.fec_group)
-        if config.fec_group
-        else list(data_packets)
-    )
-    wire = interleave(sendable, config.interleave_depth)
-    channel = GilbertElliottChannel(config.seed, profile_for_loss(config.loss_rate))
-    delivered, dropped = channel.transmit(wire)
-    if config.fec_group:
-        received, n_recovered = recover_with_parity(delivered, config.fec_group)
-    else:
-        received = [p for p in delivered if not p.is_parity]
-        n_recovered = 0
-    stream, lost_seqs = depacketize(received)
+    with obs.span("transport.transmit", bytes=len(data)):
+        with obs.span("transport.packetize"):
+            data_packets = packetize(data, config.max_payload)
+            sendable = (
+                add_parity(data_packets, config.fec_group)
+                if config.fec_group
+                else list(data_packets)
+            )
+            wire = interleave(sendable, config.interleave_depth)
+        with obs.span("transport.channel"):
+            channel = GilbertElliottChannel(
+                config.seed, profile_for_loss(config.loss_rate)
+            )
+            delivered, dropped = channel.transmit(wire)
+        with obs.span("transport.fec_recover"):
+            if config.fec_group:
+                received, n_recovered = recover_with_parity(
+                    delivered, config.fec_group
+                )
+            else:
+                received = [p for p in delivered if not p.is_parity]
+                n_recovered = 0
+            stream, lost_seqs = depacketize(received)
+        obs.counter_add("transport.packets_sent", len(wire))
+        obs.counter_add("transport.packets_dropped", len(dropped))
+        obs.counter_add("transport.packets_recovered", n_recovered)
     return TransmissionResult(
         stream=stream,
         n_data_packets=len(data_packets),

@@ -1,0 +1,119 @@
+"""Span-tree determinism: identity survives chaos-killed workers.
+
+Span identity is ``<proc>/<thread>:<seq>`` with the worker's proc label
+pinned to the task id and a fresh per-task tracer, and only *successful*
+attempts flush part files.  So the merged span set of a study is a pure
+function of the task set -- whether a task succeeded first try or was
+SIGKILLed twice and retried must not change a single identity column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.runner.chaos import (
+    POINT_WORKER_CELL,
+    PROFILES,
+    ChaosInjector,
+)
+from repro.core.runner.supervisor import RetryPolicy, SupervisedPool, WorkerBudget
+from repro.obs.export import merge_parts
+
+TASKS = [f"cell-{index}" for index in range(4)]
+
+
+def traced_task(task_id: str) -> str:
+    """Worker-side body: emits a small deterministic span tree."""
+    with obs.span("cell.run", cell=task_id):
+        with obs.span("cell.phase_a"):
+            pass
+        with obs.span("cell.phase_b"):
+            pass
+    return task_id
+
+
+def _kill_seed() -> int:
+    """A chaos seed that kills at least one first attempt but lets every
+    task finish within three attempts."""
+    for seed in range(1, 300):
+        injector = ChaosInjector(seed, PROFILES["kills"])
+        first_attempt_kills = 0
+        all_complete = True
+        for task in TASKS:
+            attempts = [
+                injector.fault_at(POINT_WORKER_CELL, f"{task}/a{attempt}")
+                for attempt in (1, 2, 3)
+            ]
+            if attempts[0] == "kill":
+                first_attempt_kills += 1
+            if all(fault == "kill" for fault in attempts):
+                all_complete = False
+        if first_attempt_kills >= 1 and all_complete:
+            return seed
+    raise AssertionError("no suitable chaos seed found")
+
+
+def _run_study(tmp_path, monkeypatch, chaos: str | None) -> tuple:
+    spool = tmp_path / ("chaos-spool" if chaos else "clean-spool")
+    monkeypatch.setenv(obs.OBS_ENV, "on")
+    monkeypatch.setenv(obs.DIR_ENV, str(spool))
+    if chaos is None:
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_CHAOS", chaos)
+    obs.reset()
+    try:
+        pool = SupervisedPool(
+            max_workers=2,
+            budget=WorkerBudget(wall_s=30.0, heartbeat_s=15.0),
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.01),
+        )
+        outcomes = pool.run(
+            [(task, traced_task, (task,)) for task in TASKS]
+        )
+    finally:
+        obs.reset()
+    records, _ = merge_parts(spool)
+    return outcomes, records
+
+
+def identity_columns(records):
+    return sorted(
+        (r.span_id, r.parent_id, r.name, r.proc, r.thread) for r in records
+    )
+
+
+def test_span_identity_survives_worker_kills(tmp_path, monkeypatch):
+    seed = _kill_seed()
+    clean_outcomes, clean_records = _run_study(tmp_path, monkeypatch, None)
+    chaos_outcomes, chaos_records = _run_study(
+        tmp_path, monkeypatch, f"{seed}:kills"
+    )
+
+    assert all(outcome.ok for outcome in clean_outcomes.values())
+    assert all(outcome.ok for outcome in chaos_outcomes.values())
+    # The chaos run really did lose at least one attempt...
+    total_attempts = sum(
+        len(outcome.attempts) for outcome in chaos_outcomes.values()
+    )
+    assert total_attempts > len(TASKS)
+    # ...and yet the merged span identities are byte-identical.
+    assert identity_columns(chaos_records) == identity_columns(clean_records)
+    # Tree shape: every task contributes exactly its three spans.
+    names = sorted(r.name for r in clean_records)
+    assert names == sorted(
+        ["cell.run", "cell.phase_a", "cell.phase_b"] * len(TASKS)
+    )
+
+
+def test_single_process_identity_is_reproducible(monkeypatch):
+    """The same workload records the same identity columns twice."""
+    monkeypatch.delenv(obs.OBS_ENV, raising=False)
+    obs.reset()
+    runs = []
+    for _ in range(2):
+        with obs.recording() as session:
+            traced_task("cell-x")
+        runs.append(identity_columns(session.tracer.records()))
+    assert runs[0] == runs[1]

@@ -1,0 +1,175 @@
+"""Exporters and their schema validators: JSONL, Chrome trace, parts."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import recording
+from repro.obs.export import (
+    chrome_trace,
+    export_chrome_trace,
+    export_metrics_json,
+    export_spans_jsonl,
+    merge_parts,
+    read_spans_jsonl,
+    spans_to_jsonl,
+    write_part,
+)
+from repro.obs.schema import (
+    validate_chrome_trace,
+    validate_file,
+    validate_metrics_json,
+    validate_trace_jsonl,
+)
+
+
+def sample_session():
+    with recording() as session:
+        with session.tracer.span("outer", {"k": "v"}):
+            with session.tracer.span("inner"):
+                pass
+        session.registry.counter("c").add(2)
+        session.registry.histogram("h").observe(0.1)
+        return session.tracer.records(), session.registry.snapshot()
+
+
+class TestJsonlRoundTrip:
+    def test_meta_header_plus_one_line_per_span(self):
+        records, _ = sample_session()
+        text = spans_to_jsonl(records, {"run": "test"})
+        lines = text.strip().splitlines()
+        assert len(lines) == 1 + len(records)
+        meta = json.loads(lines[0])
+        assert meta["schema"] == "repro-obs-trace"
+        assert meta["run"] == "test"
+
+    def test_read_back_is_lossless(self, tmp_path):
+        records, _ = sample_session()
+        path = tmp_path / "trace.jsonl"
+        export_spans_jsonl(path, records, {"run": "test"})
+        meta, loaded = read_spans_jsonl(path)
+        assert meta["run"] == "test"
+        assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
+
+    def test_validator_accepts_export(self, tmp_path):
+        records, _ = sample_session()
+        path = tmp_path / "trace.jsonl"
+        export_spans_jsonl(path, records)
+        assert validate_trace_jsonl(path.read_text()) == []
+        assert validate_file(path) == []
+
+    def test_validator_rejects_garbage(self):
+        assert validate_trace_jsonl("") != []
+        assert validate_trace_jsonl("not json\n") != []
+        bad_meta = json.dumps({"schema": "wrong", "version": 1})
+        assert validate_trace_jsonl(bad_meta) != []
+
+    def test_validator_flags_duplicate_ids_and_negative_durations(self):
+        meta = json.dumps({"schema": "repro-obs-trace", "version": 1})
+        span = {"name": "s", "id": "p/main:1", "t0_ns": 0, "dur_ns": -5}
+        text = "\n".join([meta, json.dumps(span), json.dumps(dict(span, dur_ns=1))])
+        problems = validate_trace_jsonl(text)
+        assert any("negative" in p for p in problems)
+        assert any("duplicate" in p for p in problems)
+
+
+class TestChromeTrace:
+    def test_events_have_metadata_and_complete_phases(self):
+        records, _ = sample_session()
+        obj = chrome_trace(records, {"run": "test"})
+        phases = [event["ph"] for event in obj["traceEvents"]]
+        assert "M" in phases and "X" in phases
+        assert validate_chrome_trace(obj) == []
+
+    def test_pid_tid_mapping_is_deterministic(self):
+        records, _ = sample_session()
+        assert chrome_trace(records) == chrome_trace(records)
+
+    def test_timestamps_are_microseconds(self):
+        records, _ = sample_session()
+        obj = chrome_trace(records)
+        xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in xs}
+        record = {r.name: r for r in records}["outer"]
+        assert by_name["outer"]["ts"] == record.start_ns / 1000.0
+        assert by_name["outer"]["dur"] == record.dur_ns / 1000.0
+
+    def test_export_validates_via_dispatcher(self, tmp_path):
+        records, _ = sample_session()
+        path = tmp_path / "trace.json"
+        export_chrome_trace(path, records)
+        assert validate_file(path) == []
+
+    def test_validator_rejects_empty_and_bad_phase(self):
+        assert validate_chrome_trace({}) != []
+        bad = {"traceEvents": [{"ph": "B", "name": "x", "pid": 1, "tid": 1}]}
+        assert any("phase" in p for p in validate_chrome_trace(bad))
+
+
+class TestMetricsExport:
+    def test_metrics_json_round_trip_and_validate(self, tmp_path):
+        _, snapshot = sample_session()
+        path = tmp_path / "metrics.json"
+        export_metrics_json(path, snapshot)
+        body = json.loads(path.read_text())
+        assert body["metrics"]["counters"]["c"] == 2
+        assert validate_metrics_json(body) == []
+        assert validate_file(path) == []
+
+    def test_validator_flags_negative_counter(self):
+        body = {
+            "schema": "repro-obs-metrics", "version": 1,
+            "metrics": {"counters": {"c": -1}, "gauges": {}, "histograms": {}},
+        }
+        assert any("non-negative" in p for p in validate_metrics_json(body))
+
+
+class TestPartSpool:
+    def test_parts_merge_spans_and_snapshots(self, tmp_path):
+        records, snapshot = sample_session()
+        write_part(tmp_path, "cell-a", records, snapshot)
+        write_part(tmp_path, "cell-b", records, snapshot)
+        merged_records, snapshots = merge_parts(tmp_path)
+        assert len(merged_records) == 2 * len(records)
+        assert len(snapshots) == 2
+
+    def test_labels_with_slashes_become_safe_filenames(self, tmp_path):
+        records, snapshot = sample_session()
+        path = write_part(tmp_path, "encode/176x144/v1", records, snapshot)
+        assert path.parent == tmp_path
+        assert "/" not in path.name
+
+    def test_unreadable_parts_are_skipped(self, tmp_path):
+        records, snapshot = sample_session()
+        write_part(tmp_path, "good", records, snapshot)
+        (tmp_path / "part-torn.json").write_text('{"spans": [')
+        merged_records, snapshots = merge_parts(tmp_path)
+        assert len(merged_records) == len(records)
+        assert len(snapshots) == 1
+
+    def test_missing_spool_directory_is_empty(self, tmp_path):
+        records, snapshots = merge_parts(tmp_path / "nope")
+        assert records == [] and snapshots == []
+
+    def test_spool_directory_created_on_demand(self, tmp_path):
+        records, snapshot = sample_session()
+        path = write_part(tmp_path / "deep" / "spool", "x", records, snapshot)
+        assert path.exists()
+
+    def test_part_files_pass_validate_file(self, tmp_path):
+        records, snapshot = sample_session()
+        path = write_part(tmp_path, "cell-a", records, snapshot)
+        assert validate_file(path) == []
+
+    def test_part_validator_flags_defects(self, tmp_path):
+        from repro.obs.schema import validate_part
+
+        records, snapshot = sample_session()
+        path = write_part(tmp_path, "cell-a", records, snapshot)
+        body = json.loads(path.read_text())
+        assert validate_part(body) == []
+        body["spans"].append(dict(body["spans"][0]))  # duplicate id
+        del body["label"]
+        problems = validate_part(body)
+        assert any("duplicate span id" in p for p in problems)
+        assert any("label" in p for p in problems)

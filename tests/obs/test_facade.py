@@ -1,0 +1,157 @@
+"""The ``repro.obs`` facade: env gating, no-op path, sessions, spooling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs_state(monkeypatch):
+    """Every test starts from 'disabled, unresolved' and leaves no session."""
+    monkeypatch.delenv(obs.OBS_ENV, raising=False)
+    monkeypatch.delenv(obs.DIR_ENV, raising=False)
+    monkeypatch.delenv(obs.PROC_ENV, raising=False)
+    monkeypatch.delenv(obs.LIMIT_ENV, raising=False)
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestGating:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.tracer() is None
+        assert obs.registry() is None
+
+    @pytest.mark.parametrize("value", ["on", "1", "true", "YES", "On"])
+    def test_truthy_values_enable(self, value, monkeypatch):
+        monkeypatch.setenv(obs.OBS_ENV, value)
+        obs.reset()
+        assert obs.enabled()
+
+    @pytest.mark.parametrize("value", ["", "off", "0", "false", "no"])
+    def test_falsy_values_disable(self, value, monkeypatch):
+        monkeypatch.setenv(obs.OBS_ENV, value)
+        obs.reset()
+        assert not obs.enabled()
+
+    def test_disabled_span_is_the_shared_noop_singleton(self):
+        """No allocation on the off path: every call returns one object."""
+        first = obs.span("a", key="value")
+        second = obs.span("b")
+        assert first is second
+        with first:
+            pass  # usable and re-entrant
+
+    def test_disabled_metrics_are_noops(self):
+        obs.counter_add("c")
+        obs.gauge_set("g", 1.0)
+        obs.gauge_max("g", 2.0)
+        obs.histogram_observe("h", 0.5)  # nothing raised, nothing recorded
+        assert obs.registry() is None
+
+    def test_env_resolution_is_memoized(self, monkeypatch):
+        assert not obs.enabled()
+        monkeypatch.setenv(obs.OBS_ENV, "on")
+        assert not obs.enabled()  # still memoized off
+        obs.reset()
+        assert obs.enabled()
+
+
+class TestEnabledSession:
+    def test_spans_and_metrics_record(self, monkeypatch):
+        monkeypatch.setenv(obs.OBS_ENV, "on")
+        obs.reset()
+        with obs.span("stage", mb=3):
+            obs.counter_add("events", 2)
+        records = obs.tracer().records()
+        assert [r.name for r in records] == ["stage"]
+        assert records[0].attrs == {"mb": 3}
+        assert obs.registry().snapshot()["counters"]["events"] == 2
+
+    def test_proc_label_and_limit_from_env(self, monkeypatch):
+        monkeypatch.setenv(obs.OBS_ENV, "on")
+        monkeypatch.setenv(obs.PROC_ENV, "worker-7")
+        monkeypatch.setenv(obs.LIMIT_ENV, "8")
+        obs.reset()
+        tracer = obs.tracer()
+        assert tracer.proc_label == "worker-7"
+        assert tracer.limit == 8
+
+    def test_traced_decorator_resolves_lazily(self, monkeypatch):
+        @obs.traced("late.region")
+        def fn():
+            return 42
+
+        assert fn() == 42  # disabled: no session, still works
+        monkeypatch.setenv(obs.OBS_ENV, "on")
+        obs.reset()
+        assert fn() == 42
+        assert [r.name for r in obs.tracer().records()] == ["late.region"]
+
+
+class TestRecording:
+    def test_recording_forces_session_and_restores(self):
+        assert not obs.enabled()
+        with obs.recording() as session:
+            with obs.span("r"):
+                pass
+            assert obs.session() is session
+            assert [r.name for r in session.tracer.records()] == ["r"]
+        assert not obs.enabled()
+
+    def test_recording_restores_previous_session(self, monkeypatch):
+        monkeypatch.setenv(obs.OBS_ENV, "on")
+        obs.reset()
+        outer = obs.session()
+        with obs.recording() as inner:
+            assert obs.session() is inner
+        assert obs.session() is outer
+
+
+class TestFlushAndWorkerTask:
+    def test_flush_part_requires_session_and_spool(self, tmp_path, monkeypatch):
+        assert obs.flush_part("x") is None  # disabled
+        monkeypatch.setenv(obs.OBS_ENV, "on")
+        obs.reset()
+        assert obs.flush_part("x") is None  # no spool configured
+        monkeypatch.setenv(obs.DIR_ENV, str(tmp_path / "spool"))
+        with obs.span("s"):
+            pass
+        part = obs.flush_part("x")
+        assert part is not None and part.exists()
+        # Drained: a second flush writes an empty part, not duplicates.
+        from repro.obs.export import merge_parts
+
+        records, _ = merge_parts(tmp_path / "spool")
+        assert [r.name for r in records] == ["s"]
+
+    def test_worker_task_disabled_yields_none(self):
+        with obs.worker_task("cell-1") as session:
+            assert session is None
+
+    def test_worker_task_flushes_on_success(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.OBS_ENV, "on")
+        monkeypatch.setenv(obs.DIR_ENV, str(tmp_path))
+        obs.reset()
+        with obs.worker_task("cell-1"):
+            with obs.span("work"):
+                pass
+        from repro.obs.export import merge_parts
+
+        records, _ = merge_parts(tmp_path)
+        assert [r.name for r in records] == ["work"]
+        # Identity depends on the task label, not pid or attempt.
+        assert records[0].span_id.startswith("cell-1/")
+
+    def test_worker_task_failure_flushes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.OBS_ENV, "on")
+        monkeypatch.setenv(obs.DIR_ENV, str(tmp_path))
+        obs.reset()
+        with pytest.raises(RuntimeError):
+            with obs.worker_task("cell-2"):
+                with obs.span("doomed"):
+                    raise RuntimeError("killed")
+        assert list(tmp_path.glob("part-*.json")) == []

@@ -1,0 +1,165 @@
+"""Metrics registry: counters, gauges, histograms, absorption, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim.hierarchy import HierarchyCounters
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+    def test_gauge_set_and_high_water(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.max(5.0)
+        assert gauge.value == 10.0
+        gauge.max(12.0)
+        assert gauge.value == 12.0
+
+    def test_histogram_buckets_and_stats(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1]
+        assert hist.overflow == 1
+        assert hist.total == 5
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_percentiles_are_deterministic_interpolations(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(0.5)  # all in the first bucket
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(100) == 1.0
+        assert hist.percentile(50) == pytest.approx(0.5)
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert Histogram("h").percentile(99) == 0.0
+
+
+class TestRegistry:
+    def test_metrics_create_on_first_use_and_persist(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").add(3)
+        registry.counter("hits").add(2)
+        assert registry.snapshot()["counters"] == {"hits": 5}
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.2)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        body = snapshot["histograms"]["h"]
+        assert body["total"] == 1
+        assert list(body["buckets"]) == list(DEFAULT_BUCKETS)
+        assert {"p50", "p95", "p99"} <= set(body)
+
+    def test_absorb_hierarchy_publishes_totals_and_phases(self):
+        class FakeHierarchy:
+            total = HierarchyCounters(graduated_loads=100, l1_misses=7)
+            phases = {
+                "vop_encode": HierarchyCounters(graduated_loads=60, l1_misses=5)
+            }
+
+        registry = MetricsRegistry()
+        registry.absorb_hierarchy(FakeHierarchy())
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["memsim.graduated_loads"] == 100
+        assert gauges["memsim.l1_misses"] == 7
+        assert gauges["memsim.phase.vop_encode.graduated_loads"] == 60
+
+    def test_absorb_study_telemetry(self):
+        registry = MetricsRegistry()
+        registry.absorb_study_telemetry(
+            {
+                "wall_s": 4.2,
+                "totals": {"cells": 3, "done": 2, "quarantined": 1,
+                           "pending": 0, "attempts": 5,
+                           "retry_overhead_s": 0.7},
+                "cells": {
+                    "a": {"final_attempt_s": 1.0, "rss_peak_bytes": 100},
+                    "b": {"final_attempt_s": 2.0, "rss_peak_bytes": 300},
+                },
+            }
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["runner.study.done"] == 2
+        assert snapshot["gauges"]["runner.study.wall_s"] == 4.2
+        assert snapshot["gauges"]["runner.cell.rss_peak_bytes"] == 300
+        assert snapshot["histograms"]["runner.cell.attempt_s"]["total"] == 2
+
+
+class TestMerge:
+    def test_counters_add_gauges_max_histograms_add(self):
+        a = MetricsRegistry()
+        a.counter("c").add(2)
+        a.gauge("g").set(5.0)
+        a.histogram("h").observe(0.3)
+
+        b = MetricsRegistry()
+        b.counter("c").add(3)
+        b.gauge("g").set(4.0)
+        b.histogram("h").observe(0.4)
+
+        merged = MetricsRegistry()
+        merged.merge_snapshot(a.snapshot())
+        merged.merge_snapshot(b.snapshot())
+        snapshot = merged.snapshot()
+        assert snapshot["counters"]["c"] == 5
+        assert snapshot["gauges"]["g"] == 5.0
+        hist = snapshot["histograms"]["h"]
+        assert hist["total"] == 2
+        assert hist["sum"] == pytest.approx(0.7)
+        assert hist["min"] == 0.3
+        assert hist["max"] == 0.4
+
+    def test_merge_is_commutative_for_snapshots(self):
+        a = MetricsRegistry()
+        a.counter("c").add(2)
+        a.histogram("h").observe(0.1)
+        b = MetricsRegistry()
+        b.counter("c").add(7)
+        b.histogram("h").observe(3.0)
+
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge_snapshot(a.snapshot())
+        ab.merge_snapshot(b.snapshot())
+        ba.merge_snapshot(b.snapshot())
+        ba.merge_snapshot(a.snapshot())
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_bucket_mismatch_raises(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("h")  # default buckets
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            target.merge_snapshot(source.snapshot())

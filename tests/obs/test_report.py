@@ -1,0 +1,131 @@
+"""Stage aggregation, self-time accounting, and boundedness calls."""
+
+from __future__ import annotations
+
+from repro.memsim.hierarchy import HierarchyCounters
+from repro.obs.report import (
+    MEMORY_BOUND_MISS_RATE,
+    aggregate_stages,
+    boundedness_report,
+    classify_stage,
+    format_stage_table,
+    roots_total_ns,
+)
+from repro.obs.spans import SpanRecord
+
+
+def span(name, span_id, parent, dur, start=0):
+    return SpanRecord(
+        name=name, span_id=span_id, parent_id=parent, proc="main",
+        thread="main", start_ns=start, dur_ns=dur, attrs={},
+    )
+
+
+def sample_tree():
+    # root(100) -> a(60) -> b(25); a and b partially cover their parents.
+    return [
+        span("b", "m:3", "m:2", 25),
+        span("a", "m:2", "m:1", 60),
+        span("root", "m:1", None, 100),
+    ]
+
+
+class TestAggregation:
+    def test_self_time_subtracts_children(self):
+        rows = {r.name: r for r in aggregate_stages(sample_tree())}
+        assert rows["root"].self_ns == 40
+        assert rows["a"].self_ns == 35
+        assert rows["b"].self_ns == 25
+
+    def test_self_times_sum_to_root_total(self):
+        """The invariant making 'stage sum vs wall-clock' checkable."""
+        rows = aggregate_stages(sample_tree())
+        assert sum(r.self_ns for r in rows) == roots_total_ns(sample_tree())
+
+    def test_orphaned_children_become_roots(self):
+        """A parent evicted from the ring still leaves the child charged."""
+        records = [span("child", "m:9", "m:404", 50)]
+        assert roots_total_ns(records) == 50
+        (row,) = aggregate_stages(records)
+        assert row.self_ns == 50
+
+    def test_negative_self_time_clamped(self):
+        """Parallel children can exceed the parent wall time; per-span
+        self time clamps at zero instead of going negative."""
+        records = [
+            span("child", "m:2", "m:1", 80),
+            span("child", "m:3", "m:1", 80),
+            span("parent", "m:1", None, 100),
+        ]
+        rows = {r.name: r for r in aggregate_stages(records)}
+        assert rows["parent"].self_ns == 0
+
+    def test_rows_sorted_by_self_time(self):
+        names = [r.name for r in aggregate_stages(sample_tree())]
+        assert names == ["root", "a", "b"]
+
+    def test_share_is_fraction_of_root_wall(self):
+        rows = {r.name: r for r in aggregate_stages(sample_tree())}
+        assert rows["root"].share == 0.4
+        assert rows["a"].share == 0.35
+
+    def test_counts_min_max(self):
+        records = [
+            span("s", "m:1", None, 10),
+            span("s", "m:2", None, 30),
+        ]
+        (row,) = aggregate_stages(records)
+        assert (row.count, row.min_ns, row.max_ns, row.total_ns) == (2, 10, 30, 40)
+
+
+class TestTable:
+    def test_table_lists_stages_and_coverage(self):
+        rows = aggregate_stages(sample_tree())
+        table = format_stage_table(rows, wall_s=100e-9)
+        assert "root" in table and "a" in table
+        assert "(sum of self times)" in table
+        assert "(measured wall-clock)" in table
+        assert "100.0%" in table
+
+    def test_table_without_wall_clock(self):
+        table = format_stage_table(aggregate_stages(sample_tree()))
+        assert "(measured wall-clock)" not in table
+
+
+class TestBoundedness:
+    def test_parse_markers_win_structurally(self):
+        assert classify_stage("codec.decode.vlc_parse") == "parse-bound"
+        assert classify_stage("codec.encode.serialize", 0.5) == "parse-bound"
+
+    def test_miss_rate_splits_compute_vs_memory(self):
+        assert classify_stage("codec.encode.dct_quant", 0.01) == "compute-bound"
+        assert (
+            classify_stage("codec.encode.dct_quant", MEMORY_BOUND_MISS_RATE)
+            == "memory-bound"
+        )
+
+    def test_no_counters_defaults_to_compute(self):
+        assert classify_stage("codec.encode.motion_search") == "compute-bound"
+
+    def test_report_joins_hierarchy_phase_counters(self):
+        class FakeHierarchy:
+            total = HierarchyCounters()
+            phases = {
+                "vop_decode": HierarchyCounters(
+                    graduated_loads=80, graduated_stores=20, l1_misses=10
+                )
+            }
+
+        records = [
+            span("codec.decode.reconstruct", "m:1", None, 10),
+            span("transport.channel", "m:2", None, 10),
+        ]
+        rows = aggregate_stages(records)
+        report = dict(
+            (name, (verdict, rate))
+            for name, verdict, rate in boundedness_report(rows, FakeHierarchy())
+        )
+        verdict, rate = report["codec.decode.reconstruct"]
+        assert verdict == "memory-bound" and rate == 0.1
+        verdict, rate = report["transport.channel"]
+        assert verdict == "compute-bound" and rate is None

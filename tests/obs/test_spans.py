@@ -1,0 +1,157 @@
+"""Span tracer: nesting, deterministic identity, ring bound, unwinding."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.spans import SpanTracer
+
+
+def run_nested(tracer: SpanTracer) -> None:
+    with tracer.span("outer", {"k": 1}):
+        with tracer.span("inner.a"):
+            pass
+        with tracer.span("inner.b"):
+            pass
+
+
+class TestNesting:
+    def test_parent_links_rebuild_the_tree(self):
+        tracer = SpanTracer()
+        run_nested(tracer)
+        records = tracer.records()
+        by_name = {record.name: record for record in records}
+        assert by_name["inner.a"].parent_id == by_name["outer"].span_id
+        assert by_name["inner.b"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_children_commit_before_parents(self):
+        tracer = SpanTracer()
+        run_nested(tracer)
+        names = [record.name for record in tracer.records()]
+        assert names == ["inner.a", "inner.b", "outer"]
+
+    def test_parent_duration_covers_children(self):
+        tracer = SpanTracer()
+        run_nested(tracer)
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["outer"].dur_ns >= (
+            by_name["inner.a"].dur_ns + by_name["inner.b"].dur_ns
+        )
+
+    def test_attrs_recorded(self):
+        tracer = SpanTracer()
+        run_nested(tracer)
+        outer = [r for r in tracer.records() if r.name == "outer"][0]
+        assert outer.attrs == {"k": 1}
+
+
+class TestDeterministicIdentity:
+    def test_same_workload_same_identity_columns(self):
+        """Two runs differ only in timestamps -- never in id/parent/name."""
+        shapes = []
+        for _ in range(2):
+            tracer = SpanTracer(proc_label="p0")
+            run_nested(tracer)
+            shapes.append(
+                [
+                    (r.name, r.span_id, r.parent_id, r.proc, r.thread)
+                    for r in tracer.records()
+                ]
+            )
+        assert shapes[0] == shapes[1]
+
+    def test_ids_carry_proc_thread_and_sequence(self):
+        tracer = SpanTracer(proc_label="worker-3")
+        with tracer.span("x"):
+            pass
+        (record,) = tracer.records()
+        assert record.span_id == "worker-3/main:1"
+
+    def test_identity_not_derived_from_wall_clock(self):
+        """A tracer with a frozen clock still produces the same ids."""
+        tracer = SpanTracer(clock=lambda: 0)
+        run_nested(tracer)
+        assert [r.span_id for r in tracer.records()] == [
+            "main/main:2", "main/main:3", "main/main:1",
+        ]
+
+    def test_thread_spans_use_thread_label(self):
+        tracer = SpanTracer()
+        done = threading.Event()
+
+        def work():
+            with tracer.span("threaded"):
+                pass
+            done.set()
+
+        thread = threading.Thread(target=work, name="pump-1")
+        thread.start()
+        thread.join()
+        assert done.is_set()
+        (record,) = tracer.records()
+        assert record.thread == "pump-1"
+        assert record.span_id == "main/pump-1:1"
+
+
+class TestRingBuffer:
+    def test_limit_bounds_memory_and_counts_drops(self):
+        tracer = SpanTracer(limit=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        records = tracer.records()
+        assert len(records) == 4
+        assert [r.name for r in records] == ["s6", "s7", "s8", "s9"]
+        assert tracer.dropped_spans == 6
+        assert tracer.completed_total == 10
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ValueError):
+            SpanTracer(limit=0)
+
+    def test_drain_clears_but_preserves_order(self):
+        tracer = SpanTracer()
+        run_nested(tracer)
+        drained = tracer.drain()
+        assert [r.name for r in drained] == ["inner.a", "inner.b", "outer"]
+        assert tracer.records() == []
+
+
+class TestErrorPaths:
+    def test_exception_still_commits_the_span(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        assert [r.name for r in tracer.records()] == ["fails"]
+
+    def test_leaked_inner_span_does_not_corrupt_stack(self):
+        """Manually entered (never exited) spans are unwound by the
+        enclosing span's exit -- the decoder's parse loop relies on this."""
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            tracer.span("leaked").__enter__()  # never exited
+        with tracer.span("after"):
+            pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["after"].parent_id is None
+
+    def test_traced_decorator(self):
+        tracer = SpanTracer()
+
+        @tracer.traced("fn.region")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert [r.name for r in tracer.records()] == ["fn.region"]
+
+    def test_epoch_relative_timestamps(self):
+        tracer = SpanTracer()
+        run_nested(tracer)
+        for record in tracer.records():
+            assert record.start_ns >= 0
+            assert record.dur_ns >= 0
