@@ -21,10 +21,15 @@ __all__ = [
     "validate_chrome_trace",
     "validate_metrics_json",
     "validate_part",
+    "validate_service_wall",
     "validate_file",
 ]
 
 SCHEMA_PART = f"{SCHEMA_TRACE}-part"
+#: Wall-clock sidecar of the streaming-service study: deliberately
+#: separate from the deterministic study artifacts, but still schema-
+#: gated before CI uploads it.
+SCHEMA_SERVICE_WALL = "repro-service-wall"
 
 _SPAN_REQUIRED = {"name": str, "id": str, "t0_ns": int, "dur_ns": int}
 
@@ -171,6 +176,28 @@ def validate_part(obj: dict) -> list[str]:
     return problems
 
 
+def validate_service_wall(obj: dict) -> list[str]:
+    """Validate the serve study's wall-clock telemetry sidecar."""
+    problems = []
+    if obj.get("version") != 1:
+        problems.append(f"wall: version is {obj.get('version')!r}, want 1")
+    cells = obj.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return problems + ["wall: cells missing or empty"]
+    for index, cell in enumerate(cells):
+        where = f"cells[{index}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(cell.get("cell_id"), str):
+            problems.append(f"{where}: cell_id missing or not a string")
+        for key in ("wall_s", "sessions_per_wall_sec"):
+            value = cell.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{where}: {key!r} must be a non-negative number")
+    return problems
+
+
 def validate_file(path: str | Path) -> list[str]:
     """Dispatch on file shape: JSONL trace, Chrome trace, or metrics."""
     path = Path(path)
@@ -188,6 +215,8 @@ def validate_file(path: str | Path) -> list[str]:
         return validate_metrics_json(obj)
     if obj.get("schema") == SCHEMA_PART:
         return validate_part(obj)
+    if obj.get("schema") == SCHEMA_SERVICE_WALL:
+        return validate_service_wall(obj)
     if obj.get("schema") == SCHEMA_TRACE:
         # A single-line (meta-only) JSONL trace parses as one document.
         return validate_trace_jsonl(text)

@@ -1,0 +1,62 @@
+"""Streaming service layer: a deterministic session multiplexer.
+
+Turns the codec + transport stack into a simulated streaming *service*:
+N client sessions, each running its own encode -> packetize -> lossy
+channel -> decode pipeline under a private spawned seed, contending for
+one shared encode budget behind admission control (token bucket, bounded
+queue, deadline shedding) with a three-way outcome taxonomy --
+served / degraded / shed.
+
+Scheduling happens in *virtual time*, so every decision and every
+reported latency is a pure function of ``(fleet_seed, n_sessions,
+config)``; the asyncio and supervised-worker-fleet backends only change
+how fast the bit-identical answer is computed.  ``python -m repro
+serve`` runs the scale study (sessions/sec vs latency percentiles vs
+delivered PSNR as N grows).
+"""
+
+from repro.service.backends import BACKENDS, execute_schedule
+from repro.service.config import (
+    DEFAULT_CONFIG,
+    MODE_DEGRADED,
+    MODE_FULL,
+    ServiceConfig,
+)
+from repro.service.scheduler import (
+    OUTCOME_DEGRADED,
+    OUTCOME_SERVED,
+    OUTCOME_SHED,
+    SHED_REASONS,
+    FleetSchedule,
+    SessionPlan,
+    schedule_fleet,
+)
+from repro.service.seeding import SessionSeed, spawn_session_seeds
+from repro.service.session import (
+    SessionResult,
+    SessionSpec,
+    build_fleet,
+    execute_session,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CONFIG",
+    "MODE_DEGRADED",
+    "MODE_FULL",
+    "OUTCOME_DEGRADED",
+    "OUTCOME_SERVED",
+    "OUTCOME_SHED",
+    "SHED_REASONS",
+    "FleetSchedule",
+    "ServiceConfig",
+    "SessionPlan",
+    "SessionResult",
+    "SessionSeed",
+    "SessionSpec",
+    "build_fleet",
+    "execute_schedule",
+    "execute_session",
+    "schedule_fleet",
+    "spawn_session_seeds",
+]

@@ -1,0 +1,122 @@
+"""Execution backends: run the admitted sessions' pipelines.
+
+The scheduler already decided *what* happens (who is admitted, at which
+quality, with what virtual timing); a backend only decides *how fast*
+the corresponding codec work gets done on the host machine:
+
+- ``serial``  -- in-process loop, the reference;
+- ``asyncio`` -- an event loop multiplexing sessions over a bounded
+  thread pool (``jobs`` concurrent pipelines);
+- ``fleet``   -- the supervised worker pool from ``core/runner``:
+  process-level parallelism with heartbeat/watchdog supervision, retry
+  on chaos-injected worker kills, and quarantine instead of hangs.
+
+Every backend returns the same mapping ``session_id -> SessionResult``,
+and because session execution is a pure function of ``(spec, mode,
+config)``, the results -- digests included -- are bit-identical across
+backends and across ``jobs`` counts.  The differential test suite holds
+all three to that contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.service.config import ServiceConfig
+from repro.service.scheduler import FleetSchedule
+from repro.service.session import SessionResult, SessionSpec, execute_session
+
+__all__ = ["BACKENDS", "execute_schedule"]
+
+BACKENDS = ("serial", "asyncio", "fleet")
+
+
+def _admitted_work(
+    specs: list[SessionSpec], schedule: FleetSchedule
+) -> list[tuple[SessionSpec, str]]:
+    by_id = {spec.session_id: spec for spec in specs}
+    return [
+        (by_id[plan.session_id], plan.mode)
+        for plan in schedule.plans
+        if plan.admitted
+    ]
+
+
+def execute_schedule(
+    specs: list[SessionSpec],
+    schedule: FleetSchedule,
+    config: ServiceConfig,
+    backend: str = "serial",
+    jobs: int = 1,
+) -> dict[int, SessionResult]:
+    """Execute every admitted session; returns results keyed by id."""
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    work = _admitted_work(specs, schedule)
+    with obs.span("service.fleet.execute", backend=backend, jobs=jobs,
+                  sessions=len(work)):
+        if not work:
+            return {}
+        if backend == "serial" or (backend == "asyncio" and jobs <= 1):
+            results = [execute_session(spec, mode, config) for spec, mode in work]
+        elif backend == "asyncio":
+            results = asyncio.run(_run_asyncio(work, config, jobs))
+        else:
+            results = _run_fleet(work, config, jobs)
+    return {result.session_id: result for result in results}
+
+
+async def _run_asyncio(
+    work: list[tuple[SessionSpec, str]], config: ServiceConfig, jobs: int
+) -> list[SessionResult]:
+    """Event-loop multiplexing: sessions share a bounded thread pool.
+
+    The semaphore is the wall-clock analogue of the virtual-time encode
+    budget -- it bounds concurrency, never outcomes.
+    """
+    loop = asyncio.get_running_loop()
+    gate = asyncio.Semaphore(jobs)
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+
+        async def one(spec: SessionSpec, mode: str) -> SessionResult:
+            async with gate:
+                return await loop.run_in_executor(
+                    pool, execute_session, spec, mode, config
+                )
+
+        return list(
+            await asyncio.gather(*(one(spec, mode) for spec, mode in work))
+        )
+
+
+def _execute_session_task(
+    spec: SessionSpec, mode: str, config: ServiceConfig
+) -> SessionResult:
+    """Module-level task body so the supervised pool can pickle it."""
+    return execute_session(spec, mode, config)
+
+
+def _run_fleet(
+    work: list[tuple[SessionSpec, str]], config: ServiceConfig, jobs: int
+) -> list[SessionResult]:
+    """Supervised worker-fleet execution (crash-safe, chaos-retried).
+
+    A task that exhausts its retry ladder raises
+    ``QuarantinedTaskError`` out of the pool: the enclosing study cell
+    fails loudly and is recomputed on ``--resume`` -- never published
+    with holes.
+    """
+    from repro.core.runner.supervisor import SupervisedPool, WorkerBudget
+
+    pool = SupervisedPool(
+        max_workers=jobs,
+        budget=WorkerBudget(wall_s=120.0, heartbeat_s=30.0),
+    )
+    tasks = [
+        (f"session-{spec.session_id}", _execute_session_task, (spec, mode, config))
+        for spec, mode in work
+    ]
+    results = pool.results_or_raise(tasks)
+    return [results[f"session-{spec.session_id}"] for spec, mode in work]

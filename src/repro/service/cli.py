@@ -1,0 +1,123 @@
+"""CLI entry point: ``python -m repro serve``.
+
+.. code-block:: console
+
+   $ python -m repro serve                          # scale study: N = 10/100/1000
+   $ python -m repro serve --sessions 32 --seed 4   # one 32-session cell
+   $ python -m repro serve --full                   # adds the 10k cell (slow)
+   $ python -m repro serve --backend fleet --jobs 4 # supervised worker pool
+   $ python -m repro serve --resume drill           # finish a killed run
+   $ python -m repro serve --verify-complete        # exit 1 on missing cells
+
+The published study table is byte-identical for a given ``(--sessions,
+--seed)`` whatever the backend or job count; wall-clock throughput lands
+in ``telemetry/wall.json`` next to the run, never in the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+
+def _runs_root(override: str | None) -> Path:
+    import os
+
+    if override:
+        return Path(override)
+    return Path(os.environ.get("REPRO_RUNS", ".repro-runs")) / "serve"
+
+
+def _export_telemetry(run_dir: Path) -> None:
+    """When REPRO_OBS is on, publish the run's spans and metrics."""
+    from repro import obs
+
+    if not obs.enabled():
+        return
+    from repro.obs.export import export_metrics_json, export_spans_jsonl
+
+    telemetry = run_dir / "telemetry"
+    export_spans_jsonl(telemetry / "trace.jsonl", obs.tracer().drain())
+    export_metrics_json(telemetry / "metrics.json", obs.registry().snapshot())
+    print(f"telemetry: {telemetry}")
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    from repro.service.backends import BACKENDS
+    from repro.service.study import (
+        DEFAULT_NS,
+        FULL_NS,
+        render_summary,
+        run_sweep,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Streaming-service scale study: N concurrent sessions through "
+            "the deterministic multiplexer; reports sessions/sec, latency "
+            "percentiles, delivered PSNR, and the served/degraded/shed mix."
+        ),
+    )
+    parser.add_argument("--sessions", type=int, nargs="+", default=None,
+                        metavar="N",
+                        help="fleet size(s) to study "
+                             f"(default: {' '.join(map(str, DEFAULT_NS))})")
+    parser.add_argument("--seed", type=int, nargs="+", default=[4],
+                        metavar="S", help="fleet seed(s) (default: 4)")
+    parser.add_argument("--backend", choices=BACKENDS, default="asyncio",
+                        help="execution backend (default: asyncio)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="J",
+                        help="concurrent session pipelines (default: 1)")
+    parser.add_argument("--full", action="store_true",
+                        help="include the 10k-session cell (slow)")
+    parser.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="runs root (default: $REPRO_RUNS or .repro-runs)")
+    parser.add_argument("--run-id", default="default", metavar="ID",
+                        help="run directory name (default: 'default')")
+    parser.add_argument("--resume", default=None, metavar="ID",
+                        help="resume a run: published cells are kept, "
+                             "missing/corrupt ones recompute")
+    parser.add_argument("--verify-complete", action="store_true",
+                        help="exit 1 unless every grid cell is published")
+    args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1")
+        return 2
+    if args.sessions is not None:
+        ns = tuple(args.sessions)
+        if any(n < 0 for n in ns):
+            print("error: --sessions must be >= 0")
+            return 2
+    else:
+        ns = FULL_NS if args.full else DEFAULT_NS
+
+    run_id = args.resume or args.run_id
+    run_dir = _runs_root(args.runs_dir) / run_id
+    summary = run_sweep(
+        run_dir,
+        ns=ns,
+        seeds=tuple(args.seed),
+        backend=args.backend,
+        jobs=args.jobs,
+        resume=args.resume is not None,
+    )
+    verb = "resumed" if args.resume else "ran"
+    n_cells = sum(row["cells"] for row in summary["rows"])
+    print(f"{verb} serve study '{run_id}': {n_cells} cells published "
+          f"({summary['skipped_cells']} reused, backend={args.backend}, "
+          f"jobs={args.jobs})")
+    print()
+    print(render_summary(summary))
+    print()
+    print(f"artifacts: {run_dir}")
+    _export_telemetry(run_dir)
+    if summary["missing_cells"]:
+        print(f"missing cells: {', '.join(summary['missing_cells'])}")
+        if args.verify_complete:
+            print("verify-complete FAILED")
+            return 1
+    elif args.verify_complete:
+        print("verify-complete passed: every grid cell is published")
+    return 0

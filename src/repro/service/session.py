@@ -1,0 +1,250 @@
+"""One client session: spec, pipeline execution, digests.
+
+A session is the unit the multiplexer schedules: a spec derived from the
+fleet seed (arrival time, private channel seed, scene variant, loss
+rate) plus an execution that runs the real codec + transport stack --
+encode -> packetize -> Gilbert-Elliott channel -> tolerant decode -- and
+reports quality (PSNR), loss accounting, and content digests of both the
+delivered bitstream and the reconstructed frames.
+
+Execution is a pure function of ``(spec, mode, config)``: the per-fleet
+digest tables the study publishes are byte-identical however the
+sessions were interleaved across workers.  Encodes are cached per
+``(scene variant, mode)`` -- the fleet draws scenes from a small variant
+pool precisely so N sessions cost N transports + decodes, not N encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.service.config import MODE_DEGRADED, MODE_FULL, ServiceConfig
+from repro.service.seeding import spawn_session_seeds
+
+__all__ = [
+    "SessionSpec",
+    "SessionResult",
+    "build_fleet",
+    "execute_session",
+    "scene_spec_for_variant",
+    "reset_encode_cache",
+]
+
+#: PSNR cap for exact reconstructions (JSON cannot carry inf).
+_PSNR_CAP = 99.0
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Deterministic identity of one client session (picklable)."""
+
+    session_id: int
+    fleet_seed: int
+    arrival_vms: float
+    channel_seed: int
+    scene_variant: int
+    loss_rate: float
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """What executing one admitted session produced."""
+
+    session_id: int
+    mode: str
+    decode_outcome: str  # "decoded" | "concealed" | "rejected"
+    psnr_db: float
+    stream_bits: int
+    n_data_packets: int
+    n_sent_packets: int
+    n_dropped: int
+    n_recovered: int
+    n_unrepaired: int
+    transport_vms: float
+    decode_vms: float
+    stream_digest: str
+    frames_digest: str
+
+    def loss_accounted(self) -> bool:
+        """Every dropped packet is explained: recovered by FEC, or named
+        as an unrepaired data-packet loss (parity losses cost nothing).
+        No admitted session's packets vanish silently."""
+        return (
+            0 <= self.n_recovered <= self.n_dropped
+            and self.n_unrepaired <= self.n_dropped - self.n_recovered
+        )
+
+
+def build_fleet(
+    fleet_seed: int, n_sessions: int, config: ServiceConfig
+) -> list[SessionSpec]:
+    """Specs for ``n_sessions`` clients, in arrival order.
+
+    Session identity (``session_id``) is the spawn index, so a session
+    keeps its seed-derived identity whatever its arrival rank is.
+    """
+    specs = []
+    for seed in spawn_session_seeds(fleet_seed, n_sessions):
+        specs.append(
+            SessionSpec(
+                session_id=seed.index,
+                fleet_seed=fleet_seed,
+                arrival_vms=round(seed.u_arrival * config.arrival_window_vms, 6),
+                channel_seed=seed.channel_seed,
+                scene_variant=seed.variant_draw % config.scene_variants,
+                loss_rate=config.loss_palette[
+                    int(seed.u_loss * len(config.loss_palette))
+                    % len(config.loss_palette)
+                ],
+            )
+        )
+    specs.sort(key=lambda s: (s.arrival_vms, s.session_id))
+    return specs
+
+
+def scene_spec_for_variant(variant: int, config: ServiceConfig):
+    """The synthetic scene family of one variant (deterministic)."""
+    from repro.video.synthesis import SceneSpec, VideoObjectSpec
+
+    obj = VideoObjectSpec(
+        center_x=config.width * (0.3 + 0.1 * (variant % 3)),
+        center_y=config.height * (0.4 + 0.05 * (variant % 4)),
+        radius_x=config.width * 0.18,
+        radius_y=config.height * 0.22,
+        velocity_x=1.0 + (variant % 3),
+        velocity_y=0.5 + 0.5 * (variant % 2),
+        texture_seed=variant + 1,
+    )
+    return SceneSpec(
+        width=config.width,
+        height=config.height,
+        objects=(obj,),
+        background_seed=variant,
+    )
+
+
+def _codec_config(mode: str, config: ServiceConfig):
+    from repro.codec import CodecConfig
+
+    return CodecConfig(
+        config.width,
+        config.height,
+        qp=config.qp_for(mode),
+        gop_size=config.gop_size,
+        m_distance=1,
+        resync_markers=True,
+    )
+
+
+# Per-process caches: content is a pure function of (variant, mode,
+# config) so worker processes rebuild identical entries independently.
+_SOURCE_CACHE: dict[tuple, list] = {}
+_ENCODE_CACHE: dict[tuple, bytes] = {}
+
+
+def reset_encode_cache() -> None:
+    """Test hook: drop the per-process source/encode caches."""
+    _SOURCE_CACHE.clear()
+    _ENCODE_CACHE.clear()
+
+
+def _source_frames(variant: int, config: ServiceConfig):
+    from repro.video.synthesis import SyntheticScene
+
+    key = (variant, config.width, config.height, config.n_frames)
+    if key not in _SOURCE_CACHE:
+        scene = SyntheticScene(scene_spec_for_variant(variant, config))
+        _SOURCE_CACHE[key] = [scene.frame(i) for i in range(config.n_frames)]
+    return _SOURCE_CACHE[key]
+
+
+def _encoded_stream(variant: int, mode: str, config: ServiceConfig) -> bytes:
+    from repro.codec import VopEncoder
+
+    key = (variant, mode, config.width, config.height, config.n_frames,
+           config.qp_for(mode), config.gop_size)
+    if key not in _ENCODE_CACHE:
+        with obs.span("service.session.encode", variant=variant, mode=mode):
+            frames = _source_frames(variant, config)
+            encoded = VopEncoder(_codec_config(mode, config)).encode_sequence(
+                frames
+            )
+            _ENCODE_CACHE[key] = encoded.data
+    return _ENCODE_CACHE[key]
+
+
+def _frames_digest(frames) -> str:
+    import numpy as np
+
+    from repro.ioutil import sha256_hex
+
+    blob = b"".join(
+        np.ascontiguousarray(plane).tobytes()
+        for frame in frames
+        for plane in (frame.y, frame.u, frame.v)
+    )
+    return sha256_hex(blob)
+
+
+def execute_session(
+    spec: SessionSpec, mode: str, config: ServiceConfig
+) -> SessionResult:
+    """Run one admitted session's pipeline; deterministic per spec/mode."""
+    from repro.codec import VopDecoder
+    from repro.codec.errors import BitstreamError
+    from repro.ioutil import sha256_hex
+    from repro.transport.pipeline import TransportConfig, transmit_stream
+    from repro.video.quality import psnr
+
+    if mode not in (MODE_FULL, MODE_DEGRADED):
+        raise ValueError(f"unknown session mode {mode!r}")
+    with obs.span("service.session.execute", session=spec.session_id, mode=mode):
+        encoded = _encoded_stream(spec.scene_variant, mode, config)
+        with obs.span("service.session.transport", session=spec.session_id):
+            transport = transmit_stream(
+                encoded,
+                TransportConfig(
+                    max_payload=config.max_payload,
+                    loss_rate=spec.loss_rate,
+                    seed=spec.channel_seed,
+                    fec_group=config.fec_group,
+                    interleave_depth=config.interleave_depth,
+                ),
+            )
+        sources = _source_frames(spec.scene_variant, config)
+        with obs.span("service.session.decode", session=spec.session_id):
+            try:
+                decoded = VopDecoder().decode_sequence(
+                    transport.stream, tolerate_errors=True
+                )
+            except BitstreamError:
+                decoded = None
+        if decoded is None:
+            decode_outcome, mean_psnr, frames_digest = "rejected", 0.0, "-"
+        else:
+            decode_outcome = "decoded" if decoded.is_clean else "concealed"
+            values = [
+                min(psnr(src.y, out.y), _PSNR_CAP)
+                for src, out in zip(sources, decoded.frames)
+            ]
+            mean_psnr = sum(values) / len(values) if values else 0.0
+            frames_digest = _frames_digest(decoded.frames)
+    obs.counter_add("service.sessions_executed")
+    obs.counter_add("service.packets_dropped", transport.n_dropped)
+    return SessionResult(
+        session_id=spec.session_id,
+        mode=mode,
+        decode_outcome=decode_outcome,
+        psnr_db=round(mean_psnr, 4),
+        stream_bits=len(transport.stream) * 8,
+        n_data_packets=transport.n_data_packets,
+        n_sent_packets=transport.n_sent_packets,
+        n_dropped=transport.n_dropped,
+        n_recovered=transport.n_recovered,
+        n_unrepaired=len(transport.lost_seqs),
+        transport_vms=round(transport.n_sent_packets * config.per_packet_vms, 6),
+        decode_vms=round(config.decode_vms(mode), 6),
+        stream_digest=sha256_hex(transport.stream),
+        frames_digest=frames_digest,
+    )

@@ -1,0 +1,374 @@
+"""Streaming-service scale study: ``python -m repro serve``.
+
+Scales the session multiplexer across fleet sizes and reports, per N:
+sessions/sec, latency percentiles (p50/p95/p99, from the repo's
+fixed-bucket histogram machinery), delivered PSNR, the
+served/degraded/shed outcome mix, and cross-session bitrate burstiness
+(the Table 8 aggregation lifted from one stream to a fleet).
+
+Reproducibility contract, identical to the resilience study's: every
+cell is a pure function of ``(n_sessions, fleet_seed, config)`` --
+latencies are *virtual* milliseconds from the deterministic scheduler,
+never wall-clock -- so two runs, a run and its ``--resume``, and runs at
+different ``--jobs``/backends are byte-identical.  Cells are published
+atomically with content digests; wall-clock throughput (which *does*
+vary run to run) goes to a separate, never-diffed telemetry sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.runner.chaos import POINT_WORKER_CELL, strike_from_env
+from repro.ioutil import atomic_write, sha256_hex
+from repro.obs.metrics import Histogram
+from repro.service.backends import execute_schedule
+from repro.service.config import DEFAULT_CONFIG, ServiceConfig
+from repro.service.scheduler import SHED_REASONS, schedule_fleet
+from repro.service.session import build_fleet
+
+__all__ = [
+    "DEFAULT_NS",
+    "FULL_NS",
+    "SMOKE_NS",
+    "DEFAULT_SEEDS",
+    "ServeCell",
+    "run_cell",
+    "run_sweep",
+    "summarize",
+    "render_summary",
+]
+
+#: Fleet sizes of the default scale study (the slow sweep adds 10k).
+DEFAULT_NS = (10, 100, 1000)
+FULL_NS = (10, 100, 1000, 10000)
+#: CI smoke: one 32-session cell.
+SMOKE_NS = (32,)
+DEFAULT_SEEDS = (4,)
+
+#: Latency histogram boundaries in virtual milliseconds: log-spaced to
+#: resolve both the uncontended (~tens of vms) and saturated (~deadline)
+#: regimes.  Fixed buckets keep percentiles deterministic and mergeable.
+LATENCY_BUCKETS_VMS = (
+    1.0, 2.5, 5.0, 10.0, 15.0, 20.0, 30.0, 50.0, 75.0, 100.0,
+    150.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: Cells up to this many sessions embed the full per-session table.
+_SESSION_TABLE_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class ServeCell:
+    """One (fleet size, fleet seed) study point."""
+
+    n_sessions: int
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        return f"n{self.n_sessions}+s{self.seed}"
+
+
+def run_cell(
+    cell: ServeCell,
+    config: ServiceConfig = DEFAULT_CONFIG,
+    backend: str = "serial",
+    jobs: int = 1,
+) -> tuple[dict, dict]:
+    """Execute one study point.
+
+    Returns ``(record, wall)``: the deterministic JSON-serializable cell
+    record, and the wall-clock telemetry that must stay out of it.
+    """
+    wall_start = time.perf_counter()
+    specs = build_fleet(cell.seed, cell.n_sessions, config)
+    schedule = schedule_fleet(specs, config)
+    results = execute_schedule(specs, schedule, config, backend, jobs)
+    wall_s = time.perf_counter() - wall_start
+
+    latency = Histogram("service.latency_vms", LATENCY_BUCKETS_VMS)
+    spec_by_id = {spec.session_id: spec for spec in specs}
+    want_sessions = cell.n_sessions <= _SESSION_TABLE_LIMIT
+    lines = []
+    sessions = []
+    psnr_values = []
+    bits = []
+    end_vms = 0.0
+    transport_totals = {
+        "n_data_packets": 0, "n_sent_packets": 0, "n_dropped": 0,
+        "n_recovered": 0, "n_unrepaired": 0,
+    }
+    decode_outcomes = {"decoded": 0, "concealed": 0, "rejected": 0}
+    for plan in schedule.plans:
+        if not plan.admitted:
+            lines.append(f"{plan.session_id}:shed:{plan.shed_reason}")
+            continue
+        result = results[plan.session_id]
+        total_vms = round(
+            plan.finish_vms - plan.arrival_vms
+            + result.transport_vms + result.decode_vms,
+            4,
+        )
+        latency.observe(total_vms)
+        end_vms = max(end_vms, plan.finish_vms + result.transport_vms
+                      + result.decode_vms)
+        psnr_values.append(result.psnr_db)
+        bits.append(result.stream_bits)
+        decode_outcomes[result.decode_outcome] += 1
+        for key in transport_totals:
+            transport_totals[key] += getattr(result, key)
+        lines.append(
+            f"{plan.session_id}:{plan.outcome}:{result.stream_digest}:"
+            f"{result.frames_digest}:{total_vms:.4f}:{result.psnr_db:.4f}"
+        )
+        if want_sessions:
+            sessions.append(
+                {
+                    "session_id": plan.session_id,
+                    "outcome": plan.outcome,
+                    "shed_reason": None,
+                    "loss_rate": spec_by_id[plan.session_id].loss_rate,
+                    "latency_vms": {
+                        "wait": round(plan.wait_vms, 4),
+                        "encode": round(plan.service_vms, 4),
+                        "transport": result.transport_vms,
+                        "decode": result.decode_vms,
+                        "total": total_vms,
+                    },
+                    "decode_outcome": result.decode_outcome,
+                    "psnr_db": result.psnr_db,
+                    "stream_digest": result.stream_digest,
+                    "frames_digest": result.frames_digest,
+                }
+            )
+    if want_sessions:
+        for plan in schedule.plans:
+            if not plan.admitted:
+                sessions.append(
+                    {
+                        "session_id": plan.session_id,
+                        "outcome": plan.outcome,
+                        "shed_reason": plan.shed_reason,
+                    }
+                )
+        sessions.sort(key=lambda s: s["session_id"])
+
+    admitted = schedule.admitted
+    window_vms = max(end_vms, config.arrival_window_vms)
+    mean_bits = sum(bits) / len(bits) if bits else 0.0
+    record = {
+        "cell_id": cell.cell_id,
+        "n_sessions": cell.n_sessions,
+        "seed": cell.seed,
+        "outcomes": {
+            "offered": schedule.offered,
+            "served": schedule.served,
+            "degraded": schedule.degraded,
+            "shed": schedule.shed,
+            "shed_reasons": dict(schedule.shed_reasons),
+        },
+        "throughput": {
+            "sessions_per_vsec": round(admitted / (window_vms / 1000.0), 4)
+            if window_vms else 0.0,
+            "makespan_vms": round(window_vms, 4),
+            "peak_queue_depth": schedule.peak_queue_depth,
+        },
+        "latency_vms": {
+            "p50": round(latency.percentile(50), 4),
+            "p95": round(latency.percentile(95), 4),
+            "p99": round(latency.percentile(99), 4),
+            "mean": round(latency.mean, 4),
+            "observations": latency.total,
+        },
+        "quality": {
+            "mean_psnr_db": round(
+                sum(psnr_values) / len(psnr_values), 4
+            ) if psnr_values else 0.0,
+            "decode_outcomes": decode_outcomes,
+        },
+        "burstiness": {
+            "mean_stream_bits": round(mean_bits, 1),
+            "peak_stream_bits": max(bits) if bits else 0,
+            "peak_to_mean": round(max(bits) / mean_bits, 4)
+            if mean_bits else 0.0,
+        },
+        "transport": transport_totals,
+        "fleet_digest": sha256_hex("\n".join(lines).encode("utf-8")),
+    }
+    if want_sessions:
+        record["sessions"] = sessions
+    wall = {
+        "cell_id": cell.cell_id,
+        "backend": backend,
+        "jobs": jobs,
+        "wall_s": round(wall_s, 4),
+        "sessions_per_wall_sec": round(admitted / wall_s, 2) if wall_s else 0.0,
+    }
+    return record, wall
+
+
+def _canonical(record: dict) -> str:
+    return json.dumps(record, indent=2, sort_keys=True) + "\n"
+
+
+def _cell_path(run_dir: Path, cell: ServeCell) -> Path:
+    return run_dir / "cells" / f"{cell.cell_id}.json"
+
+
+def _load_valid_cell(path: Path) -> dict | None:
+    """A previously published cell record, or None if absent/corrupt."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    digest = payload.pop("digest", None)
+    if digest != sha256_hex(_canonical(payload).encode("utf-8")):
+        return None
+    return payload
+
+
+def _next_attempt(run_dir: Path, cell: ServeCell) -> int:
+    """Persisted per-cell attempt counter (chaos draws vary per attempt)."""
+    marker = run_dir / "cells" / f"{cell.cell_id}.attempt"
+    try:
+        attempt = int(marker.read_text()) + 1
+    except (OSError, ValueError):
+        attempt = 1
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    marker.write_text(str(attempt))
+    return attempt
+
+
+def grid_cells(ns, seeds) -> list[ServeCell]:
+    return [ServeCell(n, seed) for n in ns for seed in seeds]
+
+
+def run_sweep(
+    run_dir: str | Path,
+    ns=DEFAULT_NS,
+    seeds=DEFAULT_SEEDS,
+    config: ServiceConfig = DEFAULT_CONFIG,
+    backend: str = "serial",
+    jobs: int = 1,
+    resume: bool = False,
+) -> dict:
+    """Run (or finish) a scale sweep; returns the summary dict."""
+    run_dir = Path(run_dir)
+    cells = grid_cells(ns, seeds)
+    skipped = 0
+    wall_records = []
+    for cell in cells:
+        path = _cell_path(run_dir, cell)
+        if resume and _load_valid_cell(path) is not None:
+            skipped += 1
+            continue
+        attempt = _next_attempt(run_dir, cell)
+        # Chaos kill/spin drills strike here, exactly like study workers.
+        strike_from_env(POINT_WORKER_CELL, f"serve:{cell.cell_id}/a{attempt}")
+        record, wall = run_cell(cell, config, backend, jobs)
+        record["digest"] = sha256_hex(_canonical(record).encode("utf-8"))
+        atomic_write(path, _canonical(record))
+        wall_records.append(wall)
+    if wall_records:
+        atomic_write(
+            run_dir / "telemetry" / "wall.json",
+            _canonical(
+                {"schema": "repro-service-wall", "version": 1,
+                 "cells": wall_records}
+            ),
+        )
+    summary = summarize(run_dir, ns, seeds)
+    atomic_write(run_dir / "summary.json", _canonical(summary))
+    atomic_write(run_dir / "table.txt", render_summary(summary) + "\n")
+    summary["skipped_cells"] = skipped
+    return summary
+
+
+def summarize(run_dir: str | Path, ns, seeds) -> dict:
+    """Aggregate published cells into the per-N scale curve."""
+    run_dir = Path(run_dir)
+    rows = []
+    missing: list[str] = []
+    for n in ns:
+        records = []
+        for seed in seeds:
+            cell = ServeCell(n, seed)
+            record = _load_valid_cell(_cell_path(run_dir, cell))
+            if record is None:
+                missing.append(cell.cell_id)
+                continue
+            records.append(record)
+        if not records:
+            continue
+        k = len(records)
+        shed_reasons = {
+            reason: sum(r["outcomes"]["shed_reasons"][reason] for r in records)
+            for reason in SHED_REASONS
+        }
+        rows.append(
+            {
+                "n_sessions": n,
+                "cells": k,
+                "offered": sum(r["outcomes"]["offered"] for r in records),
+                "served": sum(r["outcomes"]["served"] for r in records),
+                "degraded": sum(r["outcomes"]["degraded"] for r in records),
+                "shed": sum(r["outcomes"]["shed"] for r in records),
+                "shed_reasons": shed_reasons,
+                "sessions_per_vsec": round(
+                    sum(r["throughput"]["sessions_per_vsec"] for r in records)
+                    / k, 4
+                ),
+                "latency_vms": {
+                    p: round(
+                        sum(r["latency_vms"][p] for r in records) / k, 4
+                    )
+                    for p in ("p50", "p95", "p99", "mean")
+                },
+                "mean_psnr_db": round(
+                    sum(r["quality"]["mean_psnr_db"] for r in records) / k, 4
+                ),
+                "burstiness_peak_to_mean": round(
+                    sum(r["burstiness"]["peak_to_mean"] for r in records) / k, 4
+                ),
+                "fleet_digests": [r["fleet_digest"] for r in records],
+            }
+        )
+    return {
+        "format": 1,
+        "grid": {"ns": list(ns), "seeds": list(seeds)},
+        "rows": rows,
+        "missing_cells": sorted(missing),
+    }
+
+
+def render_summary(summary: dict) -> str:
+    """Plain-text scale table (the paper-style study artifact)."""
+    header = (
+        f"{'sessions':>8} {'offered':>8} {'served':>7} {'degr':>6} "
+        f"{'shed':>6}  {'shed (q/d/t)':>14} {'sess/s':>8} "
+        f"{'p50':>8} {'p95':>8} {'p99':>8}  {'PSNR dB':>8} {'burst':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in summary["rows"]:
+        reasons = row["shed_reasons"]
+        lat = row["latency_vms"]
+        lines.append(
+            f"{row['n_sessions']:>8} {row['offered']:>8} {row['served']:>7} "
+            f"{row['degraded']:>6} {row['shed']:>6}  "
+            f"{reasons['queue_full']:>4}/{reasons['deadline']:>4}/"
+            f"{reasons['tokens']:>4} "
+            f"{row['sessions_per_vsec']:>8.2f} "
+            f"{lat['p50']:>8.2f} {lat['p95']:>8.2f} {lat['p99']:>8.2f}  "
+            f"{row['mean_psnr_db']:>8.2f} "
+            f"{row['burstiness_peak_to_mean']:>6.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "latency percentiles in virtual ms (admit wait + encode + transport"
+        " + decode); shed reasons: queue_full/deadline/tokens"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Test-runtime budget guard for the service layer.
+
+The tier-1 gate stays fast only if the smoke-scale study stays fast.
+This guard times the canonical 32-session smoke cell against a budget
+generous enough to absorb CI jitter (the cell runs in well under a
+second locally) but tight enough that an accidental O(N^2) pass, a lost
+encode cache, or an unintentionally huge default geometry fails the
+suite instead of silently tripling its wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.service.config import DEFAULT_CONFIG
+from repro.service.study import SMOKE_NS, ServeCell, run_cell
+
+#: Seconds one warmed 32-session smoke cell may take (CI-jitter headroom
+#: over a locally sub-second run).
+SMOKE_CELL_BUDGET_S = 20.0
+
+
+def test_smoke_cell_within_runtime_budget():
+    cell = ServeCell(SMOKE_NS[0], 4)
+    run_cell(cell)  # warm the per-process source/encode caches
+    start = time.perf_counter()
+    record, _ = run_cell(cell)
+    elapsed = time.perf_counter() - start
+    assert elapsed < SMOKE_CELL_BUDGET_S, (
+        f"32-session smoke cell took {elapsed:.1f}s "
+        f"(budget {SMOKE_CELL_BUDGET_S}s)"
+    )
+    assert record["outcomes"]["offered"] == SMOKE_NS[0]
+
+
+def test_smoke_geometry_stays_smoke_sized():
+    """The budget above assumes tiny sessions; pin the assumption."""
+    assert DEFAULT_CONFIG.width * DEFAULT_CONFIG.height <= 176 * 144
+    assert DEFAULT_CONFIG.n_frames <= 8
+    assert DEFAULT_CONFIG.scene_variants <= 8

@@ -1,0 +1,180 @@
+"""Unit tests: the virtual-time scheduler's backpressure ladder.
+
+Each rung -- bounded queue, degrade under pressure, deadline shedding,
+token budget -- is exercised in isolation with a crafted config, and the
+accounting laws (`conserves`, loud shedding, bounded waits) are checked
+on real seeded fleets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.config import DEFAULT_CONFIG, ServiceConfig
+from repro.service.scheduler import (
+    OUTCOME_DEGRADED,
+    OUTCOME_SERVED,
+    OUTCOME_SHED,
+    SHED_REASONS,
+    schedule_fleet,
+)
+from repro.service.session import SessionSpec, build_fleet
+
+
+def specs_at(*arrivals: float) -> list[SessionSpec]:
+    """Minimal specs arriving at the given virtual times."""
+    return [
+        SessionSpec(
+            session_id=index,
+            fleet_seed=0,
+            arrival_vms=t,
+            channel_seed=index,
+            scene_variant=0,
+            loss_rate=0.0,
+        )
+        for index, t in enumerate(arrivals)
+    ]
+
+
+def cfg(**overrides) -> ServiceConfig:
+    """Default geometry (full service = 12 vms, degraded = 6) with
+    budget knobs overridden per test."""
+    return ServiceConfig(**overrides)
+
+
+RELAXED = dict(queue_limit=32, deadline_vms=10_000.0,
+               token_rate_per_vms=1.0, token_burst=1000.0)
+
+
+class TestLadderRungs:
+    def test_uncontended_fleet_all_served_full(self):
+        schedule = schedule_fleet(specs_at(0.0, 100.0, 200.0, 300.0), cfg())
+        assert [p.outcome for p in schedule.plans] == [OUTCOME_SERVED] * 4
+        assert schedule.shed == 0
+        for plan in schedule.plans:
+            assert plan.wait_vms == 0.0
+
+    def test_depth_triggers_degraded_mode(self):
+        config = cfg(degrade_depth=1, **RELAXED)
+        schedule = schedule_fleet(specs_at(0.0, 0.0, 0.0), config)
+        outcomes = [p.outcome for p in schedule.plans]
+        assert outcomes == [OUTCOME_SERVED, OUTCOME_DEGRADED, OUTCOME_DEGRADED]
+        assert schedule.plans[1].service_vms == config.service_vms("degraded")
+
+    def test_bounded_queue_sheds_queue_full(self):
+        config = cfg(queue_limit=1, degrade_depth=4, deadline_vms=10_000.0,
+                     token_rate_per_vms=1.0, token_burst=1000.0)
+        schedule = schedule_fleet(specs_at(0.0, 0.0, 0.0), config)
+        assert schedule.plans[0].outcome == OUTCOME_SERVED
+        for plan in schedule.plans[1:]:
+            assert plan.outcome == OUTCOME_SHED
+            assert plan.shed_reason == "queue_full"
+
+    def test_deadline_degrades_then_sheds(self):
+        # Full service (12 vms) misses a 10 vms deadline; the degraded
+        # rung (6 vms) makes it -- once.  The next arrival cannot finish
+        # even degraded (start 6 + 6 > 10) and is shed with a reason.
+        config = cfg(deadline_vms=10.0, queue_limit=32,
+                     token_rate_per_vms=1.0, token_burst=1000.0)
+        schedule = schedule_fleet(specs_at(0.0, 0.0), config)
+        assert schedule.plans[0].outcome == OUTCOME_DEGRADED
+        assert schedule.plans[1].outcome == OUTCOME_SHED
+        assert schedule.plans[1].shed_reason == "deadline"
+
+    def test_empty_token_bucket_sheds_tokens(self):
+        config = cfg(token_burst=1.0, token_rate_per_vms=0.0)
+        schedule = schedule_fleet(specs_at(0.0, 0.0), config)
+        assert schedule.plans[0].outcome == OUTCOME_SERVED
+        assert schedule.plans[1].shed_reason == "tokens"
+        assert schedule.tokens_consumed == 1
+
+    def test_tokens_refill_with_virtual_time(self):
+        # Rate 0.1/vms: after 10 vms one token is back.
+        config = cfg(token_burst=1.0, token_rate_per_vms=0.1)
+        schedule = schedule_fleet(specs_at(0.0, 1.0, 20.0), config)
+        assert [p.outcome for p in schedule.plans] == [
+            OUTCOME_SERVED, OUTCOME_SHED, OUTCOME_SERVED,
+        ]
+
+
+class TestScheduleInvariants:
+    def test_requires_sorted_arrivals(self):
+        with pytest.raises(ValueError, match="sorted"):
+            schedule_fleet(specs_at(5.0, 1.0), cfg())
+
+    def test_deterministic(self):
+        specs = build_fleet(4, 200, DEFAULT_CONFIG)
+        a = schedule_fleet(specs, DEFAULT_CONFIG)
+        b = schedule_fleet(specs, DEFAULT_CONFIG)
+        assert a.plans == b.plans
+        assert a.shed_reasons == b.shed_reasons
+
+    def test_conserves_across_load_regimes(self):
+        for n in (0, 10, 100, 1000):
+            specs = build_fleet(4, n, DEFAULT_CONFIG)
+            schedule = schedule_fleet(specs, DEFAULT_CONFIG)
+            assert schedule.conserves()
+            assert schedule.offered == n
+
+    def test_no_silent_drops_at_saturation(self):
+        """Every offered session gets exactly one plan; every shed plan
+        names its reason."""
+        specs = build_fleet(4, 1000, DEFAULT_CONFIG)
+        schedule = schedule_fleet(specs, DEFAULT_CONFIG)
+        assert len(schedule.plans) == len(specs)
+        assert {p.session_id for p in schedule.plans} == {
+            s.session_id for s in specs
+        }
+        for plan in schedule.plans:
+            if plan.outcome == OUTCOME_SHED:
+                assert plan.shed_reason in SHED_REASONS
+            else:
+                assert plan.shed_reason is None
+
+    def test_all_three_shed_reasons_fire_at_saturation(self):
+        """The tuned default budgets keep every ladder rung live -- a
+        config drift that collapses shedding onto one rung shows up here."""
+        specs = build_fleet(4, 1000, DEFAULT_CONFIG)
+        schedule = schedule_fleet(specs, DEFAULT_CONFIG)
+        assert all(
+            schedule.shed_reasons[reason] > 0 for reason in SHED_REASONS
+        ), schedule.shed_reasons
+
+    def test_no_starvation_under_overload(self):
+        """Admitted => finishes within the deadline of its own arrival."""
+        specs = build_fleet(4, 1000, DEFAULT_CONFIG)
+        schedule = schedule_fleet(specs, DEFAULT_CONFIG)
+        assert schedule.admitted > 0
+        for plan in schedule.admitted_plans():
+            assert plan.wait_vms >= 0.0
+            assert (
+                plan.finish_vms
+                <= plan.arrival_vms + DEFAULT_CONFIG.deadline_vms + 1e-6
+            )
+
+    def test_shed_monotone_in_fleet_size(self):
+        """More offered load never sheds less (same seed, growing N)."""
+        for seed in (4, 5):
+            sheds = [
+                schedule_fleet(
+                    build_fleet(seed, n, DEFAULT_CONFIG), DEFAULT_CONFIG
+                ).shed
+                for n in (10, 32, 100, 320, 1000)
+            ]
+            assert sheds == sorted(sheds), (seed, sheds)
+
+    def test_plan_lookup(self):
+        specs = build_fleet(4, 32, DEFAULT_CONFIG)
+        schedule = schedule_fleet(specs, DEFAULT_CONFIG)
+        for spec in specs:
+            assert schedule.plan_for(spec.session_id).session_id == spec.session_id
+        shed_ids = {p.session_id for p in schedule.plans if not p.admitted}
+        assert {p.session_id for p in schedule.admitted_plans()}.isdisjoint(
+            shed_ids
+        )
+
+    def test_shed_plan_has_no_mode(self):
+        config = cfg(token_burst=1.0, token_rate_per_vms=0.0)
+        schedule = schedule_fleet(specs_at(0.0, 0.0), config)
+        with pytest.raises(ValueError, match="no mode"):
+            schedule.plans[1].mode

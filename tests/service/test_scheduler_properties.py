@@ -1,0 +1,119 @@
+"""Property suite: scheduler laws under randomized arrivals and budgets.
+
+Hypothesis drives arbitrary arrival timelines and admission budgets
+through ``schedule_fleet`` and asserts the laws the service rests on:
+
+- **conservation** -- admitted + shed == offered, tokens == admitted,
+  shed reasons sum to shed; nothing is dropped silently;
+- **no starvation** -- an admitted session always finishes within the
+  deadline of its own arrival, and waits are non-negative;
+- **FIFO single server** -- starts are monotone in arrival order and
+  service intervals never overlap;
+- **prefix determinism** -- the schedule of the first ``k`` arrivals is
+  unchanged by whatever arrives later (the keystone of both resumability
+  and cross-N comparability).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.config import ServiceConfig
+from repro.service.scheduler import (
+    OUTCOME_SHED,
+    SHED_REASONS,
+    schedule_fleet,
+)
+from repro.service.session import SessionSpec
+
+arrival_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=80,
+).map(lambda ts: sorted(round(t, 3) for t in ts))
+
+configs = st.builds(
+    ServiceConfig,
+    queue_limit=st.integers(min_value=1, max_value=12),
+    degrade_depth=st.integers(min_value=0, max_value=6),
+    deadline_vms=st.sampled_from([15.0, 50.0, 190.0, 400.0]),
+    token_rate_per_vms=st.sampled_from([0.0, 0.05, 0.2, 1.0]),
+    token_burst=st.sampled_from([1.0, 4.0, 24.0]),
+)
+
+
+def make_specs(arrivals: list[float]) -> list[SessionSpec]:
+    return [
+        SessionSpec(
+            session_id=index,
+            fleet_seed=0,
+            arrival_vms=t,
+            channel_seed=index,
+            scene_variant=0,
+            loss_rate=0.0,
+        )
+        for index, t in enumerate(arrivals)
+    ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(arrivals=arrival_lists, config=configs)
+def test_conservation_and_loud_shedding(arrivals, config):
+    specs = make_specs(arrivals)
+    schedule = schedule_fleet(specs, config)
+    assert schedule.conserves()
+    assert schedule.offered == len(specs)
+    assert len(schedule.plans) == len(specs)
+    assert [p.session_id for p in schedule.plans] == [
+        s.session_id for s in specs
+    ]
+    for plan in schedule.plans:
+        if plan.outcome == OUTCOME_SHED:
+            assert plan.shed_reason in SHED_REASONS
+        else:
+            assert plan.shed_reason is None
+
+
+@settings(max_examples=80, deadline=None)
+@given(arrivals=arrival_lists, config=configs)
+def test_no_starvation(arrivals, config):
+    """Admission is a promise: the session finishes within its deadline."""
+    schedule = schedule_fleet(make_specs(arrivals), config)
+    for plan in schedule.admitted_plans():
+        assert plan.start_vms >= plan.arrival_vms
+        assert plan.wait_vms >= 0.0
+        assert plan.finish_vms <= plan.arrival_vms + config.deadline_vms + 1e-6
+        assert plan.service_vms == config.service_vms(plan.mode)
+
+
+@settings(max_examples=80, deadline=None)
+@given(arrivals=arrival_lists, config=configs)
+def test_fifo_single_server(arrivals, config):
+    admitted = schedule_fleet(make_specs(arrivals), config).admitted_plans()
+    for earlier, later in zip(admitted, admitted[1:]):
+        assert later.start_vms >= earlier.start_vms
+        assert later.start_vms >= earlier.finish_vms - 1e-6
+
+
+@settings(max_examples=80, deadline=None)
+@given(arrivals=arrival_lists, config=configs, data=st.data())
+def test_prefix_determinism(arrivals, config, data):
+    """Later arrivals never rewrite earlier decisions."""
+    specs = make_specs(arrivals)
+    k = data.draw(st.integers(min_value=0, max_value=len(specs)))
+    full = schedule_fleet(specs, config)
+    prefix = schedule_fleet(specs[:k], config)
+    assert prefix.plans == full.plans[:k]
+
+
+@settings(max_examples=80, deadline=None)
+@given(arrivals=arrival_lists, config=configs)
+def test_schedule_is_pure(arrivals, config):
+    specs = make_specs(arrivals)
+    a = schedule_fleet(specs, config)
+    b = schedule_fleet(specs, config)
+    assert a.plans == b.plans
+    assert a.shed_reasons == b.shed_reasons
+    assert a.makespan_vms == b.makespan_vms

@@ -1,0 +1,120 @@
+"""Session execution: purity, quality ladder, loss accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.config import DEFAULT_CONFIG, MODE_DEGRADED, MODE_FULL
+from repro.service.session import (
+    SessionSpec,
+    build_fleet,
+    execute_session,
+    reset_encode_cache,
+    scene_spec_for_variant,
+)
+
+
+@pytest.fixture
+def fleet():
+    return build_fleet(4, 16, DEFAULT_CONFIG)
+
+
+def lossless(fleet):
+    return next(s for s in fleet if s.loss_rate == 0.0)
+
+
+def lossy(fleet):
+    return max(fleet, key=lambda s: s.loss_rate)
+
+
+class TestPurity:
+    def test_repeat_execution_identical(self, fleet):
+        spec = lossy(fleet)
+        assert execute_session(spec, MODE_FULL, DEFAULT_CONFIG) == \
+            execute_session(spec, MODE_FULL, DEFAULT_CONFIG)
+
+    def test_cache_warmth_never_changes_results(self, fleet):
+        """A cold worker process and a warm one produce the same bytes."""
+        spec = lossy(fleet)
+        warm = execute_session(spec, MODE_FULL, DEFAULT_CONFIG)
+        reset_encode_cache()
+        cold = execute_session(spec, MODE_FULL, DEFAULT_CONFIG)
+        assert cold == warm
+
+    def test_sessions_sharing_a_variant_share_the_stream_source(self, fleet):
+        """Encode is per (variant, mode): two lossless sessions on one
+        variant deliver identical bitstreams through distinct channels."""
+        template = lossless(fleet)
+        pair = [
+            SessionSpec(
+                session_id=1000 + offset,
+                fleet_seed=template.fleet_seed,
+                arrival_vms=0.0,
+                channel_seed=template.channel_seed + offset,
+                scene_variant=template.scene_variant,
+                loss_rate=0.0,
+            )
+            for offset in (0, 1)
+        ]
+        results = [
+            execute_session(s, MODE_FULL, DEFAULT_CONFIG) for s in pair
+        ]
+        assert len({r.stream_digest for r in results}) == 1
+
+
+class TestQualityLadder:
+    def test_degraded_rung_is_smaller_and_worse(self, fleet):
+        spec = lossless(fleet)
+        full = execute_session(spec, MODE_FULL, DEFAULT_CONFIG)
+        degraded = execute_session(spec, MODE_DEGRADED, DEFAULT_CONFIG)
+        assert degraded.stream_bits < full.stream_bits
+        assert degraded.psnr_db < full.psnr_db
+        assert degraded.stream_digest != full.stream_digest
+
+    def test_lossless_session_decodes_clean(self, fleet):
+        result = execute_session(lossless(fleet), MODE_FULL, DEFAULT_CONFIG)
+        assert result.decode_outcome == "decoded"
+        assert result.n_dropped == 0
+        assert result.n_unrepaired == 0
+        assert result.psnr_db > 25.0
+
+    def test_unknown_mode_rejected(self, fleet):
+        with pytest.raises(ValueError, match="mode"):
+            execute_session(fleet[0], "hd", DEFAULT_CONFIG)
+
+
+class TestAccounting:
+    def test_loss_accounted_across_fleet(self, fleet):
+        """No admitted session's packets vanish: dropped packets are
+        recovered by FEC or named as unrepaired losses."""
+        for spec in fleet:
+            result = execute_session(spec, MODE_FULL, DEFAULT_CONFIG)
+            assert result.loss_accounted(), spec
+            assert result.n_sent_packets >= result.n_data_packets
+            assert result.transport_vms >= 0.0
+            assert result.decode_vms == DEFAULT_CONFIG.decode_vms(MODE_FULL)
+
+    def test_digests_are_sha256_hex(self, fleet):
+        result = execute_session(lossless(fleet), MODE_FULL, DEFAULT_CONFIG)
+        assert len(result.stream_digest) == 64
+        assert len(result.frames_digest) == 64
+        int(result.stream_digest, 16)
+        int(result.frames_digest, 16)
+
+
+class TestSceneVariants:
+    def test_variants_produce_distinct_scenes(self):
+        specs = [
+            scene_spec_for_variant(v, DEFAULT_CONFIG)
+            for v in range(DEFAULT_CONFIG.scene_variants)
+        ]
+        assert len(set(specs)) == DEFAULT_CONFIG.scene_variants
+
+    def test_distinct_variants_yield_distinct_streams(self, fleet):
+        by_variant = {}
+        for spec in fleet:
+            if spec.loss_rate == 0.0:
+                result = execute_session(spec, MODE_FULL, DEFAULT_CONFIG)
+                by_variant[spec.scene_variant] = result.stream_digest
+        digests = list(by_variant.values())
+        assert len(set(digests)) == len(digests)
