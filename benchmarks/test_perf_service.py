@@ -2,7 +2,9 @@
 
 Times the canonical 32-session smoke cell (the CI `service-smoke` cell)
 through each execution backend and snapshots wall-clock throughput plus
-the cell's deterministic outcome mix.  Results go to
+the cell's deterministic outcome mix, and measures the fault/recovery
+control plane's overhead with faults disabled (the acceptance guard:
+under 2% of the cell's service wall time).  Results go to
 ``BENCH_service.json`` at the repository root.
 
 Run standalone (writes the JSON unconditionally)::
@@ -23,7 +25,14 @@ from pathlib import Path
 import pytest
 
 from repro.ioutil import atomic_write
-from repro.service.study import SMOKE_NS, ServeCell, run_cell
+from repro.service.study import (
+    FAULT_SMOKE_N,
+    SMOKE_NS,
+    FaultCell,
+    ServeCell,
+    run_cell,
+    run_fault_cell,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_service.json"
@@ -31,6 +40,29 @@ RESULT_PATH = REPO_ROOT / "BENCH_service.json"
 N_SESSIONS = SMOKE_NS[0]
 SEED = 4
 BACKENDS = (("serial", 1), ("asyncio", 4), ("fleet", 2))
+
+#: Acceptance guard: the recovery plane with faults disabled must cost
+#: under this fraction of the cell's service wall time...
+OVERHEAD_BUDGET = 0.02
+#: ...with an absolute floor so a sub-100ms cell can't flake the ratio.
+OVERHEAD_FLOOR_S = 0.005
+
+
+def measure_faultstudy_overhead() -> dict:
+    """Recovery-plane cost at intensity 0 (the ``repro serve`` path)."""
+    from repro.service.session import reset_encode_cache
+
+    reset_encode_cache()
+    record, wall = run_fault_cell(FaultCell(FAULT_SMOKE_N, SEED, 0.0, "full"))
+    ratio = wall["recovery_wall_s"] / wall["wall_s"] if wall["wall_s"] else 0.0
+    return {
+        "cell": record["cell_id"],
+        "wall_s": wall["wall_s"],
+        "recovery_wall_s": wall["recovery_wall_s"],
+        "overhead_ratio": round(ratio, 6),
+        "budget_ratio": OVERHEAD_BUDGET,
+        "availability": record["recovery"]["availability"],
+    }
 
 
 def run_benchmark() -> dict:
@@ -62,6 +94,7 @@ def run_benchmark() -> dict:
         "backends_agree": all(
             record == reference for record in records.values()
         ),
+        "faultstudy_overhead": measure_faultstudy_overhead(),
         "metadata": run_metadata(),
     }
 
@@ -97,6 +130,16 @@ def test_smoke_cell_outcomes_pinned(bench_results):
     assert outcomes["served"] + outcomes["degraded"] + outcomes["shed"] \
         == N_SESSIONS
     assert bench_results["mean_psnr_db"] > 20.0
+
+
+def test_faultstudy_overhead_under_budget(bench_results):
+    """ISSUE acceptance: with faults disabled the recovery control plane
+    costs under 2% of the cell's service wall time (absolute floor keeps
+    sub-100ms cells from flaking the ratio)."""
+    overhead = bench_results["faultstudy_overhead"]
+    budget = max(OVERHEAD_BUDGET * overhead["wall_s"], OVERHEAD_FLOOR_S)
+    assert overhead["recovery_wall_s"] < budget, overhead
+    assert overhead["availability"] == 1.0  # intensity 0: nothing lost
 
 
 def main() -> int:

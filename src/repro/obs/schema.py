@@ -22,6 +22,7 @@ __all__ = [
     "validate_metrics_json",
     "validate_part",
     "validate_service_wall",
+    "validate_faultstudy",
     "validate_file",
 ]
 
@@ -30,6 +31,18 @@ SCHEMA_PART = f"{SCHEMA_TRACE}-part"
 #: separate from the deterministic study artifacts, but still schema-
 #: gated before CI uploads it.
 SCHEMA_SERVICE_WALL = "repro-service-wall"
+#: Fault-study summary: the availability-vs-intensity table CI gates.
+SCHEMA_FAULTSTUDY = "repro-faultstudy"
+
+#: Every summary row must carry these numeric recovery statistics.
+_FAULTSTUDY_ROW_NUMBERS = (
+    "availability", "mttr_vms", "retry_amplification", "mean_psnr_db",
+    "p99_latency_vms",
+)
+#: ...and these outcome buckets (the extended conservation law's terms).
+_FAULTSTUDY_OUTCOMES = (
+    "offered", "served", "served_retry", "degraded", "shed", "quarantined",
+)
 
 _SPAN_REQUIRED = {"name": str, "id": str, "t0_ns": int, "dur_ns": int}
 
@@ -198,6 +211,75 @@ def validate_service_wall(obj: dict) -> list[str]:
     return problems
 
 
+def validate_faultstudy(obj: dict) -> list[str]:
+    """Validate a ``repro faultstudy`` summary artifact.
+
+    Beyond shape checks this enforces the *extended conservation law* on
+    every row -- served + served_retry + degraded + shed + quarantined
+    must equal offered -- and that availability stays in [0, 1].  A
+    summary that leaks sessions fails the CI gate, not just the tests.
+    """
+    problems = []
+    if obj.get("schema") != SCHEMA_FAULTSTUDY:
+        problems.append(
+            f"faultstudy: schema is {obj.get('schema')!r}, "
+            f"want {SCHEMA_FAULTSTUDY!r}"
+        )
+    if obj.get("version") != 1:
+        problems.append(f"faultstudy: version is {obj.get('version')!r}, want 1")
+    grid = obj.get("grid")
+    if not isinstance(grid, dict):
+        problems.append("faultstudy: grid missing or not an object")
+    else:
+        for key in ("ns", "seeds", "intensities", "policies"):
+            if not isinstance(grid.get(key), list) or not grid[key]:
+                problems.append(f"faultstudy: grid.{key} missing or empty")
+    rows = obj.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return problems + ["faultstudy: rows missing or empty"]
+    for index, row in enumerate(rows):
+        where = f"rows[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(row.get("policy"), str):
+            problems.append(f"{where}: policy missing or not a string")
+        intensity = row.get("intensity")
+        if not isinstance(intensity, (int, float)) or not 0 <= intensity <= 1:
+            problems.append(f"{where}: intensity must be a number in [0, 1]")
+        for key in _FAULTSTUDY_ROW_NUMBERS:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{where}: {key!r} must be a non-negative number")
+        availability = row.get("availability")
+        if isinstance(availability, (int, float)) and availability > 1:
+            problems.append(f"{where}: availability {availability} exceeds 1")
+        outcomes = row.get("outcomes")
+        if not isinstance(outcomes, dict):
+            problems.append(f"{where}: outcomes missing or not an object")
+            continue
+        bad_bucket = False
+        for key in _FAULTSTUDY_OUTCOMES:
+            value = outcomes.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"{where}: outcomes.{key} must be a non-negative integer"
+                )
+                bad_bucket = True
+        if not bad_bucket:
+            delivered = sum(
+                outcomes[key] for key in _FAULTSTUDY_OUTCOMES if key != "offered"
+            )
+            if delivered != outcomes["offered"]:
+                problems.append(
+                    f"{where}: conservation violated "
+                    f"({delivered} accounted vs {outcomes['offered']} offered)"
+                )
+    if not isinstance(obj.get("missing_cells"), list):
+        problems.append("faultstudy: missing_cells missing or not a list")
+    return problems
+
+
 def validate_file(path: str | Path) -> list[str]:
     """Dispatch on file shape: JSONL trace, Chrome trace, or metrics."""
     path = Path(path)
@@ -217,6 +299,8 @@ def validate_file(path: str | Path) -> list[str]:
         return validate_part(obj)
     if obj.get("schema") == SCHEMA_SERVICE_WALL:
         return validate_service_wall(obj)
+    if obj.get("schema") == SCHEMA_FAULTSTUDY:
+        return validate_faultstudy(obj)
     if obj.get("schema") == SCHEMA_TRACE:
         # A single-line (meta-only) JSONL trace parses as one document.
         return validate_trace_jsonl(text)

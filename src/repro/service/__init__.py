@@ -5,14 +5,18 @@ N client sessions, each running its own encode -> packetize -> lossy
 channel -> decode pipeline under a private spawned seed, contending for
 one shared encode budget behind admission control (token bucket, bounded
 queue, deadline shedding) with a three-way outcome taxonomy --
-served / degraded / shed.
+served / degraded / shed -- refined by the fault-injection and recovery
+control plane (``service/faults.py`` + ``service/recovery.py``) into
+served / served_retry / degraded / shed / quarantined.
 
 Scheduling happens in *virtual time*, so every decision and every
 reported latency is a pure function of ``(fleet_seed, n_sessions,
 config)``; the asyncio and supervised-worker-fleet backends only change
 how fast the bit-identical answer is computed.  ``python -m repro
 serve`` runs the scale study (sessions/sec vs latency percentiles vs
-delivered PSNR as N grows).
+delivered PSNR as N grows); ``python -m repro faultstudy`` sweeps
+availability / MTTR / retry amplification against fault intensity
+across the recovery-policy ladder.
 """
 
 from repro.service.backends import BACKENDS, execute_schedule
@@ -22,9 +26,29 @@ from repro.service.config import (
     MODE_FULL,
     ServiceConfig,
 )
+from repro.service.faults import (
+    FAULT_KINDS,
+    FaultConfig,
+    FaultPlan,
+    SessionFault,
+    corrupt_stream,
+)
+from repro.service.recovery import (
+    POLICIES,
+    POLICY_LADDER,
+    QUARANTINE_REASONS,
+    CircuitBreaker,
+    RecoveryPolicy,
+    RecoveryReport,
+    SessionChain,
+    simulate_recovery,
+)
 from repro.service.scheduler import (
+    EXTENDED_OUTCOMES,
     OUTCOME_DEGRADED,
+    OUTCOME_QUARANTINED,
     OUTCOME_SERVED,
+    OUTCOME_SERVED_RETRY,
     OUTCOME_SHED,
     SHED_REASONS,
     FleetSchedule,
@@ -42,21 +66,37 @@ from repro.service.session import (
 __all__ = [
     "BACKENDS",
     "DEFAULT_CONFIG",
+    "EXTENDED_OUTCOMES",
+    "FAULT_KINDS",
     "MODE_DEGRADED",
     "MODE_FULL",
     "OUTCOME_DEGRADED",
+    "OUTCOME_QUARANTINED",
     "OUTCOME_SERVED",
+    "OUTCOME_SERVED_RETRY",
     "OUTCOME_SHED",
+    "POLICIES",
+    "POLICY_LADDER",
+    "QUARANTINE_REASONS",
     "SHED_REASONS",
+    "CircuitBreaker",
+    "FaultConfig",
+    "FaultPlan",
     "FleetSchedule",
+    "RecoveryPolicy",
+    "RecoveryReport",
     "ServiceConfig",
+    "SessionChain",
+    "SessionFault",
     "SessionPlan",
     "SessionResult",
     "SessionSeed",
     "SessionSpec",
     "build_fleet",
+    "corrupt_stream",
     "execute_schedule",
     "execute_session",
     "schedule_fleet",
+    "simulate_recovery",
     "spawn_session_seeds",
 ]

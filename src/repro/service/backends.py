@@ -1,8 +1,11 @@
 """Execution backends: run the admitted sessions' pipelines.
 
 The scheduler already decided *what* happens (who is admitted, at which
-quality, with what virtual timing); a backend only decides *how fast*
-the corresponding codec work gets done on the host machine:
+quality, with what virtual timing) -- and, when a fault plan is armed,
+the recovery control plane refined that into per-session attempt chains
+(who delivers, at which rung, on which channel seed, through which
+blackout window).  A backend only decides *how fast* the corresponding
+codec work gets done on the host machine:
 
 - ``serial``  -- in-process loop, the reference;
 - ``asyncio`` -- an event loop multiplexing sessions over a bounded
@@ -13,9 +16,9 @@ the corresponding codec work gets done on the host machine:
 
 Every backend returns the same mapping ``session_id -> SessionResult``,
 and because session execution is a pure function of ``(spec, mode,
-config)``, the results -- digests included -- are bit-identical across
-backends and across ``jobs`` counts.  The differential test suite holds
-all three to that contract.
+config, delivery overrides)``, the results -- digests included -- are
+bit-identical across backends and across ``jobs`` counts.  The
+differential test suite holds all three to that contract.
 """
 
 from __future__ import annotations
@@ -32,15 +35,26 @@ __all__ = ["BACKENDS", "execute_schedule"]
 
 BACKENDS = ("serial", "asyncio", "fleet")
 
+#: One unit of data-plane work: ``(spec, mode, channel_seed, blackout)``.
+_WorkItem = tuple[SessionSpec, str, "int | None", tuple]
+
 
 def _admitted_work(
-    specs: list[SessionSpec], schedule: FleetSchedule
-) -> list[tuple[SessionSpec, str]]:
+    specs: list[SessionSpec], schedule: FleetSchedule, recovery=None
+) -> list[_WorkItem]:
     by_id = {spec.session_id: spec for spec in specs}
+    if recovery is None:
+        return [
+            (by_id[plan.session_id], plan.mode, None, ())
+            for plan in schedule.plans
+            if plan.admitted
+        ]
+    # Recovery plane armed: only delivering chains reach the data plane,
+    # with their final attempt's quality rung and channel overrides.
     return [
-        (by_id[plan.session_id], plan.mode)
-        for plan in schedule.plans
-        if plan.admitted
+        (by_id[chain.session_id], chain.final_mode, chain.channel_seed,
+         chain.blackout)
+        for chain in recovery.delivered_chains()
     ]
 
 
@@ -50,17 +64,27 @@ def execute_schedule(
     config: ServiceConfig,
     backend: str = "serial",
     jobs: int = 1,
+    recovery=None,
 ) -> dict[int, SessionResult]:
-    """Execute every admitted session; returns results keyed by id."""
+    """Execute every delivering session; returns results keyed by id.
+
+    ``recovery`` is an optional :class:`~repro.service.recovery.
+    RecoveryReport`; without one, every admitted session delivers on its
+    scheduled plan (the plain ``repro serve`` path, byte-identical to
+    the pre-fault-plane behaviour).
+    """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-    work = _admitted_work(specs, schedule)
+    work = _admitted_work(specs, schedule, recovery)
     with obs.span("service.fleet.execute", backend=backend, jobs=jobs,
                   sessions=len(work)):
         if not work:
             return {}
         if backend == "serial" or (backend == "asyncio" and jobs <= 1):
-            results = [execute_session(spec, mode, config) for spec, mode in work]
+            results = [
+                execute_session(spec, mode, config, seed, blackout)
+                for spec, mode, seed, blackout in work
+            ]
         elif backend == "asyncio":
             results = asyncio.run(_run_asyncio(work, config, jobs))
         else:
@@ -69,7 +93,7 @@ def execute_schedule(
 
 
 async def _run_asyncio(
-    work: list[tuple[SessionSpec, str]], config: ServiceConfig, jobs: int
+    work: list[_WorkItem], config: ServiceConfig, jobs: int
 ) -> list[SessionResult]:
     """Event-loop multiplexing: sessions share a bounded thread pool.
 
@@ -80,26 +104,29 @@ async def _run_asyncio(
     gate = asyncio.Semaphore(jobs)
     with ThreadPoolExecutor(max_workers=jobs) as pool:
 
-        async def one(spec: SessionSpec, mode: str) -> SessionResult:
+        async def one(item: _WorkItem) -> SessionResult:
+            spec, mode, seed, blackout = item
             async with gate:
                 return await loop.run_in_executor(
-                    pool, execute_session, spec, mode, config
+                    pool, execute_session, spec, mode, config, seed, blackout
                 )
 
-        return list(
-            await asyncio.gather(*(one(spec, mode) for spec, mode in work))
-        )
+        return list(await asyncio.gather(*(one(item) for item in work)))
 
 
 def _execute_session_task(
-    spec: SessionSpec, mode: str, config: ServiceConfig
+    spec: SessionSpec,
+    mode: str,
+    config: ServiceConfig,
+    channel_seed,
+    blackout,
 ) -> SessionResult:
     """Module-level task body so the supervised pool can pickle it."""
-    return execute_session(spec, mode, config)
+    return execute_session(spec, mode, config, channel_seed, blackout)
 
 
 def _run_fleet(
-    work: list[tuple[SessionSpec, str]], config: ServiceConfig, jobs: int
+    work: list[_WorkItem], config: ServiceConfig, jobs: int
 ) -> list[SessionResult]:
     """Supervised worker-fleet execution (crash-safe, chaos-retried).
 
@@ -115,8 +142,12 @@ def _run_fleet(
         budget=WorkerBudget(wall_s=120.0, heartbeat_s=30.0),
     )
     tasks = [
-        (f"session-{spec.session_id}", _execute_session_task, (spec, mode, config))
-        for spec, mode in work
+        (
+            f"session-{spec.session_id}",
+            _execute_session_task,
+            (spec, mode, config, seed, blackout),
+        )
+        for spec, mode, seed, blackout in work
     ]
     results = pool.results_or_raise(tasks)
-    return [results[f"session-{spec.session_id}"] for spec, mode in work]
+    return [results[f"session-{spec.session_id}"] for spec, _, _, _ in work]

@@ -1,4 +1,4 @@
-"""CLI entry point: ``python -m repro serve``.
+"""CLI entry points: ``python -m repro serve`` / ``repro faultstudy``.
 
 .. code-block:: console
 
@@ -9,9 +9,14 @@
    $ python -m repro serve --resume drill           # finish a killed run
    $ python -m repro serve --verify-complete        # exit 1 on missing cells
 
-The published study table is byte-identical for a given ``(--sessions,
---seed)`` whatever the backend or job count; wall-clock throughput lands
-in ``telemetry/wall.json`` next to the run, never in the table.
+   $ python -m repro faultstudy                     # availability vs intensity
+   $ python -m repro faultstudy --smoke             # CI grid (2 intensities)
+   $ python -m repro faultstudy --intensity 0 0.6 --policy retry full
+   $ python -m repro faultstudy --resume drill      # finish a killed sweep
+
+Published study tables are byte-identical for a given grid whatever the
+backend or job count; wall-clock throughput lands in
+``telemetry/wall.json`` next to the run, never in the tables.
 """
 
 from __future__ import annotations
@@ -20,12 +25,12 @@ import argparse
 from pathlib import Path
 
 
-def _runs_root(override: str | None) -> Path:
+def _runs_root(override: str | None, study: str = "serve") -> Path:
     import os
 
     if override:
         return Path(override)
-    return Path(os.environ.get("REPRO_RUNS", ".repro-runs")) / "serve"
+    return Path(os.environ.get("REPRO_RUNS", ".repro-runs")) / study
 
 
 def _export_telemetry(run_dir: Path) -> None:
@@ -110,6 +115,107 @@ def serve_main(argv: list[str] | None = None) -> int:
           f"jobs={args.jobs})")
     print()
     print(render_summary(summary))
+    print()
+    print(f"artifacts: {run_dir}")
+    _export_telemetry(run_dir)
+    if summary["missing_cells"]:
+        print(f"missing cells: {', '.join(summary['missing_cells'])}")
+        if args.verify_complete:
+            print("verify-complete FAILED")
+            return 1
+    elif args.verify_complete:
+        print("verify-complete passed: every grid cell is published")
+    return 0
+
+
+def faultstudy_main(argv: list[str] | None = None) -> int:
+    from repro.service.backends import BACKENDS
+    from repro.service.recovery import POLICY_LADDER
+    from repro.service.study import (
+        DEFAULT_INTENSITIES,
+        FAULT_DEFAULT_N,
+        FAULT_SMOKE_N,
+        SMOKE_INTENSITIES,
+        render_fault_summary,
+        run_fault_sweep,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro faultstudy",
+        description=(
+            "Fault-injection study: sweep availability, virtual MTTR, "
+            "retry amplification, and delivered PSNR against fault "
+            "intensity across the recovery-policy ladder "
+            "(none / retry / retry_breaker / full)."
+        ),
+    )
+    parser.add_argument("--sessions", type=int, nargs="+", default=None,
+                        metavar="N",
+                        help=f"fleet size(s) (default: {FAULT_DEFAULT_N})")
+    parser.add_argument("--seed", type=int, nargs="+", default=[4],
+                        metavar="S", help="fleet seed(s) (default: 4)")
+    parser.add_argument("--intensity", type=float, nargs="+", default=None,
+                        metavar="I",
+                        help="fault intensities in [0, 1] (default: "
+                             f"{' '.join(map(str, DEFAULT_INTENSITIES))})")
+    parser.add_argument("--policy", nargs="+", choices=POLICY_LADDER,
+                        default=None,
+                        help="recovery policies (default: the full ladder)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke grid: "
+                             f"{FAULT_SMOKE_N} sessions, intensities "
+                             f"{' '.join(map(str, SMOKE_INTENSITIES))}")
+    parser.add_argument("--backend", choices=BACKENDS, default="asyncio",
+                        help="execution backend (default: asyncio)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="J",
+                        help="concurrent session pipelines (default: 1)")
+    parser.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="runs root (default: $REPRO_RUNS or .repro-runs)")
+    parser.add_argument("--run-id", default="default", metavar="ID",
+                        help="run directory name (default: 'default')")
+    parser.add_argument("--resume", default=None, metavar="ID",
+                        help="resume a run: published cells are kept, "
+                             "missing/corrupt ones recompute")
+    parser.add_argument("--verify-complete", action="store_true",
+                        help="exit 1 unless every grid cell is published")
+    args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1")
+        return 2
+    ns = tuple(args.sessions) if args.sessions is not None else (
+        (FAULT_SMOKE_N,) if args.smoke else (FAULT_DEFAULT_N,)
+    )
+    if any(n < 0 for n in ns):
+        print("error: --sessions must be >= 0")
+        return 2
+    intensities = tuple(args.intensity) if args.intensity is not None else (
+        SMOKE_INTENSITIES if args.smoke else DEFAULT_INTENSITIES
+    )
+    if any(not 0.0 <= i <= 1.0 for i in intensities):
+        print("error: --intensity values must be in [0, 1]")
+        return 2
+    policies = tuple(args.policy) if args.policy else POLICY_LADDER
+
+    run_id = args.resume or args.run_id
+    run_dir = _runs_root(args.runs_dir, "faultstudy") / run_id
+    summary = run_fault_sweep(
+        run_dir,
+        ns=ns,
+        seeds=tuple(args.seed),
+        intensities=intensities,
+        policies=policies,
+        backend=args.backend,
+        jobs=args.jobs,
+        resume=args.resume is not None,
+    )
+    verb = "resumed" if args.resume else "ran"
+    n_cells = sum(row["cells"] for row in summary["rows"])
+    print(f"{verb} fault study '{run_id}': {n_cells} cells published "
+          f"({summary['skipped_cells']} reused, backend={args.backend}, "
+          f"jobs={args.jobs})")
+    print()
+    print(render_fault_summary(summary))
     print()
     print(f"artifacts: {run_dir}")
     _export_telemetry(run_dir)

@@ -77,6 +77,11 @@ class ServiceConfig:
     #: Token-bucket admission rate limit (tokens per virtual ms + burst).
     token_rate_per_vms: float = 0.2
     token_burst: float = 24.0
+    #: Recovery-plane horizon: a retry that would start after this much
+    #: virtual time is quarantined instead of scheduled -- the bound
+    #: that keeps every fault/recovery timeline (and its backoff chains)
+    #: finite whatever the policy.
+    max_recovery_horizon_vms: float = 20000.0
 
     def __post_init__(self) -> None:
         if self.width % 16 or self.height % 16:
@@ -101,6 +106,10 @@ class ServiceConfig:
             raise ValueError("deadline_vms must be positive")
         if self.token_rate_per_vms < 0 or self.token_burst < 1:
             raise ValueError("token budget must allow at least one admission")
+        if self.max_recovery_horizon_vms <= self.arrival_window_vms:
+            raise ValueError(
+                "max_recovery_horizon_vms must extend past the arrival window"
+            )
 
     # -- derived work model -------------------------------------------------
 

@@ -44,6 +44,9 @@ __all__ = [
     "OUTCOME_SERVED",
     "OUTCOME_DEGRADED",
     "OUTCOME_SHED",
+    "OUTCOME_SERVED_RETRY",
+    "OUTCOME_QUARANTINED",
+    "EXTENDED_OUTCOMES",
     "SHED_REASONS",
     "SessionPlan",
     "FleetSchedule",
@@ -53,6 +56,24 @@ __all__ = [
 OUTCOME_SERVED = "served"
 OUTCOME_DEGRADED = "degraded"
 OUTCOME_SHED = "shed"
+#: Recovery-plane refinements of the admitted outcomes (see
+#: ``service/recovery.py``): a session delivered only after one or more
+#: faulted attempts, and a session the recovery plane gave up on.
+OUTCOME_SERVED_RETRY = "served_retry"
+OUTCOME_QUARANTINED = "quarantined"
+
+#: The full service taxonomy, admission ladder first.  The admission
+#: scheduler alone produces the first three; the recovery control plane
+#: refines admitted sessions into all five.  The extended conservation
+#: law is ``served + served_retry + degraded + shed + quarantined ==
+#: offered``.
+EXTENDED_OUTCOMES = (
+    OUTCOME_SERVED,
+    OUTCOME_SERVED_RETRY,
+    OUTCOME_DEGRADED,
+    OUTCOME_SHED,
+    OUTCOME_QUARANTINED,
+)
 
 #: Why a session was shed, in ladder order.
 SHED_REASONS = ("queue_full", "deadline", "tokens")

@@ -24,7 +24,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SessionSeed", "spawn_session_seeds", "channel_mask_for"]
+__all__ = [
+    "SessionSeed",
+    "spawn_session_seeds",
+    "channel_mask_for",
+    "fault_rng",
+    "retry_channel_seed",
+    "backoff_jitter_u",
+]
+
+#: Entropy branch keys for the fault/recovery plane.  Each derived
+#: quantity is a pure function of ``(fleet_seed, branch, session_id,
+#: attempt)`` -- no process-local counters, no draw-order coupling -- so
+#: a fault schedule is identical across backends and replayable from the
+#: fleet seed alone (the same discipline as ``core/runner/chaos``).  The
+#: branch constants keep this entropy disjoint from the session spawn
+#: tree: arming faults never perturbs session identity.
+_BRANCH_FAULT = 0xFA017
+_BRANCH_RETRY_CHANNEL = 0x8E7C4
+_BRANCH_BACKOFF = 0xB0FF5
 
 
 @dataclass(frozen=True)
@@ -67,6 +85,39 @@ def spawn_session_seeds(fleet_seed: int, n: int) -> list[SessionSeed]:
             )
         )
     return seeds
+
+
+def fault_rng(
+    fleet_seed: int, session_id: int, attempt: int
+) -> np.random.Generator:
+    """Private generator for one ``(session, attempt)`` fault draw."""
+    return np.random.default_rng(
+        np.random.SeedSequence((fleet_seed, _BRANCH_FAULT, session_id, attempt))
+    )
+
+
+def retry_channel_seed(fleet_seed: int, session_id: int, attempt: int) -> int:
+    """Fresh channel seed for a retry attempt (``attempt >= 2``).
+
+    A retry must not replay the exact loss pattern that just destroyed
+    the delivery -- a real client reconnects onto new channel state.
+    Attempt 1 keeps ``SessionSpec.channel_seed`` so the no-fault path is
+    byte-identical to the plain serve study.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            (fleet_seed, _BRANCH_RETRY_CHANNEL, session_id, attempt)
+        )
+    )
+    return int(rng.integers(0, 2**63 - 1))
+
+
+def backoff_jitter_u(fleet_seed: int, session_id: int, attempt: int) -> float:
+    """Unit-interval jitter draw for one retry's backoff delay."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence((fleet_seed, _BRANCH_BACKOFF, session_id, attempt))
+    )
+    return float(rng.random())
 
 
 def channel_mask_for(

@@ -188,9 +188,19 @@ def _frames_digest(frames) -> str:
 
 
 def execute_session(
-    spec: SessionSpec, mode: str, config: ServiceConfig
+    spec: SessionSpec,
+    mode: str,
+    config: ServiceConfig,
+    channel_seed: int | None = None,
+    blackout: tuple[tuple[int, int], ...] = (),
 ) -> SessionResult:
-    """Run one admitted session's pipeline; deterministic per spec/mode."""
+    """Run one admitted session's pipeline; deterministic per spec/mode.
+
+    ``channel_seed`` and ``blackout`` override the spec's channel for a
+    delivery that happened on a *retry* attempt (fresh channel state) or
+    through a surviving outage window (``service/recovery.py`` decides
+    both); the defaults reproduce the plain, fault-free delivery.
+    """
     from repro.codec import VopDecoder
     from repro.codec.errors import BitstreamError
     from repro.ioutil import sha256_hex
@@ -207,9 +217,11 @@ def execute_session(
                 TransportConfig(
                     max_payload=config.max_payload,
                     loss_rate=spec.loss_rate,
-                    seed=spec.channel_seed,
+                    seed=spec.channel_seed if channel_seed is None
+                    else channel_seed,
                     fec_group=config.fec_group,
                     interleave_depth=config.interleave_depth,
+                    blackout=blackout,
                 ),
             )
         sources = _source_frames(spec.scene_variant, config)

@@ -1,18 +1,26 @@
-"""Streaming-service scale study: ``python -m repro serve``.
+"""Streaming-service studies: ``repro serve`` and ``repro faultstudy``.
 
-Scales the session multiplexer across fleet sizes and reports, per N:
-sessions/sec, latency percentiles (p50/p95/p99, from the repo's
+The *scale* study (``repro serve``) sweeps fleet sizes and reports, per
+N: sessions/sec, latency percentiles (p50/p95/p99, from the repo's
 fixed-bucket histogram machinery), delivered PSNR, the
 served/degraded/shed outcome mix, and cross-session bitrate burstiness
 (the Table 8 aggregation lifted from one stream to a fleet).
 
+The *fault* study (``repro faultstudy``) holds the fleet fixed and
+sweeps fault intensity against the recovery-policy ladder
+(none / retry / retry+breaker / full), reporting the extended outcome
+taxonomy with its conservation law, availability, virtual MTTR, retry
+amplification, and delivered PSNR -- the availability-vs-provisioning
+question asked the way the paper asks PSNR-vs-loss.
+
 Reproducibility contract, identical to the resilience study's: every
-cell is a pure function of ``(n_sessions, fleet_seed, config)`` --
-latencies are *virtual* milliseconds from the deterministic scheduler,
-never wall-clock -- so two runs, a run and its ``--resume``, and runs at
-different ``--jobs``/backends are byte-identical.  Cells are published
-atomically with content digests; wall-clock throughput (which *does*
-vary run to run) goes to a separate, never-diffed telemetry sidecar.
+cell is a pure function of its grid coordinates and the config --
+latencies are *virtual* milliseconds from the deterministic scheduler
+and recovery timeline, never wall-clock -- so two runs, a run and its
+``--resume``, and runs at different ``--jobs``/backends are
+byte-identical.  Cells are published atomically with content digests;
+wall-clock throughput (which *does* vary run to run) goes to a
+separate, never-diffed telemetry sidecar.
 """
 
 from __future__ import annotations
@@ -27,7 +35,21 @@ from repro.ioutil import atomic_write, sha256_hex
 from repro.obs.metrics import Histogram
 from repro.service.backends import execute_schedule
 from repro.service.config import DEFAULT_CONFIG, ServiceConfig
-from repro.service.scheduler import SHED_REASONS, schedule_fleet
+from repro.service.faults import FaultConfig, FaultPlan
+from repro.service.recovery import (
+    POLICIES,
+    POLICY_LADDER,
+    QUARANTINE_REASONS,
+    simulate_recovery,
+)
+from repro.service.scheduler import (
+    OUTCOME_DEGRADED,
+    OUTCOME_QUARANTINED,
+    OUTCOME_SERVED,
+    OUTCOME_SERVED_RETRY,
+    SHED_REASONS,
+    schedule_fleet,
+)
 from repro.service.session import build_fleet
 
 __all__ = [
@@ -40,6 +62,16 @@ __all__ = [
     "run_sweep",
     "summarize",
     "render_summary",
+    "FAULT_DEFAULT_N",
+    "FAULT_SMOKE_N",
+    "DEFAULT_INTENSITIES",
+    "SMOKE_INTENSITIES",
+    "FaultCell",
+    "fault_grid_cells",
+    "run_fault_cell",
+    "run_fault_sweep",
+    "summarize_faults",
+    "render_fault_summary",
 ]
 
 #: Fleet sizes of the default scale study (the slow sweep adds 10k).
@@ -343,6 +375,372 @@ def summarize(run_dir: str | Path, ns, seeds) -> dict:
         "rows": rows,
         "missing_cells": sorted(missing),
     }
+
+
+# ---------------------------------------------------------------------------
+# Fault study: availability vs fault intensity across the policy ladder
+# ---------------------------------------------------------------------------
+
+#: Fleet size the fault study holds fixed (big enough that per-variant
+#: breakers see real failure runs, small enough to stay interactive).
+FAULT_DEFAULT_N = 64
+FAULT_SMOKE_N = 24
+#: Fault intensities swept by default: clean baseline through the regime
+#: where breakers trip and brownouts engage.
+DEFAULT_INTENSITIES = (0.0, 0.2, 0.4, 0.6)
+SMOKE_INTENSITIES = (0.0, 0.6)
+
+#: Cells up to this many sessions embed the full per-session table.
+_FAULT_SESSION_TABLE_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class FaultCell:
+    """One (fleet size, seed, fault intensity, recovery policy) point."""
+
+    n_sessions: int
+    seed: int
+    intensity: float
+    policy: str
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown recovery policy {self.policy!r}")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(f"intensity {self.intensity} outside [0, 1]")
+
+    @property
+    def cell_id(self) -> str:
+        # Intensity as integer percent keeps the id filesystem-safe.
+        return (
+            f"n{self.n_sessions}+s{self.seed}"
+            f"+i{round(self.intensity * 100)}+{self.policy}"
+        )
+
+
+def fault_grid_cells(ns, seeds, intensities, policies) -> list[FaultCell]:
+    return [
+        FaultCell(n, seed, intensity, policy)
+        for n in ns
+        for seed in seeds
+        for intensity in intensities
+        for policy in policies
+    ]
+
+
+def run_fault_cell(
+    cell: FaultCell,
+    config: ServiceConfig = DEFAULT_CONFIG,
+    backend: str = "serial",
+    jobs: int = 1,
+) -> tuple[dict, dict]:
+    """Execute one fault-study point.
+
+    Returns ``(record, wall)`` like :func:`run_cell`; ``wall`` also
+    carries the recovery plane's own wall share (``recovery_wall_s``),
+    which the perf suite holds under 2% of the cell.
+    """
+    wall_start = time.perf_counter()
+    specs = build_fleet(cell.seed, cell.n_sessions, config)
+    schedule = schedule_fleet(specs, config)
+    plan = FaultPlan(cell.seed, FaultConfig(intensity=cell.intensity))
+    policy = POLICIES[cell.policy]
+    recovery_start = time.perf_counter()
+    recovery = simulate_recovery(specs, schedule, plan, policy, config)
+    recovery_wall_s = time.perf_counter() - recovery_start
+    if not recovery.conserves(schedule):
+        raise AssertionError(
+            f"outcome conservation violated in {cell.cell_id}: "
+            f"{recovery.outcomes} vs {schedule.offered} offered"
+        )
+    results = execute_schedule(specs, schedule, config, backend, jobs,
+                               recovery=recovery)
+    wall_s = time.perf_counter() - wall_start
+
+    latency = Histogram("service.fault_latency_vms", LATENCY_BUCKETS_VMS)
+    want_sessions = cell.n_sessions <= _FAULT_SESSION_TABLE_LIMIT
+    lines = []
+    sessions = []
+    psnr_values = []
+    decode_outcomes = {"decoded": 0, "concealed": 0, "rejected": 0}
+    for sched_plan in schedule.plans:
+        if not sched_plan.admitted:
+            lines.append(
+                f"{sched_plan.session_id}:shed:{sched_plan.shed_reason}"
+            )
+            if want_sessions:
+                sessions.append(
+                    {
+                        "session_id": sched_plan.session_id,
+                        "outcome": "shed",
+                        "shed_reason": sched_plan.shed_reason,
+                    }
+                )
+            continue
+        chain = recovery.chain_for(sched_plan.session_id)
+        faults_seen = [
+            record.fault for record in chain.attempts if record.fault
+        ]
+        if not chain.delivered:
+            lines.append(
+                f"{chain.session_id}:quarantined:{chain.quarantine_reason}:"
+                f"a{chain.n_attempts}"
+            )
+            if want_sessions:
+                sessions.append(
+                    {
+                        "session_id": chain.session_id,
+                        "outcome": OUTCOME_QUARANTINED,
+                        "quarantine_reason": chain.quarantine_reason,
+                        "attempts": chain.n_attempts,
+                        "faults": faults_seen,
+                    }
+                )
+            continue
+        result = results[chain.session_id]
+        total_vms = round(
+            chain.finish_vms - sched_plan.arrival_vms
+            + result.transport_vms + result.decode_vms,
+            4,
+        )
+        latency.observe(total_vms)
+        psnr_values.append(result.psnr_db)
+        decode_outcomes[result.decode_outcome] += 1
+        lines.append(
+            f"{chain.session_id}:{chain.outcome}:a{chain.n_attempts}:"
+            f"{result.stream_digest}:{result.frames_digest}:"
+            f"{total_vms:.4f}:{result.psnr_db:.4f}"
+        )
+        if want_sessions:
+            sessions.append(
+                {
+                    "session_id": chain.session_id,
+                    "outcome": chain.outcome,
+                    "attempts": chain.n_attempts,
+                    "faults": faults_seen,
+                    "browned_out": chain.browned_out,
+                    "latency_vms": total_vms,
+                    "decode_outcome": result.decode_outcome,
+                    "psnr_db": result.psnr_db,
+                    "stream_digest": result.stream_digest,
+                    "frames_digest": result.frames_digest,
+                }
+            )
+    record = {
+        "cell_id": cell.cell_id,
+        "n_sessions": cell.n_sessions,
+        "seed": cell.seed,
+        "intensity": cell.intensity,
+        "policy": cell.policy,
+        "outcomes": {
+            "offered": schedule.offered,
+            "served": recovery.outcomes[OUTCOME_SERVED],
+            "served_retry": recovery.outcomes[OUTCOME_SERVED_RETRY],
+            "degraded": recovery.outcomes[OUTCOME_DEGRADED],
+            "shed": schedule.shed,
+            "quarantined": recovery.outcomes[OUTCOME_QUARANTINED],
+            "shed_reasons": dict(schedule.shed_reasons),
+            "quarantine_reasons": dict(recovery.quarantine_reasons),
+        },
+        "recovery": {
+            "availability": recovery.availability(schedule.offered),
+            "mttr_vms": recovery.mttr_vms,
+            "retry_amplification": recovery.retry_amplification,
+            "total_attempts": recovery.total_attempts,
+            "retries": recovery.retries,
+            "breaker_fastfails": recovery.fastfails,
+            "brownouts": recovery.brownouts,
+            "breaker_transitions": {
+                str(variant): [[t, frm, to] for t, frm, to in transitions]
+                for variant, transitions in recovery.breaker_transitions.items()
+            },
+        },
+        "faults": dict(recovery.fault_counts),
+        "latency_vms": {
+            "p50": round(latency.percentile(50), 4),
+            "p95": round(latency.percentile(95), 4),
+            "p99": round(latency.percentile(99), 4),
+            "mean": round(latency.mean, 4),
+            "observations": latency.total,
+        },
+        "quality": {
+            "mean_psnr_db": round(
+                sum(psnr_values) / len(psnr_values), 4
+            ) if psnr_values else 0.0,
+            "decode_outcomes": decode_outcomes,
+        },
+        "fleet_digest": sha256_hex("\n".join(lines).encode("utf-8")),
+    }
+    if want_sessions:
+        record["sessions"] = sessions
+    wall = {
+        "cell_id": cell.cell_id,
+        "backend": backend,
+        "jobs": jobs,
+        "wall_s": round(wall_s, 4),
+        "recovery_wall_s": round(recovery_wall_s, 6),
+        "sessions_per_wall_sec": round(recovery.delivered / wall_s, 2)
+        if wall_s else 0.0,
+    }
+    return record, wall
+
+
+def run_fault_sweep(
+    run_dir: str | Path,
+    ns=(FAULT_DEFAULT_N,),
+    seeds=DEFAULT_SEEDS,
+    intensities=DEFAULT_INTENSITIES,
+    policies=POLICY_LADDER,
+    config: ServiceConfig = DEFAULT_CONFIG,
+    backend: str = "serial",
+    jobs: int = 1,
+    resume: bool = False,
+) -> dict:
+    """Run (or finish) a fault-intensity sweep; returns the summary."""
+    run_dir = Path(run_dir)
+    cells = fault_grid_cells(ns, seeds, intensities, policies)
+    skipped = 0
+    wall_records = []
+    for cell in cells:
+        path = _cell_path(run_dir, cell)
+        if resume and _load_valid_cell(path) is not None:
+            skipped += 1
+            continue
+        attempt = _next_attempt(run_dir, cell)
+        # Chaos kill/spin drills strike here, exactly like study workers.
+        strike_from_env(
+            POINT_WORKER_CELL, f"faultstudy:{cell.cell_id}/a{attempt}"
+        )
+        record, wall = run_fault_cell(cell, config, backend, jobs)
+        record["digest"] = sha256_hex(_canonical(record).encode("utf-8"))
+        atomic_write(path, _canonical(record))
+        wall_records.append(wall)
+    if wall_records:
+        atomic_write(
+            run_dir / "telemetry" / "wall.json",
+            _canonical(
+                {"schema": "repro-service-wall", "version": 1,
+                 "cells": wall_records}
+            ),
+        )
+    summary = summarize_faults(run_dir, ns, seeds, intensities, policies)
+    atomic_write(run_dir / "summary.json", _canonical(summary))
+    atomic_write(run_dir / "table.txt", render_fault_summary(summary) + "\n")
+    summary["skipped_cells"] = skipped
+    return summary
+
+
+def summarize_faults(
+    run_dir: str | Path, ns, seeds, intensities, policies
+) -> dict:
+    """Aggregate published cells into the availability-vs-intensity
+    curve, one row per (intensity, policy) rung."""
+    run_dir = Path(run_dir)
+    rows = []
+    missing: list[str] = []
+    for intensity in intensities:
+        for policy in policies:
+            records = []
+            for n in ns:
+                for seed in seeds:
+                    cell = FaultCell(n, seed, intensity, policy)
+                    record = _load_valid_cell(_cell_path(run_dir, cell))
+                    if record is None:
+                        missing.append(cell.cell_id)
+                        continue
+                    records.append(record)
+            if not records:
+                continue
+            k = len(records)
+            outcome_keys = (
+                "offered", "served", "served_retry", "degraded", "shed",
+                "quarantined",
+            )
+            rows.append(
+                {
+                    "intensity": intensity,
+                    "policy": policy,
+                    "cells": k,
+                    "outcomes": {
+                        key: sum(r["outcomes"][key] for r in records)
+                        for key in outcome_keys
+                    },
+                    "quarantine_reasons": {
+                        reason: sum(
+                            r["outcomes"]["quarantine_reasons"][reason]
+                            for r in records
+                        )
+                        for reason in QUARANTINE_REASONS
+                    },
+                    "availability": round(
+                        sum(r["recovery"]["availability"] for r in records)
+                        / k, 6
+                    ),
+                    "mttr_vms": round(
+                        sum(r["recovery"]["mttr_vms"] for r in records) / k, 4
+                    ),
+                    "retry_amplification": round(
+                        sum(
+                            r["recovery"]["retry_amplification"]
+                            for r in records
+                        ) / k, 4
+                    ),
+                    "breaker_fastfails": sum(
+                        r["recovery"]["breaker_fastfails"] for r in records
+                    ),
+                    "brownouts": sum(
+                        r["recovery"]["brownouts"] for r in records
+                    ),
+                    "mean_psnr_db": round(
+                        sum(r["quality"]["mean_psnr_db"] for r in records)
+                        / k, 4
+                    ),
+                    "p99_latency_vms": round(
+                        sum(r["latency_vms"]["p99"] for r in records) / k, 4
+                    ),
+                    "fleet_digests": [r["fleet_digest"] for r in records],
+                }
+            )
+    return {
+        "schema": "repro-faultstudy",
+        "version": 1,
+        "grid": {
+            "ns": list(ns),
+            "seeds": list(seeds),
+            "intensities": list(intensities),
+            "policies": list(policies),
+        },
+        "rows": rows,
+        "missing_cells": sorted(missing),
+    }
+
+
+def render_fault_summary(summary: dict) -> str:
+    """Plain-text policy-ladder table (the study artifact)."""
+    header = (
+        f"{'fault':>6} {'policy':>14} {'avail':>7} {'srv':>5} {'rtry':>5} "
+        f"{'degr':>5} {'shed':>5} {'quar':>5}  {'MTTR':>8} {'amp':>6} "
+        f"{'ff':>4} {'brn':>4}  {'PSNR dB':>8} {'p99':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in summary["rows"]:
+        outcomes = row["outcomes"]
+        lines.append(
+            f"{row['intensity']:>6.2f} {row['policy']:>14} "
+            f"{row['availability']:>7.4f} {outcomes['served']:>5} "
+            f"{outcomes['served_retry']:>5} {outcomes['degraded']:>5} "
+            f"{outcomes['shed']:>5} {outcomes['quarantined']:>5}  "
+            f"{row['mttr_vms']:>8.2f} {row['retry_amplification']:>6.3f} "
+            f"{row['breaker_fastfails']:>4} {row['brownouts']:>4}  "
+            f"{row['mean_psnr_db']:>8.2f} {row['p99_latency_vms']:>8.2f}"
+        )
+    lines.append("")
+    lines.append(
+        "avail = delivered/offered; MTTR in virtual ms (first failure ->"
+        " recovery); amp = attempts per admitted session;"
+        " ff/brn = breaker fast-fails / brownout attempts"
+    )
+    return "\n".join(lines)
 
 
 def render_summary(summary: dict) -> str:

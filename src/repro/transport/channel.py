@@ -80,13 +80,35 @@ class GilbertElliottChannel:
     The RNG is keyed by ``(seed, profile.name)`` so distinct loss rates
     at the same seed draw independent streams, and the same pair always
     reproduces the same loss mask.
+
+    ``blackout`` names half-open windows ``(start, end)`` of transmission
+    indices during which the channel delivers nothing (an outage overlay
+    on top of the Markov loss process: think a handover gap or a dead
+    uplink, not congestion).  The overlay is applied *after* the Markov
+    draws, so the RNG consumption per packet is identical with or
+    without windows -- a zero-length or empty blackout reproduces the
+    plain channel's mask bit for bit, and packets outside every window
+    see exactly the loss pattern they would have seen anyway.
     """
 
-    def __init__(self, seed: int, profile: LossProfile) -> None:
+    def __init__(
+        self,
+        seed: int,
+        profile: LossProfile,
+        blackout: tuple[tuple[int, int], ...] = (),
+    ) -> None:
+        for start, end in blackout:
+            if start < 0 or end < start:
+                raise ValueError(f"bad blackout window ({start}, {end})")
         self.seed = seed
         self.profile = profile
+        self.blackout = tuple(blackout)
         self._rng = random.Random(f"{seed}:{profile.name}")
         self._bad = False
+        self._sent = 0  # transmission index across loss_mask calls
+
+    def _blacked_out(self, index: int) -> bool:
+        return any(start <= index < end for start, end in self.blackout)
 
     def loss_mask(self, n_packets: int) -> list[bool]:
         """``True`` entries mark packets the channel drops."""
@@ -101,7 +123,9 @@ class GilbertElliottChannel:
                 if rng.random() < profile.p_good_to_bad:
                     self._bad = True
             loss_p = profile.loss_in_bad if self._bad else profile.loss_in_good
-            mask.append(rng.random() < loss_p)
+            lost = rng.random() < loss_p
+            mask.append(lost or self._blacked_out(self._sent))
+            self._sent += 1
         return mask
 
     def transmit(self, packets: list) -> tuple[list, list[int]]:

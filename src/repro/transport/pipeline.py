@@ -33,6 +33,10 @@ class TransportConfig:
     fec_group: int = 0
     #: 1 disables interleaving.
     interleave_depth: int = 1
+    #: Channel outage windows ``(start, end)`` over transmission indices
+    #: (half-open); empty means no blackout.  See
+    #: :class:`~repro.transport.channel.GilbertElliottChannel`.
+    blackout: tuple[tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.max_payload <= 0:
@@ -41,6 +45,9 @@ class TransportConfig:
             raise ValueError("fec_group must be >= 0")
         if self.interleave_depth <= 0:
             raise ValueError("interleave_depth must be positive")
+        for start, end in self.blackout:
+            if start < 0 or end < start:
+                raise ValueError(f"bad blackout window ({start}, {end})")
 
 
 @dataclass(frozen=True)
@@ -79,7 +86,9 @@ def transmit_stream(data: bytes, config: TransportConfig) -> TransmissionResult:
             wire = interleave(sendable, config.interleave_depth)
         with obs.span("transport.channel"):
             channel = GilbertElliottChannel(
-                config.seed, profile_for_loss(config.loss_rate)
+                config.seed,
+                profile_for_loss(config.loss_rate),
+                blackout=config.blackout,
             )
             delivered, dropped = channel.transmit(wire)
         with obs.span("transport.fec_recover"):

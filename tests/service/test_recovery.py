@@ -1,0 +1,393 @@
+"""Recovery control-plane tests: backoff laws, breaker state machine,
+and the simulated timeline's invariants.
+
+Hypothesis pins the two properties the ISSUE names -- the backoff
+schedule (deterministic per seed, monotone up to the cap, jitter
+bounded) and the circuit breaker's state machine (closed -> open ->
+half-open, never stuck open) -- and a property sweep holds the extended
+conservation law across random fleets, intensities, and policies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.service.config import DEFAULT_CONFIG, MODE_DEGRADED, MODE_FULL
+from repro.service.faults import FaultConfig, FaultPlan
+from repro.service.recovery import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    POLICIES,
+    POLICY_LADDER,
+    QUARANTINE_REASONS,
+    CircuitBreaker,
+    RecoveryPolicy,
+    backoff_base_vms,
+    backoff_delay_vms,
+    simulate_recovery,
+)
+from repro.service.scheduler import (
+    OUTCOME_DEGRADED,
+    OUTCOME_QUARANTINED,
+    OUTCOME_SERVED,
+    OUTCOME_SERVED_RETRY,
+    schedule_fleet,
+)
+from repro.service.session import build_fleet
+
+RETRY = POLICIES["retry"]
+FULL = POLICIES["full"]
+
+
+# ---------------------------------------------------------------------------
+# Backoff schedule properties
+# ---------------------------------------------------------------------------
+
+policies_st = st.builds(
+    RecoveryPolicy,
+    name=st.just("prop"),
+    timeout_factor=st.just(3.0),
+    max_retries=st.integers(min_value=1, max_value=8),
+    backoff_base_vms=st.sampled_from([1.0, 8.0, 20.0]),
+    backoff_cap_vms=st.sampled_from([64.0, 200.0, 1000.0]),
+    backoff_jitter=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+)
+
+
+class TestBackoffProperties:
+    @given(
+        policy=policies_st,
+        fleet_seed=st.integers(min_value=0, max_value=2**31),
+        session_id=st.integers(min_value=0, max_value=10_000),
+        retry_index=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_per_seed(
+        self, policy, fleet_seed, session_id, retry_index
+    ):
+        a = backoff_delay_vms(policy, fleet_seed, session_id, retry_index)
+        b = backoff_delay_vms(policy, fleet_seed, session_id, retry_index)
+        assert a == b
+
+    @given(policy=policies_st)
+    @settings(max_examples=50, deadline=None)
+    def test_base_schedule_monotone_up_to_cap(self, policy):
+        bases = [backoff_base_vms(policy, k) for k in range(1, 12)]
+        assert bases == sorted(bases)
+        assert all(b <= policy.backoff_cap_vms for b in bases)
+        assert bases[0] == policy.backoff_base_vms
+        # Doubling holds exactly until the cap clips it.
+        for previous, current in zip(bases, bases[1:]):
+            assert current == min(policy.backoff_cap_vms, previous * 2)
+
+    @given(
+        policy=policies_st,
+        fleet_seed=st.integers(min_value=0, max_value=2**31),
+        session_id=st.integers(min_value=0, max_value=10_000),
+        retry_index=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_jitter_bounded(self, policy, fleet_seed, session_id, retry_index):
+        base = backoff_base_vms(policy, retry_index)
+        delay = backoff_delay_vms(policy, fleet_seed, session_id, retry_index)
+        assert base <= delay <= base * (1.0 + policy.backoff_jitter) + 1e-6
+
+    def test_retry_index_is_one_based(self):
+        with pytest.raises(ValueError):
+            backoff_base_vms(RETRY, 0)
+
+    def test_distinct_sessions_jitter_independently(self):
+        delays = {
+            backoff_delay_vms(RETRY, 4, session_id, 1)
+            for session_id in range(50)
+        }
+        assert len(delays) > 10
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker state machine
+# ---------------------------------------------------------------------------
+
+class BreakerMachine(RuleBasedStateMachine):
+    """Drive a breaker with monotone virtual time and arbitrary
+    success/failure sequences; the oracle is a shadow model of the spec:
+    closed counts consecutive failures, open always yields to half-open
+    after the cooldown (no stuck-open), half-open resolves on the next
+    recorded outcome."""
+
+    THRESHOLD = 3
+    COOLDOWN = 50.0
+
+    def __init__(self):
+        super().__init__()
+        self.breaker = CircuitBreaker(self.THRESHOLD, self.COOLDOWN, key="t")
+        self.now = 0.0
+
+    def _advance(self, dt: float) -> None:
+        self.now = round(self.now + dt, 6)
+
+    @rule(dt=st.floats(min_value=0.0, max_value=200.0, allow_nan=False))
+    def tick(self, dt):
+        self._advance(dt)
+        self.breaker.state_at(self.now)
+
+    @rule(dt=st.floats(min_value=0.0, max_value=30.0, allow_nan=False))
+    def fail(self, dt):
+        self._advance(dt)
+        before = self.breaker.state_at(self.now)
+        self.breaker.record_failure(self.now)
+        after = self.breaker.state
+        if before == BREAKER_HALF_OPEN:
+            assert after == BREAKER_OPEN  # failed probe re-opens
+        elif before == BREAKER_CLOSED:
+            assert after in (BREAKER_CLOSED, BREAKER_OPEN)
+
+    @rule(dt=st.floats(min_value=0.0, max_value=30.0, allow_nan=False))
+    def succeed(self, dt):
+        self._advance(dt)
+        self.breaker.record_success(self.now)
+        assert self.breaker.state == BREAKER_CLOSED
+        assert self.breaker.consecutive_failures == 0
+
+    @invariant()
+    def never_stuck_open(self):
+        """An open breaker past its cooldown must report half-open."""
+        state = self.breaker.state_at(self.now)
+        if state == BREAKER_OPEN:
+            assert self.now < self.breaker.opened_at + self.COOLDOWN
+
+    @invariant()
+    def transitions_are_time_ordered_and_legal(self):
+        legal = {
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+            (BREAKER_OPEN, BREAKER_CLOSED),  # success during cooldown
+        }
+        times = [t for t, _, _ in self.breaker.transitions]
+        assert times == sorted(times)
+        for _, frm, to in self.breaker.transitions:
+            assert (frm, to) in legal, (frm, to)
+
+
+TestBreakerStateMachine = BreakerMachine.TestCase
+TestBreakerStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+
+
+class TestBreakerDirect:
+    def test_closed_to_open_to_half_open_to_closed(self):
+        breaker = CircuitBreaker(2, 10.0)
+        breaker.record_failure(1.0)
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure(2.0)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.state_at(11.0) == BREAKER_OPEN  # cooldown not elapsed
+        assert breaker.state_at(12.0) == BREAKER_HALF_OPEN
+        breaker.record_success(13.0)
+        assert breaker.state == BREAKER_CLOSED
+        assert [(f, t) for _, f, t in breaker.transitions] == [
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+        ]
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(1, 10.0)
+        breaker.record_failure(0.0)
+        assert breaker.state_at(10.0) == BREAKER_HALF_OPEN
+        breaker.record_failure(11.0)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.state_at(20.9) == BREAKER_OPEN
+        assert breaker.state_at(21.0) == BREAKER_HALF_OPEN
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0, 10.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Policy ladder validation
+# ---------------------------------------------------------------------------
+
+class TestPolicyLadder:
+    def test_ladder_names_match_registry(self):
+        assert set(POLICY_LADDER) == set(POLICIES)
+        assert all(POLICIES[name].name == name for name in POLICY_LADDER)
+
+    def test_ladder_is_monotonically_more_capable(self):
+        none, retry, breaker, full = (POLICIES[n] for n in POLICY_LADDER)
+        assert none.max_retries == 0 and none.timeout_factor is None
+        assert retry.max_retries > 0 and retry.timeout_factor is not None
+        assert breaker.breaker_threshold is not None
+        assert full.quarantine_threshold is not None and full.brownout
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_factor": 1.0},
+            {"max_retries": -1},
+            {"backoff_base_vms": 0.0},
+            {"backoff_base_vms": 10.0, "backoff_cap_vms": 5.0},
+            {"backoff_jitter": 1.5},
+            {"quarantine_threshold": 0},
+            {"breaker_threshold": 0},
+            {"breaker_cooldown_vms": 0.0},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RecoveryPolicy("bad", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# simulate_recovery invariants
+# ---------------------------------------------------------------------------
+
+def simulate(n=32, seed=4, intensity=0.4, policy="full", config=DEFAULT_CONFIG):
+    specs = build_fleet(seed, n, config)
+    schedule = schedule_fleet(specs, config)
+    plan = FaultPlan(seed, FaultConfig(intensity=intensity))
+    report = simulate_recovery(specs, schedule, plan, POLICIES[policy], config)
+    return specs, schedule, report
+
+
+class TestSimulateRecovery:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        n=st.integers(min_value=0, max_value=48),
+        intensity=st.sampled_from([0.0, 0.2, 0.6, 1.0]),
+        policy=st.sampled_from(POLICY_LADDER),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_law(self, seed, n, intensity, policy):
+        _, schedule, report = simulate(n, seed, intensity, policy)
+        assert report.conserves(schedule)
+        delivered = sum(
+            report.outcomes[o]
+            for o in (OUTCOME_SERVED, OUTCOME_SERVED_RETRY, OUTCOME_DEGRADED)
+        )
+        assert delivered == len(report.delivered_chains())
+        assert 0.0 <= report.availability(schedule.offered) <= 1.0
+
+    def test_deterministic(self):
+        _, _, a = simulate()
+        _, _, b = simulate()
+        assert a.outcomes == b.outcomes
+        assert a.fault_counts == b.fault_counts
+        assert [c.channel_seed for c in a.chains] == [
+            c.channel_seed for c in b.chains
+        ]
+        assert a.breaker_transitions == b.breaker_transitions
+
+    def test_disabled_plan_is_fast_path_identity(self):
+        """No faults: every admitted session succeeds on attempt 1 with
+        its spec channel seed -- the repro-serve identity the <2%
+        overhead guard rests on."""
+        specs, schedule, report = simulate(intensity=0.0)
+        by_id = {spec.session_id: spec for spec in specs}
+        assert report.outcomes[OUTCOME_SERVED_RETRY] == 0
+        assert report.outcomes[OUTCOME_QUARANTINED] == 0
+        assert report.total_attempts == report.admitted
+        for chain in report.chains:
+            assert chain.n_attempts == 1
+            assert chain.channel_seed == by_id[chain.session_id].channel_seed
+            assert chain.blackout == ()
+
+    def test_policy_none_never_retries(self):
+        _, schedule, report = simulate(intensity=0.6, policy="none")
+        assert report.retries == 0
+        assert report.outcomes[OUTCOME_SERVED_RETRY] == 0
+        assert all(c.n_attempts == 1 for c in report.chains)
+        for chain in report.chains:
+            if not chain.delivered:
+                assert chain.quarantine_reason == "exhausted"
+
+    def test_retry_recovers_sessions_none_loses(self):
+        _, schedule, none = simulate(intensity=0.6, policy="none")
+        _, _, retry = simulate(intensity=0.6, policy="retry")
+        assert retry.availability(schedule.offered) > none.availability(
+            schedule.offered
+        )
+        assert retry.outcomes[OUTCOME_SERVED_RETRY] > 0
+        assert retry.mttr_vms > 0
+        assert retry.retry_amplification > 1.0
+
+    def test_retry_chains_use_fresh_channel_seeds(self):
+        specs, _, report = simulate(intensity=0.6, policy="retry")
+        by_id = {spec.session_id: spec for spec in specs}
+        recovered = [
+            c for c in report.chains if c.outcome == OUTCOME_SERVED_RETRY
+        ]
+        assert recovered
+        for chain in recovered:
+            assert chain.channel_seed != by_id[chain.session_id].channel_seed
+
+    def test_timeout_cuts_stalls_short(self):
+        _, _, report = simulate(n=64, intensity=1.0, policy="retry")
+        labels = {
+            record.fault
+            for chain in report.chains
+            for record in chain.attempts
+        }
+        assert "timeout" in labels   # stalls detected by the watchdog
+        assert "stall" not in labels  # never left to run their course
+        timeout = POLICIES["retry"].timeout_vms(DEFAULT_CONFIG, MODE_FULL)
+        for chain in report.chains:
+            for record in chain.attempts:
+                if record.fault == "timeout" and record.mode == MODE_FULL:
+                    assert record.end_vms - record.start_vms == pytest.approx(
+                        timeout
+                    )
+
+    def test_breaker_and_brownout_engage_under_pressure(self):
+        _, _, report = simulate(n=64, intensity=0.8, policy="full")
+        assert report.breaker_transitions
+        assert report.fastfails > 0 or report.brownouts > 0
+        states = [
+            to for trs in report.breaker_transitions.values()
+            for _, _, to in trs
+        ]
+        assert BREAKER_OPEN in states and BREAKER_HALF_OPEN in states
+        browned = [c for c in report.chains if c.browned_out]
+        for chain in browned:
+            assert chain.final_mode == MODE_DEGRADED
+
+    def test_quarantine_reasons_accounted(self):
+        _, _, report = simulate(n=64, intensity=0.8, policy="full")
+        assert sum(report.quarantine_reasons.values()) == report.outcomes[
+            OUTCOME_QUARANTINED
+        ]
+        assert set(report.quarantine_reasons) == set(QUARANTINE_REASONS)
+        for chain in report.chains:
+            if chain.outcome == OUTCOME_QUARANTINED:
+                assert chain.quarantine_reason in QUARANTINE_REASONS
+                assert chain.final_mode is None
+                assert chain.channel_seed is None
+
+    def test_attempt_timelines_are_ordered(self):
+        _, _, report = simulate(n=48, intensity=0.6, policy="full")
+        for chain in report.chains:
+            assert [r.attempt for r in chain.attempts] == list(
+                range(1, chain.n_attempts + 1)
+            )
+            for a, b in zip(chain.attempts, chain.attempts[1:]):
+                assert a.end_vms <= b.start_vms  # backoff gap, never overlap
+            for record in chain.attempts:
+                assert record.start_vms <= record.end_vms
+
+    def test_short_blackout_flows_to_delivery(self):
+        _, _, report = simulate(n=128, intensity=1.0, policy="retry")
+        windowed = [c for c in report.chains if c.delivered and c.blackout]
+        assert windowed
+        for chain in windowed:
+            (start, end), = chain.blackout
+            assert 0 <= start < end

@@ -1,0 +1,113 @@
+"""Blackout-overlay regression suite for the Gilbert-Elliott channel.
+
+The fault plane's ``blackout`` fault rides on the channel's outage
+overlay, so the overlay must be *purely additive*: with no windows (or
+only zero-length ones) the channel's loss mask -- and everything
+downstream of it -- is bit-identical to the pre-overlay channel, and
+with windows, only the windowed transmission indices change.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport import TransportConfig, transmit_stream
+from repro.transport.channel import GilbertElliottChannel, profile_for_loss
+
+STREAM = bytes(range(256)) * 16
+
+
+def masks(seed, rate, n, blackout=(), chunks=1):
+    channel = GilbertElliottChannel(seed, profile_for_loss(rate), blackout)
+    mask = []
+    per = n // chunks
+    for i in range(chunks):
+        count = per if i < chunks - 1 else n - per * (chunks - 1)
+        mask.extend(channel.loss_mask(count))
+    return mask
+
+
+class TestBlackoutBitIdentity:
+    """Zero-length / empty blackout reproduces the plain channel."""
+
+    @pytest.mark.parametrize("rate", [0.0, 0.03, 0.10])
+    @pytest.mark.parametrize("seed", [1, 4, 77])
+    def test_empty_blackout_is_bit_identical(self, seed, rate):
+        assert masks(seed, rate, 200) == masks(seed, rate, 200, blackout=())
+
+    def test_zero_length_windows_are_bit_identical(self):
+        reference = masks(4, 0.05, 200)
+        degenerate = ((0, 0), (17, 17), (199, 199))
+        assert masks(4, 0.05, 200, blackout=degenerate) == reference
+
+    def test_transport_pipeline_digest_unchanged(self):
+        """End to end: the delivered stream with an empty/zero-length
+        blackout equals the pre-overlay pipeline's output byte for byte."""
+        base = transmit_stream(STREAM, TransportConfig(seed=4, loss_rate=0.05))
+        empty = transmit_stream(
+            STREAM, TransportConfig(seed=4, loss_rate=0.05, blackout=())
+        )
+        zero = transmit_stream(
+            STREAM,
+            TransportConfig(seed=4, loss_rate=0.05, blackout=((5, 5),)),
+        )
+        assert empty.stream == base.stream
+        assert zero.stream == base.stream
+        assert empty.lost_seqs == base.lost_seqs
+        assert zero.lost_seqs == base.lost_seqs
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate=st.sampled_from([0.0, 0.01, 0.05, 0.15]),
+        starts=st.lists(st.integers(min_value=0, max_value=300), max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_zero_length_property(self, seed, rate, starts):
+        windows = tuple((s, s) for s in starts)
+        assert masks(seed, rate, 150, windows) == masks(seed, rate, 150)
+
+
+class TestBlackoutSemantics:
+    def test_windowed_packets_always_dropped(self):
+        mask = masks(4, 0.0, 100, blackout=((10, 20), (50, 55)))
+        for index, lost in enumerate(mask):
+            expected = 10 <= index < 20 or 50 <= index < 55
+            assert lost == expected
+
+    def test_outside_windows_mask_is_untouched(self):
+        """Packets outside every window see exactly the Markov losses
+        they would have seen with no overlay at all."""
+        plain = masks(4, 0.10, 200)
+        overlaid = masks(4, 0.10, 200, blackout=((30, 60),))
+        for index, (a, b) in enumerate(zip(plain, overlaid)):
+            if 30 <= index < 60:
+                assert b
+            else:
+                assert a == b
+
+    def test_window_indices_span_loss_mask_calls(self):
+        """Transmission indices count across ``loss_mask`` calls -- an
+        interleaved transport sends in several bursts and the window must
+        track the global send order, not per-call offsets."""
+        whole = masks(4, 0.05, 120, blackout=((40, 80),))
+        chunked = masks(4, 0.05, 120, blackout=((40, 80),), chunks=5)
+        assert chunked == whole
+
+    @pytest.mark.parametrize("window", [(-1, 3), (5, 4)])
+    def test_bad_windows_rejected(self, window):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(4, profile_for_loss(0.05), (window,))
+        with pytest.raises(ValueError):
+            TransportConfig(blackout=(window,))
+
+    def test_blackout_degrades_delivery(self):
+        """A real outage window loses data the plain channel delivered."""
+        base = transmit_stream(STREAM, TransportConfig(seed=4, loss_rate=0.0))
+        dark = transmit_stream(
+            STREAM,
+            TransportConfig(seed=4, loss_rate=0.0, blackout=((0, 8),)),
+        )
+        assert dark.n_dropped >= 8
+        assert dark.n_dropped > base.n_dropped
