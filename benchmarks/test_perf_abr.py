@@ -1,0 +1,107 @@
+"""Controller-overhead guard for the ABR control plane.
+
+Times the CI smoke cell of ``repro abrstudy`` and measures the share of
+wall time the ABR controller itself consumes (rung decisions, buffer
+model, bandwidth-trace integration) against the full cell -- encode,
+schedule, recovery, data-plane delivery.  The acceptance guard holds the
+controller under 2% of the cell's wall time.  Results merge into
+``BENCH_service.json`` under the ``abr`` key.
+
+Run standalone (writes the JSON unconditionally)::
+
+    PYTHONPATH=src python benchmarks/test_perf_abr.py
+
+or as a pytest perf smoke::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_abr.py -q
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.ioutil import atomic_write
+from repro.service.abrstudy import (
+    ABR_SMOKE_N,
+    AbrCell,
+    reset_abr_cache,
+    run_abr_cell,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_service.json"
+
+SEED = 4
+
+#: Acceptance guard: the ABR controller must cost under this fraction of
+#: the cell's wall time...
+OVERHEAD_BUDGET = 0.02
+#: ...with an absolute floor so a sub-100ms cell can't flake the ratio.
+OVERHEAD_FLOOR_S = 0.005
+
+
+def run_benchmark() -> dict:
+    from repro.service.session import reset_encode_cache
+
+    reset_encode_cache()
+    reset_abr_cache()
+    cell = AbrCell(ABR_SMOKE_N, SEED, 36, "step_drop", "hybrid")
+    record, wall = run_abr_cell(cell)
+    ratio = (
+        wall["controller_wall_s"] / wall["wall_s"] if wall["wall_s"] else 0.0
+    )
+    return {
+        "cell": record["cell_id"],
+        "wall_s": wall["wall_s"],
+        "controller_wall_s": wall["controller_wall_s"],
+        "overhead_ratio": round(ratio, 6),
+        "budget_ratio": OVERHEAD_BUDGET,
+        "rebuffer_ratio": record["abr"]["rebuffer_ratio"],
+        "mean_psnr_db": record["quality"]["mean_psnr_db"],
+        "fleet_digest": record["fleet_digest"],
+    }
+
+
+def write_results(results: dict) -> None:
+    """Merge the ABR numbers into the shared service benchmark file."""
+    try:
+        merged = json.loads(RESULT_PATH.read_text())
+    except (OSError, ValueError):
+        merged = {}
+    merged["abr"] = results
+    atomic_write(RESULT_PATH, json.dumps(merged, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def bench_results():
+    results = run_benchmark()
+    write_results(results)
+    return results
+
+
+def test_controller_overhead_under_budget(bench_results):
+    """ISSUE acceptance: the ABR controller costs under 2% of the smoke
+    cell's wall time (absolute floor keeps sub-100ms cells from flaking
+    the ratio)."""
+    budget = max(OVERHEAD_BUDGET * bench_results["wall_s"], OVERHEAD_FLOOR_S)
+    assert bench_results["controller_wall_s"] < budget, bench_results
+
+
+def test_smoke_cell_stays_interactive(bench_results):
+    """A lost rendition cache or accidental quadratic controller pass
+    shows up as seconds."""
+    assert bench_results["wall_s"] < 30.0, bench_results
+
+
+def main() -> int:
+    results = run_benchmark()
+    write_results(results)
+    print(json.dumps(results, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ Regenerates paper artifacts from the shell:
    $ python -m repro resilience --smoke     # PSNR-vs-loss transport study
    $ python -m repro serve --sessions 32    # streaming-service scale study
    $ python -m repro faultstudy --smoke     # availability vs fault intensity
+   $ python -m repro abrstudy --smoke       # ABR quality vs provisioned bw
    $ python -m repro bench codec            # engine throughput benchmark
    $ python -m repro profile encode         # traced run + per-stage table
    $ python -m repro obs report --trace obs-profile/trace.jsonl
@@ -42,7 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment id (table1..table8, fig2..fig4), 'all', 'list', "
             "'conformance', 'fuzz', 'study', 'chaos', 'resilience', 'serve', "
-            "'faultstudy', 'bench', 'profile', or 'obs'"
+            "'faultstudy', 'abrstudy', 'bench', 'profile', or 'obs'"
         ),
     )
     parser.add_argument(
@@ -108,6 +109,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.cli import faultstudy_main
 
         return faultstudy_main(argv[1:])
+    if argv and argv[0] == "abrstudy":
+        from repro.service.cli import abrstudy_main
+
+        return abrstudy_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.codec.bench import bench_main
 

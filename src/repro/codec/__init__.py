@@ -20,6 +20,13 @@ encoder's local reconstruction (bit-exact drift-free loop).
 
 from repro.codec.decoder import DecodedSequence, VopDecoder
 from repro.codec.encoder import EncodedSequence, VopEncoder
+from repro.codec.renditions import (
+    DEFAULT_LADDER,
+    RenditionEncoding,
+    RenditionSpec,
+    encode_ladder,
+    encode_rendition,
+)
 from repro.codec.errors import (
     ArithCoderError,
     BitstreamError,
@@ -36,6 +43,11 @@ __all__ = [
     "ArithCoderError",
     "BitstreamError",
     "CodecConfig",
+    "DEFAULT_LADDER",
+    "RenditionEncoding",
+    "RenditionSpec",
+    "encode_ladder",
+    "encode_rendition",
     "DecodeBudgetExceededError",
     "DecodedSequence",
     "EncodedSequence",

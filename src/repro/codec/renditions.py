@@ -1,0 +1,213 @@
+"""Rendition ladder: one source, several decodable quality rungs.
+
+Adaptive streaming needs the same scene encoded at several byte rates so
+a controller can switch between them mid-session.  The ladder reuses the
+machinery this codec already has instead of inventing a new scaler:
+
+- the bottom rung codes the *base-layer transform* of the scalable coder
+  (``scalability.downsample_frame``: 2x2 downsample, edge-padded to
+  macroblock alignment) -- the same half-resolution stream a two-VOL
+  spatially scalable encoding would ship as its base layer -- and its
+  delivered quality is measured after ``upsample_frame`` back to full
+  resolution, exactly how the scalable decoder composes output;
+- the upper rungs are full-resolution single-layer encodings at
+  progressively finer quantizers, optionally pinned to a bitrate target
+  through ``ratecontrol.make_controller`` (set ``target_kbps`` and the
+  encoder's Q2-style controller tracks it per VOP).
+
+Every rung records a *byte-rate trace*: per-frame coded bits (display
+order) plus per-frame delivered PSNR, which is all the ABR control plane
+in ``service/abr.py`` needs -- it schedules downloads in virtual time
+from these traces without touching pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec.encoder import VopEncoder
+from repro.codec.scalability import (
+    _mb_align,
+    downsample_frame,
+    upsample_frame,
+)
+from repro.codec.types import CodecConfig
+from repro.video.quality import psnr
+from repro.video.yuv import YuvFrame
+
+__all__ = [
+    "RenditionSpec",
+    "RenditionEncoding",
+    "DEFAULT_LADDER",
+    "LADDER_BY_NAME",
+    "validate_ladder",
+    "encode_rendition",
+    "encode_ladder",
+]
+
+#: PSNR cap for exact reconstructions (JSON cannot carry inf).
+_PSNR_CAP = 99.0
+
+
+@dataclass(frozen=True)
+class RenditionSpec:
+    """One rung of the rendition ladder.
+
+    ``scale`` is the resolution divisor (1 = full resolution, 2 = the
+    scalable coder's half-resolution base layer).  ``target_kbps``
+    engages the frame-level rate controller; None codes at constant
+    ``qp``.
+    """
+
+    name: str
+    scale: int
+    qp: int
+    target_kbps: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2):
+            raise ValueError(f"rendition scale must be 1 or 2, got {self.scale}")
+        if not 1 <= self.qp <= 31:
+            raise ValueError(f"rendition qp {self.qp} outside [1, 31]")
+        if self.target_kbps is not None and self.target_kbps <= 0:
+            raise ValueError("target_kbps must be positive when set")
+
+
+#: The default four-rung ladder, lowest byte rate first.  The bottom
+#: rung is the scalable base layer (half resolution, coarse quantizer);
+#: the top rung is near-transparent.
+DEFAULT_LADDER = (
+    RenditionSpec("r0_base", scale=2, qp=24),
+    RenditionSpec("r1_econ", scale=1, qp=16),
+    RenditionSpec("r2_main", scale=1, qp=10),
+    RenditionSpec("r3_high", scale=1, qp=6),
+)
+LADDER_BY_NAME = {spec.name: spec for spec in DEFAULT_LADDER}
+
+
+def validate_ladder(ladder: tuple[RenditionSpec, ...]) -> None:
+    """A usable ladder: non-empty, unique rung names."""
+    if not ladder:
+        raise ValueError("rendition ladder must not be empty")
+    names = [spec.name for spec in ladder]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate rendition names in ladder: {names}")
+
+
+@dataclass(frozen=True)
+class RenditionEncoding:
+    """One rung's encoding plus its byte-rate and quality traces.
+
+    ``frame_bits``/``frame_psnr_db`` are per *source* frame in display
+    order; PSNR is measured at full source resolution (reduced-scale
+    rungs are upsampled first, like the scalable decoder's composition).
+    """
+
+    spec: RenditionSpec
+    data: bytes
+    width: int
+    height: int
+    frame_bits: tuple[int, ...]
+    frame_psnr_db: tuple[float, ...]
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.frame_bits)
+
+    @property
+    def mean_psnr_db(self) -> float:
+        if not self.frame_psnr_db:
+            return 0.0
+        return sum(self.frame_psnr_db) / len(self.frame_psnr_db)
+
+    def mean_kbps(self, frame_vms: float) -> float:
+        """Mean byte rate in kbit/s given the playout frame duration.
+
+        With virtual time in milliseconds, 1 kbit/s == 1 bit per virtual
+        ms, so this is simply mean bits-per-frame over ``frame_vms``.
+        """
+        if not self.frame_bits or frame_vms <= 0:
+            return 0.0
+        return self.total_bits / (len(self.frame_bits) * frame_vms)
+
+    def frame_kbps(self, frame_vms: float) -> tuple[float, ...]:
+        """The per-frame byte-rate trace in kbit/s."""
+        return tuple(bits / frame_vms for bits in self.frame_bits)
+
+
+def _codec_config(
+    spec: RenditionSpec,
+    width: int,
+    height: int,
+    gop_size: int,
+    frame_rate: float,
+) -> CodecConfig:
+    return CodecConfig(
+        width=width,
+        height=height,
+        qp=spec.qp,
+        gop_size=gop_size,
+        m_distance=1,  # P-only: coding order == display order
+        resync_markers=True,
+        target_bitrate=(
+            spec.target_kbps * 1000 if spec.target_kbps is not None else None
+        ),
+        frame_rate=frame_rate,
+    )
+
+
+def encode_rendition(
+    frames: list[YuvFrame],
+    spec: RenditionSpec,
+    width: int,
+    height: int,
+    gop_size: int = 4,
+    frame_rate: float = 25.0,
+) -> RenditionEncoding:
+    """Encode one rung of the ladder for a full-resolution source.
+
+    Deterministic: a pure function of ``(frames, spec, geometry)``.
+    """
+    if spec.scale == 2:
+        coded_width = _mb_align(width // 2)
+        coded_height = _mb_align(height // 2)
+        inputs = [downsample_frame(frame, coded_width, coded_height)
+                  for frame in frames]
+    else:
+        coded_width, coded_height = width, height
+        inputs = frames
+    config = _codec_config(spec, coded_width, coded_height, gop_size, frame_rate)
+    encoded = VopEncoder(config).encode_sequence(inputs)
+
+    psnr_values = []
+    for source, recon in zip(frames, encoded.reconstructions):
+        if spec.scale == 2:
+            recon_y = upsample_frame(recon, width, height)[0]
+        else:
+            recon_y = recon.y
+        psnr_values.append(round(min(psnr(source.y, recon_y), _PSNR_CAP), 4))
+    return RenditionEncoding(
+        spec=spec,
+        data=encoded.data,
+        width=coded_width,
+        height=coded_height,
+        frame_bits=tuple(vop.bits for vop in encoded.stats.vops),
+        frame_psnr_db=tuple(psnr_values),
+    )
+
+
+def encode_ladder(
+    frames: list[YuvFrame],
+    ladder: tuple[RenditionSpec, ...] = DEFAULT_LADDER,
+    *,
+    width: int,
+    height: int,
+    gop_size: int = 4,
+    frame_rate: float = 25.0,
+) -> tuple[RenditionEncoding, ...]:
+    """Encode every rung; returns encodings in ladder order."""
+    validate_ladder(ladder)
+    return tuple(
+        encode_rendition(frames, spec, width, height, gop_size, frame_rate)
+        for spec in ladder
+    )

@@ -65,8 +65,13 @@ class ScalableEncoded:
         return merged
 
 
-def _downsample_frame(frame: YuvFrame, base_width: int, base_height: int) -> YuvFrame:
-    """Half-resolution base-layer input, edge-padded to MB-aligned dims."""
+def downsample_frame(frame: YuvFrame, base_width: int, base_height: int) -> YuvFrame:
+    """Half-resolution base-layer input, edge-padded to MB-aligned dims.
+
+    Public because the rendition ladder (``codec/renditions.py``) builds
+    its reduced-resolution rungs from exactly the base-layer transform
+    the scalable coder uses.
+    """
     return YuvFrame(
         _pad_plane(downsample_plane(frame.y), base_height, base_width),
         _pad_plane(downsample_plane(frame.u), base_height // 2, base_width // 2),
@@ -74,7 +79,7 @@ def _downsample_frame(frame: YuvFrame, base_width: int, base_height: int) -> Yuv
     )
 
 
-def _upsample_frame(frame: YuvFrame, width: int, height: int) -> tuple:
+def upsample_frame(frame: YuvFrame, width: int, height: int) -> tuple:
     """2x upsampled base reconstruction, cropped back to the full size.
 
     Returns raw planes (not a YuvFrame: cropped dims may be mid-padding).
@@ -84,6 +89,11 @@ def _upsample_frame(frame: YuvFrame, width: int, height: int) -> tuple:
         upsample_plane(frame.u)[: height // 2, : width // 2],
         upsample_plane(frame.v)[: height // 2, : width // 2],
     )
+
+
+# Backwards-compatible private aliases (pre-rendition-ladder callers).
+_downsample_frame = downsample_frame
+_upsample_frame = upsample_frame
 
 
 def _residual_frame(original: YuvFrame, predicted_planes: tuple) -> YuvFrame:

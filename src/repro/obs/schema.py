@@ -23,6 +23,7 @@ __all__ = [
     "validate_part",
     "validate_service_wall",
     "validate_faultstudy",
+    "validate_abrstudy",
     "validate_file",
 ]
 
@@ -33,6 +34,8 @@ SCHEMA_PART = f"{SCHEMA_TRACE}-part"
 SCHEMA_SERVICE_WALL = "repro-service-wall"
 #: Fault-study summary: the availability-vs-intensity table CI gates.
 SCHEMA_FAULTSTUDY = "repro-faultstudy"
+#: ABR-study summary: the quality-vs-provisioned-bandwidth table.
+SCHEMA_ABRSTUDY = "repro-abrstudy"
 
 #: Every summary row must carry these numeric recovery statistics.
 _FAULTSTUDY_ROW_NUMBERS = (
@@ -42,6 +45,17 @@ _FAULTSTUDY_ROW_NUMBERS = (
 #: ...and these outcome buckets (the extended conservation law's terms).
 _FAULTSTUDY_OUTCOMES = (
     "offered", "served", "served_retry", "degraded", "shed", "quarantined",
+)
+
+#: Per-row numeric statistics of the ABR study summary.
+_ABRSTUDY_ROW_NUMBERS = (
+    "availability", "rebuffer_ratio", "switch_rate", "mean_rung",
+    "mean_psnr_db",
+)
+#: The ABR-extended conservation law's seven outcome buckets.
+_ABRSTUDY_OUTCOMES = (
+    "offered", "served", "served_retry", "degraded", "switched_down",
+    "rebuffered", "shed", "quarantined",
 )
 
 _SPAN_REQUIRED = {"name": str, "id": str, "t0_ns": int, "dur_ns": int}
@@ -280,6 +294,77 @@ def validate_faultstudy(obj: dict) -> list[str]:
     return problems
 
 
+def validate_abrstudy(obj: dict) -> list[str]:
+    """Validate a ``repro abrstudy`` summary artifact.
+
+    Enforces the ABR-extended conservation law on every row -- the seven
+    outcome buckets (served + served_retry + degraded + switched_down +
+    rebuffered + shed + quarantined) must sum to offered -- and that
+    availability and rebuffer_ratio stay in [0, 1].
+    """
+    problems = []
+    if obj.get("schema") != SCHEMA_ABRSTUDY:
+        problems.append(
+            f"abrstudy: schema is {obj.get('schema')!r}, "
+            f"want {SCHEMA_ABRSTUDY!r}"
+        )
+    if obj.get("version") != 1:
+        problems.append(f"abrstudy: version is {obj.get('version')!r}, want 1")
+    grid = obj.get("grid")
+    if not isinstance(grid, dict):
+        problems.append("abrstudy: grid missing or not an object")
+    else:
+        for key in ("ns", "seeds", "bandwidths_kbps", "profiles", "policies"):
+            if not isinstance(grid.get(key), list) or not grid[key]:
+                problems.append(f"abrstudy: grid.{key} missing or empty")
+    rows = obj.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return problems + ["abrstudy: rows missing or empty"]
+    for index, row in enumerate(rows):
+        where = f"rows[{index}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("profile", "policy"):
+            if not isinstance(row.get(key), str):
+                problems.append(f"{where}: {key} missing or not a string")
+        bandwidth = row.get("bandwidth_kbps")
+        if not isinstance(bandwidth, (int, float)) or bandwidth <= 0:
+            problems.append(f"{where}: bandwidth_kbps must be positive")
+        for key in _ABRSTUDY_ROW_NUMBERS:
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{where}: {key!r} must be a non-negative number")
+        for key in ("availability", "rebuffer_ratio"):
+            value = row.get(key)
+            if isinstance(value, (int, float)) and value > 1:
+                problems.append(f"{where}: {key} {value} exceeds 1")
+        outcomes = row.get("outcomes")
+        if not isinstance(outcomes, dict):
+            problems.append(f"{where}: outcomes missing or not an object")
+            continue
+        bad_bucket = False
+        for key in _ABRSTUDY_OUTCOMES:
+            value = outcomes.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"{where}: outcomes.{key} must be a non-negative integer"
+                )
+                bad_bucket = True
+        if not bad_bucket:
+            accounted = sum(
+                outcomes[key] for key in _ABRSTUDY_OUTCOMES if key != "offered"
+            )
+            if accounted != outcomes["offered"]:
+                problems.append(
+                    f"{where}: conservation violated "
+                    f"({accounted} accounted vs {outcomes['offered']} offered)"
+                )
+    if not isinstance(obj.get("missing_cells"), list):
+        problems.append("abrstudy: missing_cells missing or not a list")
+    return problems
+
+
 def validate_file(path: str | Path) -> list[str]:
     """Dispatch on file shape: JSONL trace, Chrome trace, or metrics."""
     path = Path(path)
@@ -301,6 +386,8 @@ def validate_file(path: str | Path) -> list[str]:
         return validate_service_wall(obj)
     if obj.get("schema") == SCHEMA_FAULTSTUDY:
         return validate_faultstudy(obj)
+    if obj.get("schema") == SCHEMA_ABRSTUDY:
+        return validate_abrstudy(obj)
     if obj.get("schema") == SCHEMA_TRACE:
         # A single-line (meta-only) JSONL trace parses as one document.
         return validate_trace_jsonl(text)

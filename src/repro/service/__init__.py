@@ -7,7 +7,9 @@ one shared encode budget behind admission control (token bucket, bounded
 queue, deadline shedding) with a three-way outcome taxonomy --
 served / degraded / shed -- refined by the fault-injection and recovery
 control plane (``service/faults.py`` + ``service/recovery.py``) into
-served / served_retry / degraded / shed / quarantined.
+served / served_retry / degraded / shed / quarantined -- and further by
+the adaptive-bitrate control plane (``service/abr.py``) into the full
+seven-bucket taxonomy with ``switched_down`` / ``rebuffered``.
 
 Scheduling happens in *virtual time*, so every decision and every
 reported latency is a pure function of ``(fleet_seed, n_sessions,
@@ -16,10 +18,25 @@ how fast the bit-identical answer is computed.  ``python -m repro
 serve`` runs the scale study (sessions/sec vs latency percentiles vs
 delivered PSNR as N grows); ``python -m repro faultstudy`` sweeps
 availability / MTTR / retry amplification against fault intensity
-across the recovery-policy ladder.
+across the recovery-policy ladder; ``python -m repro abrstudy`` sweeps
+delivered PSNR / rebuffer ratio / switch rate against provisioned
+bandwidth under time-varying channel capacity.
 """
 
-from repro.service.backends import BACKENDS, execute_schedule
+from repro.service.abr import (
+    ABR_OUTCOMES,
+    ABR_POLICIES,
+    ABR_POLICY_LADDER,
+    OUTCOME_REBUFFERED,
+    OUTCOME_SWITCHED_DOWN,
+    AbrPolicy,
+    AbrReport,
+    AbrSessionTrace,
+    ladder_tracks,
+    simulate_abr_fleet,
+    simulate_abr_session,
+)
+from repro.service.backends import BACKENDS, execute_schedule, run_tasks
 from repro.service.config import (
     DEFAULT_CONFIG,
     MODE_DEGRADED,
@@ -64,8 +81,20 @@ from repro.service.session import (
 )
 
 __all__ = [
+    "ABR_OUTCOMES",
+    "ABR_POLICIES",
+    "ABR_POLICY_LADDER",
+    "AbrPolicy",
+    "AbrReport",
+    "AbrSessionTrace",
     "BACKENDS",
     "DEFAULT_CONFIG",
+    "OUTCOME_REBUFFERED",
+    "OUTCOME_SWITCHED_DOWN",
+    "ladder_tracks",
+    "run_tasks",
+    "simulate_abr_fleet",
+    "simulate_abr_session",
     "EXTENDED_OUTCOMES",
     "FAULT_KINDS",
     "MODE_DEGRADED",

@@ -31,7 +31,7 @@ from repro.service.config import ServiceConfig
 from repro.service.scheduler import FleetSchedule
 from repro.service.session import SessionResult, SessionSpec, execute_session
 
-__all__ = ["BACKENDS", "execute_schedule"]
+__all__ = ["BACKENDS", "execute_schedule", "run_tasks"]
 
 BACKENDS = ("serial", "asyncio", "fleet")
 
@@ -90,6 +90,54 @@ def execute_schedule(
         else:
             results = _run_fleet(work, config, jobs)
     return {result.session_id: result for result in results}
+
+
+def run_tasks(
+    tasks: list[tuple[str, "object", tuple]],
+    backend: str = "serial",
+    jobs: int = 1,
+) -> dict[str, object]:
+    """Generic fan-out for deterministic data-plane work.
+
+    ``tasks`` are ``(name, fn, args)`` triples -- ``fn`` must be a
+    module-level callable (picklable for the fleet backend) that is a
+    pure function of its arguments, so every backend and job count
+    produces the identical ``name -> result`` mapping.  The ABR study's
+    rendition deliveries go through here; ``execute_schedule`` remains
+    the session-shaped specialization.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if not tasks:
+        return {}
+    if backend == "serial" or (backend == "asyncio" and jobs <= 1):
+        return {name: fn(*args) for name, fn, args in tasks}
+    if backend == "asyncio":
+        return asyncio.run(_run_tasks_asyncio(tasks, jobs))
+    from repro.core.runner.supervisor import SupervisedPool, WorkerBudget
+
+    pool = SupervisedPool(
+        max_workers=jobs,
+        budget=WorkerBudget(wall_s=120.0, heartbeat_s=30.0),
+    )
+    return dict(pool.results_or_raise(tasks))
+
+
+async def _run_tasks_asyncio(
+    tasks: list[tuple[str, "object", tuple]], jobs: int
+) -> dict[str, object]:
+    loop = asyncio.get_running_loop()
+    gate = asyncio.Semaphore(jobs)
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+
+        async def one(name: str, fn, args) -> tuple[str, object]:
+            async with gate:
+                return name, await loop.run_in_executor(pool, fn, *args)
+
+        pairs = await asyncio.gather(
+            *(one(name, fn, args) for name, fn, args in tasks)
+        )
+    return dict(pairs)
 
 
 async def _run_asyncio(

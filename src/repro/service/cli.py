@@ -1,4 +1,4 @@
-"""CLI entry points: ``python -m repro serve`` / ``repro faultstudy``.
+"""CLI entry points: ``repro serve`` / ``repro faultstudy`` / ``repro abrstudy``.
 
 .. code-block:: console
 
@@ -14,15 +14,44 @@
    $ python -m repro faultstudy --intensity 0 0.6 --policy retry full
    $ python -m repro faultstudy --resume drill      # finish a killed sweep
 
+   $ python -m repro abrstudy                       # quality vs bandwidth
+   $ python -m repro abrstudy --smoke               # CI grid (step_drop only)
+   $ python -m repro abrstudy --bandwidth 16 36 --policy fixed hybrid
+
 Published study tables are byte-identical for a given grid whatever the
 backend or job count; wall-clock throughput lands in
 ``telemetry/wall.json`` next to the run, never in the tables.
+
+Argument validation beyond what ``argparse`` types give us raises
+:class:`CliArgumentError`; every entry point renders it as a one-line
+``error: ...`` message and exits 2, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 from pathlib import Path
+
+__all__ = [
+    "CliArgumentError",
+    "serve_main",
+    "faultstudy_main",
+    "abrstudy_main",
+]
+
+
+class CliArgumentError(ValueError):
+    """A CLI argument that parses but is semantically invalid.
+
+    Typed (rather than a bare ``print`` + return) so library callers and
+    tests can assert on the failure mode, and so every entry point
+    renders rejection identically: one line on stdout, exit code 2.
+    """
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise CliArgumentError(message)
 
 
 def _runs_root(override: str | None, study: str = "serve") -> Path:
@@ -87,16 +116,16 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="exit 1 unless every grid cell is published")
     args = parser.parse_args(argv)
 
-    if args.jobs < 1:
-        print("error: --jobs must be >= 1")
+    try:
+        _check(args.jobs >= 1, "--jobs must be >= 1")
+        if args.sessions is not None:
+            ns = tuple(args.sessions)
+            _check(all(n > 0 for n in ns), "--sessions must be positive")
+        else:
+            ns = FULL_NS if args.full else DEFAULT_NS
+    except CliArgumentError as exc:
+        print(f"error: {exc}")
         return 2
-    if args.sessions is not None:
-        ns = tuple(args.sessions)
-        if any(n < 0 for n in ns):
-            print("error: --sessions must be >= 0")
-            return 2
-    else:
-        ns = FULL_NS if args.full else DEFAULT_NS
 
     run_id = args.resume or args.run_id
     run_dir = _runs_root(args.runs_dir) / run_id
@@ -115,6 +144,138 @@ def serve_main(argv: list[str] | None = None) -> int:
           f"jobs={args.jobs})")
     print()
     print(render_summary(summary))
+    print()
+    print(f"artifacts: {run_dir}")
+    _export_telemetry(run_dir)
+    if summary["missing_cells"]:
+        print(f"missing cells: {', '.join(summary['missing_cells'])}")
+        if args.verify_complete:
+            print("verify-complete FAILED")
+            return 1
+    elif args.verify_complete:
+        print("verify-complete passed: every grid cell is published")
+    return 0
+
+
+def abrstudy_main(argv: list[str] | None = None) -> int:
+    from repro.codec.renditions import DEFAULT_LADDER, LADDER_BY_NAME
+    from repro.service.abr import ABR_POLICY_LADDER
+    from repro.service.abrstudy import (
+        ABR_DEFAULT_N,
+        ABR_SMOKE_N,
+        DEFAULT_BANDWIDTHS_KBPS,
+        DEFAULT_PROFILES,
+        SMOKE_BANDWIDTHS_KBPS,
+        SMOKE_PROFILES,
+        render_abr_summary,
+        run_abr_sweep,
+    )
+    from repro.service.backends import BACKENDS
+    from repro.transport.bandwidth import PROFILE_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro abrstudy",
+        description=(
+            "Adaptive-bitrate study: sweep delivered PSNR, rebuffer "
+            "ratio, and switch rate against provisioned bandwidth "
+            "across channel-capacity profiles (steady / step_drop / "
+            "walk) and the ABR-policy ladder "
+            "(fixed / buffer / throughput / hybrid)."
+        ),
+    )
+    parser.add_argument("--sessions", type=int, nargs="+", default=None,
+                        metavar="N",
+                        help=f"fleet size(s) (default: {ABR_DEFAULT_N})")
+    parser.add_argument("--seed", type=int, nargs="+", default=[4],
+                        metavar="S", help="fleet seed(s) (default: 4)")
+    parser.add_argument("--bandwidth", type=int, nargs="+", default=None,
+                        metavar="KBPS",
+                        help="provisioned bandwidths in kbit/s (default: "
+                             f"{' '.join(map(str, DEFAULT_BANDWIDTHS_KBPS))})")
+    parser.add_argument("--profile", nargs="+", choices=PROFILE_NAMES,
+                        default=None,
+                        help="channel capacity profiles (default: all)")
+    parser.add_argument("--policy", nargs="+", choices=ABR_POLICY_LADDER,
+                        default=None,
+                        help="ABR policies (default: the full ladder)")
+    parser.add_argument("--ladder", nargs="*", default=None, metavar="NAME",
+                        help="rendition subset to offer (default: "
+                             f"{' '.join(s.name for s in DEFAULT_LADDER)}); "
+                             "runs with a custom ladder must use their own "
+                             "--run-id (the ladder is not in the cell id)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke grid: "
+                             f"{ABR_SMOKE_N} sessions, bandwidths "
+                             f"{' '.join(map(str, SMOKE_BANDWIDTHS_KBPS))}, "
+                             f"profile {SMOKE_PROFILES[0]}")
+    parser.add_argument("--backend", choices=BACKENDS, default="asyncio",
+                        help="execution backend (default: asyncio)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="J",
+                        help="concurrent delivery pipelines (default: 1)")
+    parser.add_argument("--runs-dir", default=None, metavar="DIR",
+                        help="runs root (default: $REPRO_RUNS or .repro-runs)")
+    parser.add_argument("--run-id", default="default", metavar="ID",
+                        help="run directory name (default: 'default')")
+    parser.add_argument("--resume", default=None, metavar="ID",
+                        help="resume a run: published cells are kept, "
+                             "missing/corrupt ones recompute")
+    parser.add_argument("--verify-complete", action="store_true",
+                        help="exit 1 unless every grid cell is published")
+    args = parser.parse_args(argv)
+
+    try:
+        _check(args.jobs >= 1, "--jobs must be >= 1")
+        ns = tuple(args.sessions) if args.sessions is not None else (
+            (ABR_SMOKE_N,) if args.smoke else (ABR_DEFAULT_N,)
+        )
+        _check(all(n > 0 for n in ns), "--sessions must be positive")
+        bandwidths = tuple(args.bandwidth) if args.bandwidth is not None else (
+            SMOKE_BANDWIDTHS_KBPS if args.smoke else DEFAULT_BANDWIDTHS_KBPS
+        )
+        _check(all(b > 0 for b in bandwidths),
+               "--bandwidth values must be positive kbit/s")
+        profiles = tuple(args.profile) if args.profile else (
+            SMOKE_PROFILES if args.smoke else DEFAULT_PROFILES
+        )
+        policies = tuple(args.policy) if args.policy else ABR_POLICY_LADDER
+        if args.ladder is None:
+            ladder = None
+        else:
+            _check(len(args.ladder) > 0, "--ladder must not be empty")
+            unknown = [name for name in args.ladder
+                       if name not in LADDER_BY_NAME]
+            _check(not unknown,
+                   f"unknown rendition(s): {', '.join(unknown)} "
+                   f"(choose from {', '.join(s.name for s in DEFAULT_LADDER)})")
+            # Offer the subset in ladder (ascending-quality) order.
+            ladder = tuple(
+                spec for spec in DEFAULT_LADDER if spec.name in set(args.ladder)
+            )
+    except CliArgumentError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    run_id = args.resume or args.run_id
+    run_dir = _runs_root(args.runs_dir, "abrstudy") / run_id
+    summary = run_abr_sweep(
+        run_dir,
+        ns=ns,
+        seeds=tuple(args.seed),
+        bandwidths=bandwidths,
+        profiles=profiles,
+        policies=policies,
+        backend=args.backend,
+        jobs=args.jobs,
+        resume=args.resume is not None,
+        ladder=ladder,
+    )
+    verb = "resumed" if args.resume else "ran"
+    n_cells = sum(row["cells"] for row in summary["rows"])
+    print(f"{verb} ABR study '{run_id}': {n_cells} cells published "
+          f"({summary['skipped_cells']} reused, backend={args.backend}, "
+          f"jobs={args.jobs})")
+    print()
+    print(render_abr_summary(summary))
     print()
     print(f"artifacts: {run_dir}")
     _export_telemetry(run_dir)
@@ -180,22 +341,21 @@ def faultstudy_main(argv: list[str] | None = None) -> int:
                         help="exit 1 unless every grid cell is published")
     args = parser.parse_args(argv)
 
-    if args.jobs < 1:
-        print("error: --jobs must be >= 1")
+    try:
+        _check(args.jobs >= 1, "--jobs must be >= 1")
+        ns = tuple(args.sessions) if args.sessions is not None else (
+            (FAULT_SMOKE_N,) if args.smoke else (FAULT_DEFAULT_N,)
+        )
+        _check(all(n > 0 for n in ns), "--sessions must be positive")
+        intensities = tuple(args.intensity) if args.intensity is not None else (
+            SMOKE_INTENSITIES if args.smoke else DEFAULT_INTENSITIES
+        )
+        _check(all(0.0 <= i <= 1.0 for i in intensities),
+               "--intensity values must be in [0, 1]")
+        policies = tuple(args.policy) if args.policy else POLICY_LADDER
+    except CliArgumentError as exc:
+        print(f"error: {exc}")
         return 2
-    ns = tuple(args.sessions) if args.sessions is not None else (
-        (FAULT_SMOKE_N,) if args.smoke else (FAULT_DEFAULT_N,)
-    )
-    if any(n < 0 for n in ns):
-        print("error: --sessions must be >= 0")
-        return 2
-    intensities = tuple(args.intensity) if args.intensity is not None else (
-        SMOKE_INTENSITIES if args.smoke else DEFAULT_INTENSITIES
-    )
-    if any(not 0.0 <= i <= 1.0 for i in intensities):
-        print("error: --intensity values must be in [0, 1]")
-        return 2
-    policies = tuple(args.policy) if args.policy else POLICY_LADDER
 
     run_id = args.resume or args.run_id
     run_dir = _runs_root(args.runs_dir, "faultstudy") / run_id

@@ -31,6 +31,7 @@ __all__ = [
     "fault_rng",
     "retry_channel_seed",
     "backoff_jitter_u",
+    "bandwidth_rng",
 ]
 
 #: Entropy branch keys for the fault/recovery plane.  Each derived
@@ -43,6 +44,7 @@ __all__ = [
 _BRANCH_FAULT = 0xFA017
 _BRANCH_RETRY_CHANNEL = 0x8E7C4
 _BRANCH_BACKOFF = 0xB0FF5
+_BRANCH_BANDWIDTH = 0xBA2D0
 
 
 @dataclass(frozen=True)
@@ -118,6 +120,18 @@ def backoff_jitter_u(fleet_seed: int, session_id: int, attempt: int) -> float:
         np.random.SeedSequence((fleet_seed, _BRANCH_BACKOFF, session_id, attempt))
     )
     return float(rng.random())
+
+
+def bandwidth_rng(fleet_seed: int, session_id: int) -> np.random.Generator:
+    """Private generator for one session's bandwidth random walk.
+
+    A pure function of ``(fleet_seed, session_id)`` on its own entropy
+    branch: arming a time-varying capacity profile never perturbs the
+    session spawn tree, the fault plan, or the retry channels.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence((fleet_seed, _BRANCH_BANDWIDTH, session_id))
+    )
 
 
 def channel_mask_for(

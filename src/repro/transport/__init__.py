@@ -19,6 +19,13 @@ corruption:
   behind ``python -m repro resilience``.
 """
 
+from repro.transport.bandwidth import (
+    PROFILE_NAMES,
+    PROFILES,
+    BandwidthProfile,
+    BandwidthTrace,
+    build_trace,
+)
 from repro.transport.channel import (
     GilbertElliottChannel,
     LossProfile,
@@ -39,8 +46,13 @@ from repro.transport.pipeline import (
 )
 
 __all__ = [
+    "BandwidthProfile",
+    "BandwidthTrace",
     "GilbertElliottChannel",
     "LossProfile",
+    "PROFILES",
+    "PROFILE_NAMES",
+    "build_trace",
     "Packet",
     "TransmissionResult",
     "TransportConfig",

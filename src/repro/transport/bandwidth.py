@@ -1,0 +1,201 @@
+"""Time-varying channel capacity: piecewise-constant and random-walk.
+
+The Gilbert-Elliott channel (``transport/channel.py``) models *which
+packets die*; this module models *how fast bits move* -- the capacity a
+streaming session sees over virtual time.  Capacity is always reduced to
+a piecewise-constant trace so download times integrate exactly (no
+numeric quadrature, no accumulation drift):
+
+- ``steady``    -- the provisioned rate, flat across the horizon;
+- ``step_drop`` -- three steps down (100% / 55% / 30% of provisioned),
+  the collapsing-channel shape the ABR acceptance study pins;
+- ``walk``      -- a seeded multiplicative random walk, resampled on a
+  fixed grid and clamped to a floor/ceiling band around provisioned.
+
+Units lean on the virtual-time identity: with virtual time counted in
+milliseconds, **1 kbit/s == 1 bit per virtual ms**, so a transfer of
+``bits`` at ``kbps`` capacity takes exactly ``bits / kbps`` vms.
+
+Determinism matches ``service/faults.py``: the walk's draws come from a
+dedicated ``SeedSequence`` entropy branch keyed by ``(fleet_seed,
+session_id)`` (``service/seeding.py:bandwidth_rng``), so a session's
+capacity trace is a pure function of its identity -- identical across
+backends, ``--jobs`` counts, resumes, and chaos reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BandwidthProfile",
+    "BandwidthTrace",
+    "PROFILES",
+    "PROFILE_NAMES",
+    "build_trace",
+]
+
+
+@dataclass(frozen=True)
+class BandwidthProfile:
+    """Shape of one capacity-over-time profile.
+
+    ``steps`` are ``(horizon_fraction, multiplier)`` pairs: from that
+    fraction of the horizon onward, capacity is ``multiplier *
+    provisioned``.  When ``walk`` is set the steps are ignored and a
+    seeded random walk is sampled instead.
+    """
+
+    name: str
+    steps: tuple[tuple[float, float], ...] = ((0.0, 1.0),)
+    walk: bool = False
+    #: Walk grid spacing as a fraction of the horizon.
+    walk_step_fraction: float = 0.05
+    #: Per-step multiplicative jitter (lognormal sigma).
+    walk_sigma: float = 0.25
+    #: Clamp band around the provisioned rate.
+    walk_floor: float = 0.2
+    walk_ceiling: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("profile must have at least one step")
+        if self.steps[0][0] != 0.0:
+            raise ValueError("first step must start at horizon fraction 0")
+        fractions = [fraction for fraction, _ in self.steps]
+        if fractions != sorted(fractions):
+            raise ValueError("step fractions must be non-decreasing")
+        if any(m <= 0 for _, m in self.steps):
+            raise ValueError("step multipliers must be positive")
+        if self.walk:
+            if not 0 < self.walk_step_fraction <= 1:
+                raise ValueError("walk_step_fraction must be in (0, 1]")
+            if self.walk_sigma < 0:
+                raise ValueError("walk_sigma must be >= 0")
+            if not 0 < self.walk_floor <= self.walk_ceiling:
+                raise ValueError("walk band must satisfy 0 < floor <= ceiling")
+
+
+#: The profiles the ABR study sweeps.  ``step_drop`` is the acceptance
+#: profile: a 3-step collapse to 30% of provisioned capacity.
+PROFILES = {
+    "steady": BandwidthProfile("steady"),
+    "step_drop": BandwidthProfile(
+        "step_drop",
+        steps=((0.0, 1.0), (1.0 / 3.0, 0.55), (2.0 / 3.0, 0.3)),
+    ),
+    "walk": BandwidthProfile("walk", walk=True),
+}
+PROFILE_NAMES = ("steady", "step_drop", "walk")
+
+
+class BandwidthTrace:
+    """Piecewise-constant capacity over one session's virtual timeline.
+
+    ``segments`` is a sorted tuple of ``(start_vms, kbps)``; the last
+    segment extends to infinity (a session that outruns its horizon
+    keeps the final capacity, so transfers always terminate).
+    """
+
+    def __init__(self, segments: tuple[tuple[float, float], ...]) -> None:
+        if not segments:
+            raise ValueError("trace must have at least one segment")
+        if segments[0][0] != 0.0:
+            raise ValueError("trace must start at t=0")
+        starts = [start for start, _ in segments]
+        if starts != sorted(starts):
+            raise ValueError("trace segments must be sorted by start time")
+        if any(kbps <= 0 for _, kbps in segments):
+            raise ValueError("capacity must stay positive")
+        self.segments = segments
+
+    def capacity_kbps(self, t_vms: float) -> float:
+        """Instantaneous capacity at virtual time ``t_vms``."""
+        capacity = self.segments[0][1]
+        for start, kbps in self.segments:
+            if start > t_vms:
+                break
+            capacity = kbps
+        return capacity
+
+    @property
+    def mean_kbps(self) -> float:
+        """Time-weighted mean over the defined horizon (last segment
+        weighted as one grid step of its predecessor spacing)."""
+        if len(self.segments) == 1:
+            return self.segments[0][1]
+        total = 0.0
+        span = 0.0
+        for (start, kbps), (nxt, _) in zip(self.segments, self.segments[1:]):
+            total += kbps * (nxt - start)
+            span += nxt - start
+        return total / span if span else self.segments[0][1]
+
+    def transfer_vms(self, start_vms: float, bits: float) -> float:
+        """Exact virtual duration to move ``bits`` starting at
+        ``start_vms``, integrating over the piecewise-constant capacity
+        (1 kbit/s == 1 bit per virtual ms)."""
+        if bits <= 0:
+            return 0.0
+        remaining = float(bits)
+        t = float(start_vms)
+        boundaries = [start for start, _ in self.segments]
+        while True:
+            capacity = self.capacity_kbps(t)
+            # Next capacity change strictly after t (None past the end).
+            nxt = None
+            for boundary in boundaries:
+                if boundary > t:
+                    nxt = boundary
+                    break
+            if nxt is None:
+                return round(t + remaining / capacity - start_vms, 6)
+            window = nxt - t
+            moved = capacity * window
+            if moved >= remaining:
+                return round(t + remaining / capacity - start_vms, 6)
+            remaining -= moved
+            t = nxt
+
+
+def build_trace(
+    profile: BandwidthProfile,
+    provisioned_kbps: float,
+    horizon_vms: float,
+    rng: np.random.Generator | None = None,
+) -> BandwidthTrace:
+    """Materialize a profile into a trace for one session.
+
+    ``rng`` is required (and only consumed) for walk profiles -- pass
+    the session's dedicated generator from ``seeding.bandwidth_rng`` so
+    the walk is a pure function of the session identity.
+    """
+    if provisioned_kbps <= 0:
+        raise ValueError("provisioned_kbps must be positive")
+    if horizon_vms <= 0:
+        raise ValueError("horizon_vms must be positive")
+    if not profile.walk:
+        return BandwidthTrace(
+            tuple(
+                (round(fraction * horizon_vms, 6),
+                 round(multiplier * provisioned_kbps, 6))
+                for fraction, multiplier in profile.steps
+            )
+        )
+    if rng is None:
+        raise ValueError(f"profile {profile.name!r} needs a seeded rng")
+    step_vms = profile.walk_step_fraction * horizon_vms
+    n_steps = int(round(1.0 / profile.walk_step_fraction))
+    segments = []
+    level = 1.0
+    for index in range(n_steps):
+        if index > 0:
+            level *= float(np.exp(profile.walk_sigma
+                                  * float(rng.standard_normal())))
+            level = min(max(level, profile.walk_floor), profile.walk_ceiling)
+        segments.append(
+            (round(index * step_vms, 6), round(level * provisioned_kbps, 6))
+        )
+    return BandwidthTrace(tuple(segments))

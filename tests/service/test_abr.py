@@ -1,0 +1,240 @@
+"""ABR control plane: policies, buffer model, fleet refinement, rescue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.abr import (
+    ABR_OUTCOMES,
+    ABR_POLICIES,
+    ABR_POLICY_LADDER,
+    AbrPolicy,
+    RenditionTrack,
+    select_initial_rung,
+    simulate_abr_fleet,
+    simulate_abr_session,
+)
+from repro.service.config import ServiceConfig
+from repro.service.faults import FaultConfig, FaultPlan
+from repro.service.recovery import POLICIES, simulate_recovery
+from repro.service.scheduler import schedule_fleet
+from repro.service.session import build_fleet
+from repro.transport.bandwidth import PROFILES, BandwidthTrace
+
+SEGMENT_VMS = 40.0
+
+
+def make_tracks(rates_kbps=(4.0, 10.0, 20.0), n_segments=8):
+    """Synthetic flat-rate ladder: rung r costs rate*segment_vms bits."""
+    return tuple(
+        RenditionTrack(
+            name=f"r{i}",
+            nominal_kbps=rate,
+            segment_bits=tuple([int(rate * SEGMENT_VMS)] * n_segments),
+            segment_psnr_db=tuple([20.0 + 5.0 * i] * n_segments),
+        )
+        for i, rate in enumerate(rates_kbps)
+    )
+
+
+def flat_trace(kbps):
+    return BandwidthTrace(((0.0, float(kbps)),))
+
+
+class TestPolicies:
+    def test_ladder_shape(self):
+        assert ABR_POLICY_LADDER == ("fixed", "buffer", "throughput", "hybrid")
+        assert not ABR_POLICIES["fixed"].adapt
+        assert not ABR_POLICIES["fixed"].rescue_shed
+        assert ABR_POLICIES["hybrid"].use_throughput
+        assert ABR_POLICIES["hybrid"].use_buffer
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            AbrPolicy("bad", window=0)
+        with pytest.raises(ValueError):
+            AbrPolicy("bad", safety=0.0)
+        with pytest.raises(ValueError):
+            AbrPolicy("bad", low_buffer_vms=10.0, panic_buffer_vms=20.0)
+        with pytest.raises(ValueError):
+            AbrPolicy("bad", dwell_vms=-1.0)
+
+    def test_initial_rung_selection_is_monotone(self):
+        tracks = make_tracks()
+        rungs = [
+            select_initial_rung(tracks, capacity, 0.85)
+            for capacity in (1.0, 5.0, 12.0, 25.0, 100.0)
+        ]
+        assert rungs == sorted(rungs)
+        assert rungs[0] == 0
+        assert rungs[-1] == len(tracks) - 1
+
+
+class TestSimulateAbrSession:
+    def test_ample_bandwidth_never_stalls_or_switches(self):
+        trace = simulate_abr_session(
+            0, make_tracks(), flat_trace(100.0), ABR_POLICIES["hybrid"]
+        )
+        assert trace.rebuffer_events == 0
+        assert trace.rebuffer_vms == 0.0
+        assert trace.n_switches == 0
+        assert trace.rungs == tuple([2] * 8)
+        assert trace.accounting_closes()
+
+    def test_fixed_overcommits_and_stalls_on_a_collapse(self):
+        # Provisioned 25 kbps picks the top rung (20 kbps); capacity then
+        # collapses to 6 kbps: fixed stalls, hybrid steps down.
+        collapse = BandwidthTrace(((0.0, 25.0), (80.0, 6.0)))
+        fixed = simulate_abr_session(
+            0, make_tracks(), collapse, ABR_POLICIES["fixed"]
+        )
+        hybrid = simulate_abr_session(
+            0, make_tracks(), collapse, ABR_POLICIES["hybrid"]
+        )
+        assert fixed.n_switches == 0
+        assert fixed.rebuffer_vms > 0
+        assert hybrid.switch_down > 0
+        assert hybrid.rebuffer_vms < fixed.rebuffer_vms
+        assert hybrid.accounting_closes()
+        assert fixed.accounting_closes()
+
+    def test_pinned_rescue_rung(self):
+        trace = simulate_abr_session(
+            0, make_tracks(), flat_trace(100.0), ABR_POLICIES["hybrid"],
+            pin_rung=0,
+        )
+        assert trace.rescued
+        assert trace.rungs == tuple([0] * 8)
+        assert trace.n_switches == 0
+
+    def test_loss_inflates_download_time(self):
+        clean = simulate_abr_session(
+            0, make_tracks(), flat_trace(30.0), ABR_POLICIES["fixed"]
+        )
+        lossy = simulate_abr_session(
+            0, make_tracks(), flat_trace(30.0), ABR_POLICIES["fixed"],
+            loss_rate=0.05,
+        )
+        assert lossy.download_vms > clean.download_vms
+        assert lossy.delivered_bits == clean.delivered_bits
+
+    def test_switches_respect_the_dwell_window(self):
+        # Sawtooth capacity tries to force a switch every segment.
+        saw = BandwidthTrace(tuple(
+            (i * SEGMENT_VMS, 25.0 if i % 2 == 0 else 5.0) for i in range(8)
+        ))
+        trace = simulate_abr_session(
+            0, make_tracks(), saw, ABR_POLICIES["throughput"]
+        )
+        times = trace.switch_vms
+        dwell = ABR_POLICIES["throughput"].dwell_vms
+        for earlier, later in zip(times, times[1:]):
+            assert later - earlier >= dwell
+
+    def test_empty_ladder_and_bad_loss_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_abr_session(0, (), flat_trace(10.0),
+                                 ABR_POLICIES["fixed"])
+        with pytest.raises(ValueError):
+            simulate_abr_session(0, make_tracks(), flat_trace(10.0),
+                                 ABR_POLICIES["fixed"], loss_rate=1.0)
+
+
+class TestSimulateAbrFleet:
+    CONFIG = ServiceConfig(
+        n_frames=8, loss_palette=(0.05,), capacity_units_per_vms=1.0
+    )
+    N = 32
+
+    def fleet_report(self, policy_name, provisioned=36.0, profile="step_drop"):
+        config = self.CONFIG
+        specs = build_fleet(4, self.N, config)
+        schedule = schedule_fleet(specs, config)
+        plan = FaultPlan(4, FaultConfig(intensity=0.2))
+        recovery = simulate_recovery(
+            specs, schedule, plan, POLICIES["full"], config
+        )
+        tracks_by_variant = {
+            variant: make_tracks()
+            for variant in {spec.scene_variant for spec in specs}
+        }
+        report = simulate_abr_fleet(
+            specs, schedule, recovery, tracks_by_variant,
+            ABR_POLICIES[policy_name], PROFILES[profile], provisioned, config,
+        )
+        return schedule, report
+
+    def test_conservation_across_the_policy_ladder(self):
+        for policy in ABR_POLICY_LADDER:
+            schedule, report = self.fleet_report(policy)
+            assert report.conserves(schedule), (policy, report.outcomes)
+            assert sum(report.outcomes[k] for k in ABR_OUTCOMES) \
+                == schedule.offered
+
+    def test_rescue_lane_lifts_deadline_sheds(self):
+        schedule, fixed = self.fleet_report("fixed")
+        _, hybrid = self.fleet_report("hybrid")
+        assert fixed.outcomes["shed"] > 0  # the baseline sheds...
+        assert hybrid.rescued > 0  # ...and the rescue lane lifts them
+        assert hybrid.outcomes["shed"] < fixed.outcomes["shed"]
+        # Rescued sessions are marked and pinned to the bottom rung.
+        rescued = [t for t in hybrid.traces if t.rescued]
+        assert len(rescued) == hybrid.rescued
+        for trace in rescued:
+            assert set(trace.rungs) == {0}
+
+    def test_non_deadline_sheds_stay_shed(self):
+        config = ServiceConfig(queue_limit=1, token_rate_per_vms=0.0,
+                               token_burst=1.0)
+        specs = build_fleet(4, 16, config)
+        schedule = schedule_fleet(specs, config)
+        plan = FaultPlan(4, FaultConfig(intensity=0.0))
+        recovery = simulate_recovery(
+            specs, schedule, plan, POLICIES["full"], config
+        )
+        tracks_by_variant = {
+            variant: make_tracks()
+            for variant in {spec.scene_variant for spec in specs}
+        }
+        report = simulate_abr_fleet(
+            specs, schedule, recovery, tracks_by_variant,
+            ABR_POLICIES["hybrid"], PROFILES["steady"], 100.0, config,
+        )
+        assert report.conserves(schedule)
+        assert report.outcomes["shed"] == sum(report.shed_reasons.values())
+        assert report.shed_reasons.get("deadline", 0) == 0  # none rescued away
+        assert report.outcomes["shed"] > 0
+
+    def test_quarantined_sessions_stay_quarantined(self):
+        schedule, report = self.fleet_report("hybrid")
+        for session_id, outcome in report.session_outcomes.items():
+            if outcome == "quarantined":
+                with pytest.raises(KeyError):
+                    report.trace_for(session_id)
+
+    def test_deterministic_per_seed(self):
+        _, a = self.fleet_report("hybrid")
+        _, b = self.fleet_report("hybrid")
+        assert a.outcomes == b.outcomes
+        assert a.session_outcomes == b.session_outcomes
+        assert [t.rungs for t in a.traces] == [t.rungs for t in b.traces]
+
+    def test_walk_profile_uses_per_session_entropy(self):
+        _, a = self.fleet_report("hybrid", profile="walk")
+        _, b = self.fleet_report("hybrid", profile="walk")
+        assert [t.rungs for t in a.traces] == [t.rungs for t in b.traces]
+        assert a.conserves is not None  # smoke: the walk path runs
+
+    def test_empty_ladder_rejected(self):
+        config = self.CONFIG
+        specs = build_fleet(4, 4, config)
+        schedule = schedule_fleet(specs, config)
+        plan = FaultPlan(4, FaultConfig(intensity=0.0))
+        recovery = simulate_recovery(
+            specs, schedule, plan, POLICIES["full"], config
+        )
+        with pytest.raises(ValueError):
+            simulate_abr_fleet(
+                specs, schedule, recovery, {}, ABR_POLICIES["hybrid"],
+                PROFILES["steady"], 30.0, config,
+            )

@@ -1,0 +1,116 @@
+"""Time-varying capacity: profiles, exact transfer integration, seeding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.seeding import bandwidth_rng
+from repro.transport.bandwidth import (
+    PROFILE_NAMES,
+    PROFILES,
+    BandwidthProfile,
+    BandwidthTrace,
+    build_trace,
+)
+
+
+class TestProfiles:
+    def test_registry_covers_the_study_profiles(self):
+        assert PROFILE_NAMES == ("steady", "step_drop", "walk")
+        assert set(PROFILES) == set(PROFILE_NAMES)
+        assert PROFILES["walk"].walk
+
+    def test_step_drop_is_the_three_step_collapse(self):
+        steps = PROFILES["step_drop"].steps
+        assert len(steps) == 3
+        assert steps[0] == (0.0, 1.0)
+        assert [m for _, m in steps] == [1.0, 0.55, 0.3]
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthProfile("bad", steps=())
+        with pytest.raises(ValueError):
+            BandwidthProfile("bad", steps=((0.5, 1.0),))
+        with pytest.raises(ValueError):
+            BandwidthProfile("bad", steps=((0.0, 1.0), (0.6, 0.5), (0.3, 0.2)))
+        with pytest.raises(ValueError):
+            BandwidthProfile("bad", steps=((0.0, -1.0),))
+        with pytest.raises(ValueError):
+            BandwidthProfile("bad", walk=True, walk_floor=0.0)
+
+
+class TestBandwidthTrace:
+    def test_capacity_lookup_is_right_continuous(self):
+        trace = BandwidthTrace(((0.0, 10.0), (100.0, 5.0)))
+        assert trace.capacity_kbps(0.0) == 10.0
+        assert trace.capacity_kbps(99.9) == 10.0
+        assert trace.capacity_kbps(100.0) == 5.0
+        assert trace.capacity_kbps(1e9) == 5.0  # last segment extends
+
+    def test_transfer_integrates_exactly_across_a_boundary(self):
+        # 10 kbps for 100 vms moves 1000 bits; the rest at 5 kbps.
+        trace = BandwidthTrace(((0.0, 10.0), (100.0, 5.0)))
+        assert trace.transfer_vms(0.0, 500.0) == pytest.approx(50.0)
+        assert trace.transfer_vms(0.0, 1000.0) == pytest.approx(100.0)
+        assert trace.transfer_vms(0.0, 1500.0) == pytest.approx(200.0)
+        assert trace.transfer_vms(50.0, 1000.0) == pytest.approx(150.0)
+        assert trace.transfer_vms(200.0, 50.0) == pytest.approx(10.0)
+        assert trace.transfer_vms(0.0, 0.0) == 0.0
+
+    def test_one_kbps_is_one_bit_per_vms(self):
+        trace = BandwidthTrace(((0.0, 1.0),))
+        assert trace.transfer_vms(0.0, 320.0) == pytest.approx(320.0)
+
+    def test_invalid_traces_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(())
+        with pytest.raises(ValueError):
+            BandwidthTrace(((5.0, 1.0),))
+        with pytest.raises(ValueError):
+            BandwidthTrace(((0.0, 1.0), (10.0, 0.0)))
+        with pytest.raises(ValueError):
+            BandwidthTrace(((0.0, 1.0), (20.0, 2.0), (10.0, 3.0)))
+
+
+class TestBuildTrace:
+    def test_deterministic_steps(self):
+        trace = build_trace(PROFILES["step_drop"], 30.0, 300.0)
+        assert trace.segments == ((0.0, 30.0), (100.0, 16.5), (200.0, 9.0))
+
+    def test_steady_is_flat(self):
+        trace = build_trace(PROFILES["steady"], 12.0, 500.0)
+        assert trace.segments == ((0.0, 12.0),)
+
+    def test_walk_requires_a_seeded_rng(self):
+        with pytest.raises(ValueError):
+            build_trace(PROFILES["walk"], 30.0, 300.0)
+
+    def test_walk_is_a_pure_function_of_session_identity(self):
+        a = build_trace(PROFILES["walk"], 30.0, 320.0, bandwidth_rng(4, 7))
+        b = build_trace(PROFILES["walk"], 30.0, 320.0, bandwidth_rng(4, 7))
+        assert a.segments == b.segments
+        other = build_trace(PROFILES["walk"], 30.0, 320.0, bandwidth_rng(4, 8))
+        assert other.segments != a.segments
+
+    def test_walk_stays_in_the_clamp_band(self):
+        profile = PROFILES["walk"]
+        for session in range(20):
+            trace = build_trace(profile, 30.0, 320.0,
+                                bandwidth_rng(4, session))
+            for _, kbps in trace.segments:
+                assert profile.walk_floor * 30.0 <= kbps \
+                    <= profile.walk_ceiling * 30.0
+        assert trace.segments[0][1] == 30.0  # walk starts at provisioned
+
+    def test_invalid_build_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            build_trace(PROFILES["steady"], 0.0, 300.0)
+        with pytest.raises(ValueError):
+            build_trace(PROFILES["steady"], 30.0, 0.0)
+
+    def test_bandwidth_entropy_branch_is_disjoint_from_faults(self):
+        from repro.service.seeding import fault_rng
+
+        a = bandwidth_rng(4, 7).integers(0, 2**31)
+        b = fault_rng(4, 7, 1).integers(0, 2**31)
+        assert a != b
